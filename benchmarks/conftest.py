@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The full paper-protocol corpus and the trained system are generated once
+per session; the headline Table 1 benchmark uses them at full scale, while
+sweeps that retrain the system several times use the pilot corpus to keep
+the benchmark run inside a coffee break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.protocol import (
+    paper_dataset,
+    pilot_dataset,
+    trained_analyzer,
+    trained_pilot_analyzer,
+)
+
+
+@pytest.fixture(scope="session")
+def full_dataset():
+    return paper_dataset(0)
+
+
+@pytest.fixture(scope="session")
+def full_analyzer():
+    return trained_analyzer(0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return pilot_dataset(0)
+
+
+@pytest.fixture(scope="session")
+def small_analyzer():
+    return trained_pilot_analyzer(0)

@@ -1,0 +1,40 @@
+"""Ablation A (§6): partition count — "more partitions ... can be used".
+
+The paper's conclusion proposes refining the eight-area encoding; the
+sweep retrains the pilot system at 4/8/12/16 areas.
+"""
+
+from repro.experiments.ablations import partition_sweep, ring_sweep
+
+
+def test_ablation_partition_count(benchmark, small_dataset):
+    rows = benchmark.pedantic(
+        lambda: partition_sweep(small_dataset, counts=(4, 8, 12, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation A — plane partition count (pilot corpus)")
+    accuracies = {}
+    for n_areas, result in rows:
+        accuracies[n_areas] = result.overall_accuracy
+        print(f"  {n_areas:2d} areas: {result.overall_accuracy:6.1%} "
+              f"(range {result.min_accuracy:.0%}-{result.max_accuracy:.0%})")
+    # Shape: 4 areas are too coarse; 8 (the paper's choice) must beat them.
+    assert accuracies[8] >= accuracies[4] - 0.02
+    assert max(accuracies.values()) >= accuracies[4]
+
+
+def test_ablation_ring_partitions(benchmark, small_dataset):
+    """The conclusion's proposal, taken literally: radial refinement."""
+    rows = benchmark.pedantic(
+        lambda: ring_sweep(small_dataset), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation A' — sector x ring encodings (pilot corpus)")
+    accuracies = {}
+    for label, result in rows:
+        accuracies[label] = result.overall_accuracy
+        print(f"  {label:5s}: {result.overall_accuracy:6.1%} "
+              f"(range {result.min_accuracy:.0%}-{result.max_accuracy:.0%})")
+    assert all(accuracy > 0.3 for accuracy in accuracies.values())

@@ -1,0 +1,18 @@
+"""Thinning-algorithm ablation: Z-S (the paper's choice) vs Guo-Hall."""
+
+from repro.experiments.ablations import thinner_comparison
+
+
+def test_ablation_thinner(benchmark, small_dataset):
+    rows = benchmark.pedantic(
+        lambda: thinner_comparison(small_dataset), rounds=1, iterations=1
+    )
+    print()
+    print("Thinning ablation — Zhang-Suen vs Guo-Hall (pilot corpus)")
+    accuracies = {}
+    for thinner, result in rows:
+        accuracies[thinner] = result.overall_accuracy
+        print(f"  {thinner:10s} {result.overall_accuracy:6.1%} "
+              f"(range {result.min_accuracy:.0%}-{result.max_accuracy:.0%})")
+    # Both are viable skeletonisers; neither should collapse.
+    assert min(accuracies.values()) > 0.4

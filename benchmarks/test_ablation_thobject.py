@@ -1,0 +1,24 @@
+"""Ablation E (§2): Th_Object sensitivity of the extractor."""
+
+from repro.experiments.ablations import th_object_sweep
+
+
+def test_ablation_th_object(benchmark, small_dataset):
+    rows = benchmark.pedantic(
+        lambda: th_object_sweep(
+            small_dataset, thresholds=(5, 10, 20, 40, 80)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation E — Th_Object vs extraction IoU")
+    by_threshold = dict(rows)
+    for threshold, iou in rows:
+        marker = "  <- paper value" if threshold == 20 else ""
+        print(f"  Th_Object={threshold:3.0f}: mean IoU {iou:.3f}{marker}")
+    # The paper's 20 must sit in the good region (within 0.05 of best).
+    best = max(by_threshold.values())
+    assert by_threshold[20] >= best - 0.05
+    # Extreme thresholds are worse or equal — the curve has a ridge.
+    assert by_threshold[80] <= by_threshold[20] + 1e-9

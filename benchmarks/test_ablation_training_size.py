@@ -1,0 +1,25 @@
+"""Ablation C (§5): training-set size.
+
+"One reason for such a not-so-satisfied result is that the number of
+training samples is small" — reproduced by training on 3/6/9/12 clips.
+"""
+
+from repro.experiments.ablations import training_size_sweep
+
+
+def test_ablation_training_size(benchmark, full_dataset):
+    rows = benchmark.pedantic(
+        lambda: training_size_sweep(full_dataset, sizes=(3, 6, 9, 12)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation C — training clips vs accuracy (full test set)")
+    accuracies = []
+    for size, result in rows:
+        accuracies.append(result.overall_accuracy)
+        print(f"  {size:2d} clips: {result.overall_accuracy:6.1%} "
+              f"(range {result.min_accuracy:.0%}-{result.max_accuracy:.0%})")
+    # Shape: more data helps overall (allow local non-monotonicity).
+    assert accuracies[-1] >= accuracies[0] - 0.02
+    assert max(accuracies) == accuracies[-1] or accuracies[-1] >= 0.7

@@ -1,0 +1,29 @@
+"""Ablation D (§5): the most-recent-pose fallback for Unknown frames.
+
+"the previous pose for the next frame should be set to the pose that is
+recognized most recently instead of 'Unknown' ... this is really useful".
+With a high acceptance floor the greedy decoder produces Unknowns; the
+fallback keeps the temporal chain alive across them.
+"""
+
+from repro.experiments.ablations import fallback_sweep
+
+
+def test_ablation_unknown_fallback(benchmark, small_analyzer, small_dataset):
+    rows = benchmark.pedantic(
+        lambda: fallback_sweep(small_analyzer, small_dataset, accept_min=0.45),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Ablation D — unknown-pose fallback (greedy, accept_min=0.45)")
+    accuracy = {}
+    for label, result in rows:
+        accuracy[label] = result.overall_accuracy
+        unknowns = sum(
+            sum(f.is_unknown for f in clip.frames) for clip in result.clips
+        )
+        print(f"  {label:13s} accuracy {result.overall_accuracy:6.1%}, "
+              f"{unknowns} unknown frames")
+    assert accuracy["fallback on"] >= accuracy["fallback off"] - 0.02, \
+        "the paper found the fallback 'really useful'; it must not hurt"

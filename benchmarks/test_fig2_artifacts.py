@@ -1,0 +1,48 @@
+"""Figure 2: raw thinning artifacts — loops, corners, redundant branches.
+
+The paper illustrates the problems of the bare Z-S output before the §3
+repairs; this benchmark quantifies them across a test clip and times the
+thinning itself.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure2
+from repro.imaging.background import BackgroundSubtractor
+from repro.skeleton.analysis import artifact_stats
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.thinning.zhangsuen import zhang_suen_thin
+
+
+def test_fig2_artifact_table(benchmark, full_dataset):
+    clip = full_dataset.test[0]
+    rows = benchmark.pedantic(lambda: figure2(clip), rounds=1, iterations=1)
+    print()
+    print("Figure 2 — raw Z-S thinning artifacts across a test clip")
+    for row in rows:
+        print("  " + row)
+    assert len(rows) > 3
+
+
+def test_fig2_raw_thinning_has_artifacts(full_dataset):
+    """Raw output must exhibit the problems §3 exists to repair."""
+    clip = full_dataset.test[0]
+    subtractor = BackgroundSubtractor().fit_background(clip.background)
+    total_short_branches = 0
+    total_loops = 0
+    for index in range(0, len(clip), 3):
+        mask = subtractor.extract(clip.frames[index]).mask
+        stats = artifact_stats(PixelGraph.from_mask(zhang_suen_thin(mask)))
+        total_short_branches += stats.short_branches
+        total_loops += stats.loops
+    print(f"\n  clip totals: {total_loops} loops, "
+          f"{total_short_branches} short branches before repair")
+    assert total_short_branches > 0, "no spurs — the studio is suspiciously clean"
+
+
+def test_fig2_thinning_throughput(benchmark, full_dataset):
+    clip = full_dataset.test[0]
+    subtractor = BackgroundSubtractor().fit_background(clip.background)
+    mask = subtractor.extract(clip.frames[10]).mask
+    skeleton = benchmark(lambda: zhang_suen_thin(mask))
+    assert skeleton.any()

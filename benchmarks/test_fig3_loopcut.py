@@ -1,0 +1,27 @@
+"""Figure 3: loop cutting with the maximum spanning tree (§3)."""
+
+from repro.experiments.figures import figure3, loop_demo_mask
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.spanning import cut_loops
+from repro.thinning.zhangsuen import zhang_suen_thin
+
+
+def test_fig3_loop_cut(benchmark):
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    print()
+    print("Figure 3 — loop cut by maximum spanning tree")
+    print(f"  loops before: {result.loops_before}, after: {result.loops_after}")
+    print(f"  cut points (green dots): {result.cut_points}")
+    print("  skeleton after cut:")
+    for line in result.ascii_after.splitlines():
+        if "#" in line or "o" in line:
+            print("    " + line)
+    assert result.loops_before >= 1
+    assert result.loops_after == 0
+
+
+def test_fig3_cut_throughput(benchmark):
+    raw = zhang_suen_thin(loop_demo_mask())
+    graph = PixelGraph.from_mask(raw)
+    result = benchmark(lambda: cut_loops(graph))
+    assert result.graph.cycle_rank() == 0

@@ -1,0 +1,23 @@
+"""Figure 4: one-at-a-time pruning vs simultaneous deletion (§3)."""
+
+from repro.experiments.figures import figure4, pruning_demo_graph
+from repro.skeleton.pruning import prune_short_branches
+
+
+def test_fig4_pruning_policies(benchmark):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    print()
+    print("Figure 4 — pruning policy comparison")
+    print(f"  one-at-a-time: removed {result.one_at_a_time_removed} branch(es), "
+          f"{result.one_at_a_time_pixels} pixels kept  (Fig 4(c))")
+    print(f"  simultaneous:  removed {result.simultaneous_removed} branch(es), "
+          f"{result.simultaneous_pixels} pixels kept  (Fig 4(b))")
+    assert result.limb_saved, "one-at-a-time must preserve the genuine limb"
+    assert result.one_at_a_time_removed == 1
+    assert result.simultaneous_removed == 2
+
+
+def test_fig4_pruning_throughput(benchmark):
+    graph = pruning_demo_graph()
+    result = benchmark(lambda: prune_short_branches(graph, 10))
+    assert result.branches_removed == 1

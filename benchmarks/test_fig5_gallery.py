@@ -1,0 +1,23 @@
+"""Figure 5: thinning-result gallery on representative silhouettes."""
+
+from repro.experiments.figures import skeleton_gallery
+
+
+def test_fig5_gallery(benchmark, full_dataset):
+    clip = full_dataset.test[0]
+    indices = [2, 16, 30]
+    gallery = benchmark.pedantic(
+        lambda: skeleton_gallery(clip, indices, width=48),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 5 — skeleton extraction examples")
+    for index, label, art in gallery:
+        print(f"  frame {index}: {label}")
+        for line in art.splitlines():
+            print("    " + line)
+        print()
+    assert len(gallery) == len(indices)
+    for _, _, art in gallery:
+        assert "#" in art

@@ -1,0 +1,26 @@
+"""Figure 6: key-point feature encoding on the eight plane areas."""
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_feature_encoding(benchmark, full_dataset):
+    clip = full_dataset.test[0]
+    indices = list(range(0, len(clip), 6))
+    rows = benchmark.pedantic(
+        lambda: figure6(clip, indices), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 6 — key points encoded on the eight areas (waist origin)")
+    for row in rows:
+        print("  " + row)
+    assert len(rows) == len(indices) + 1
+
+
+def test_fig6_encoder_throughput(benchmark, full_analyzer, full_dataset):
+    """Per-frame cost of candidate feature extraction."""
+    clip = full_dataset.test[0]
+    front_end = full_analyzer.front_end
+    subtractor = front_end.subtractor_for(clip.background)
+    skeleton = front_end.skeleton_of_frame(clip.frames[10], subtractor)
+    candidates = benchmark(lambda: front_end.candidate_features(skeleton))
+    assert candidates

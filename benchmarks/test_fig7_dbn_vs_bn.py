@@ -1,0 +1,49 @@
+"""Figure 7: the BN/DBN structures and what the temporal links buy.
+
+(a) one per-pose BN: 1 root + 5 hidden parts + 8 observed areas;
+(b) the DBN adds the previous pose and the jumping-stage flag.  The
+benchmark validates the structure and compares frame-independent (static
+BN), stage-free (HMM), and full-DBN decoding — the comparison that
+justifies the paper's architecture.
+"""
+
+from repro.experiments.ablations import decoder_comparison, nearest_centroid_floor
+from repro.experiments.figures import figure7_structure
+
+
+def test_fig7a_structure(full_analyzer):
+    network, description = figure7_structure(full_analyzer.models.observation)
+    print()
+    print("Figure 7(a) — per-pose BN structure")
+    print(f"  nodes: {description['nodes']} "
+          f"(root {description['root']}, hidden {description['hidden']}, "
+          f"observed {description['observed']})")
+    print(f"  directed edges: {description['edges']}")
+    assert description["nodes"] == 14
+    assert description["edges"] == 5 + 8 * 5  # parts<-pose, areas<-parts
+
+
+def test_fig7b_temporal_structure_wins(benchmark, small_analyzer, small_dataset):
+    """DBN (stage flag + previous pose) vs static BN vs stage-free HMM."""
+    rows = benchmark.pedantic(
+        lambda: decoder_comparison(small_analyzer, small_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 7(b) — temporal structure comparison (pilot corpus)")
+    accuracies = {}
+    for name, result in rows:
+        accuracies[name] = result.overall_accuracy
+        print(f"  {name:26s} {result.overall_accuracy:6.1%} "
+              f"(range {result.min_accuracy:.0%}-{result.max_accuracy:.0%})")
+    floor = nearest_centroid_floor(small_analyzer, small_dataset)
+    print(f"  {'nearest-centroid floor':26s} {floor.overall_accuracy:6.1%}")
+
+    best_dbn = max(
+        accuracy for name, accuracy in accuracies.items() if name.startswith("DBN")
+    )
+    assert best_dbn > accuracies["static BN (Fig 7a only)"], \
+        "the DBN must beat the static BN — the core Figure 7 claim"
+    assert best_dbn >= accuracies["pose HMM (no stage flag)"] - 0.02, \
+        "the stage flag must not hurt"

@@ -1,0 +1,34 @@
+"""Figure 8: skeleton extraction across a whole test clip's key frames."""
+
+from repro.experiments.figures import skeleton_gallery
+
+
+def test_fig8_clip_sequence(benchmark, full_dataset):
+    clip = full_dataset.test[1]
+    indices = list(range(0, len(clip), 4))
+    gallery = benchmark.pedantic(
+        lambda: skeleton_gallery(clip, indices, width=40),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Figure 8 — skeletons across {clip.clip_id} "
+          f"({len(indices)} representative frames)")
+    for index, label, _art in gallery:
+        print(f"  frame {index:2d}: {label}")
+    assert len(gallery) == len(indices)
+    # Every representative frame must produce a non-degenerate skeleton.
+    for _index, _label, art in gallery:
+        assert art.count("#") > 20
+
+
+def test_fig8_full_pipeline_throughput(benchmark, full_analyzer, full_dataset):
+    """Frames-to-poses cost for a whole clip (the §1 use case: a teacher's
+    video clip analysed automatically)."""
+    clip = full_dataset.test[1]
+    predictions = benchmark.pedantic(
+        lambda: full_analyzer.predict_frames(clip.frames, clip.background),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(predictions) == len(clip)

@@ -1,0 +1,59 @@
+"""The §1 runtime claim: GA stick-model fitting vs Z-S thinning.
+
+"the search process of the genetic algorithm is very time-consuming.
+Therefore, the thinning algorithm is utilized instead" — reproduced by
+skeletonising the same silhouette both ways and reporting the ratio.
+"""
+
+import time
+
+from repro.baselines.genetic import GAConfig, GeneticSkeletonFitter
+from repro.skeleton.pipeline import SkeletonExtractor
+from repro.thinning.zhangsuen import zhang_suen_thin
+
+
+def _silhouette(full_dataset):
+    from repro.imaging.background import BackgroundSubtractor
+
+    clip = full_dataset.test[0]
+    subtractor = BackgroundSubtractor().fit_background(clip.background)
+    return subtractor.extract(clip.frames[12]).mask
+
+
+def test_intro_thinning_speed(benchmark, full_dataset):
+    mask = _silhouette(full_dataset)
+    skeleton = benchmark(lambda: zhang_suen_thin(mask))
+    assert skeleton.any()
+
+
+def test_intro_ga_speed(benchmark, full_dataset):
+    """The authors' previous approach [1], at realistic GA size."""
+    mask = _silhouette(full_dataset)
+    fitter = GeneticSkeletonFitter(config=GAConfig(population_size=40, generations=30))
+    result = benchmark.pedantic(
+        lambda: fitter.fit(mask, seed=0), rounds=1, iterations=1
+    )
+    assert result.fitness > 0.3
+
+
+def test_intro_runtime_ratio(full_dataset):
+    mask = _silhouette(full_dataset)
+
+    start = time.perf_counter()
+    full_skeleton = SkeletonExtractor().extract(mask)
+    thinning_seconds = time.perf_counter() - start
+
+    fitter = GeneticSkeletonFitter(config=GAConfig(population_size=40, generations=30))
+    start = time.perf_counter()
+    ga_result = fitter.fit(mask, seed=0)
+    ga_seconds = time.perf_counter() - start
+
+    ratio = ga_seconds / max(thinning_seconds, 1e-9)
+    print()
+    print("Intro claim — skeletonisation runtime")
+    print(f"  Z-S thinning + repairs: {thinning_seconds * 1000:8.1f} ms")
+    print(f"  GA stick-model fit:     {ga_seconds * 1000:8.1f} ms "
+          f"(fitness {ga_result.fitness:.2f})")
+    print(f"  ratio: {ratio:.0f}x")
+    assert ratio > 5, "the GA must be much slower — the paper's motivation"
+    assert not full_skeleton.is_empty

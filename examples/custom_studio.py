@@ -1,0 +1,66 @@
+"""Build your own studio: harder recording conditions, custom jumpers.
+
+Shows the synthetic substrate's knobs — studio noise, subject
+anthropometry, choreography variants — and how extraction quality and
+decoding accuracy degrade as the studio gets worse.  This is the
+experiment you cannot run with the paper's fixed recordings.
+
+Usage::
+
+    python examples/custom_studio.py
+"""
+
+from repro import JumpPoseAnalyzer
+from repro.imaging.background import BackgroundSubtractor
+from repro.imaging.metrics import intersection_over_union
+from repro.synth.dataset import make_clip, make_paper_protocol_dataset
+from repro.synth.studio import StudioSettings
+from repro.synth.variation import SubjectProfile
+
+CONDITIONS = (
+    ("calm studio", StudioSettings(sensor_sigma=1.0, flicker_sigma=0.005)),
+    ("default studio", StudioSettings()),
+    ("noisy sensor", StudioSettings(sensor_sigma=8.0)),
+    ("flickering lamps", StudioSettings(flicker_sigma=0.06)),
+    ("both degraded", StudioSettings(sensor_sigma=8.0, flicker_sigma=0.06)),
+)
+
+
+def extraction_quality(settings: StudioSettings) -> float:
+    clip = make_clip("probe", seed=9, variant=0, target_frames=40,
+                     studio_settings=settings)
+    subtractor = BackgroundSubtractor().fit_background(clip.background)
+    scores = []
+    for index in range(0, len(clip), 4):
+        mask = subtractor.extract(clip.frames[index]).mask
+        scores.append(intersection_over_union(mask, clip.silhouettes[index]))
+    return sum(scores) / len(scores)
+
+
+def main() -> None:
+    print("Extraction quality under different studio conditions")
+    print(f"{'condition':20s} {'mean IoU':>8s}")
+    for name, settings in CONDITIONS:
+        print(f"{name:20s} {extraction_quality(settings):8.3f}")
+
+    print("\nA short jumper with a long flight, decoded by the "
+          "standard system:")
+    dataset = make_paper_protocol_dataset(
+        seed=0, train_lengths=(44, 43, 44, 43), test_lengths=(45,)
+    )
+    analyzer = JumpPoseAnalyzer.train(dataset.train)
+    profile = SubjectProfile(
+        scale=0.9, angle_jitter_deg=2.0, flight_span=195.0, flight_apex=22.0,
+    )
+    clip = make_clip("short-flyer", seed=77, variant=1, target_frames=44,
+                     profile=profile)
+    result = analyzer.analyze_clip(clip)
+    print(f"  clip accuracy: {result.accuracy:.1%} "
+          f"(unknown {result.unknown_rate:.1%})")
+    runs = result.error_runs()
+    print(f"  error runs: {runs} — the paper notes errors cluster "
+          "in consecutive frames")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: train the system and decode one jump clip.
+
+Runs the whole paper pipeline at pilot scale in under a minute:
+
+1. synthesise a small studio corpus (the stand-in for the paper's
+   self-recorded videos),
+2. train the pose-estimation system (§4.1),
+3. decode a held-out clip frame by frame (§4.2),
+4. print the pose timeline against ground truth.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import JumpPoseAnalyzer
+from repro.synth.dataset import make_paper_protocol_dataset
+
+
+def main() -> None:
+    print("Generating a pilot studio corpus (4 train clips, 1 test clip)...")
+    dataset = make_paper_protocol_dataset(
+        seed=0, train_lengths=(44, 43, 44, 43), test_lengths=(45,)
+    )
+
+    print("Training the analyzer (silhouette -> skeleton -> features -> DBN)...")
+    analyzer = JumpPoseAnalyzer.train(dataset.train)
+    report = analyzer.models.report
+    print(
+        f"  trained on {report.used_frames}/{report.total_frames} usable frames; "
+        f"most frequent pose holds {report.dominant_fraction:.0%} of them"
+    )
+
+    clip = dataset.test[0]
+    print(f"\nDecoding {clip.clip_id} ({len(clip)} frames)...")
+    result = analyzer.analyze_clip(clip)
+
+    print(f"\n{'frame':>5s}  {'ground truth':42s} {'decoded':42s}")
+    for frame in result.frames:
+        marker = " " if frame.is_correct else "*"
+        decoded = frame.predicted.label if frame.predicted is not None else "(unknown)"
+        print(f"{frame.index:5d}{marker} {frame.truth.label:42s} {decoded:42s}")
+
+    print(f"\nClip accuracy: {result.accuracy:.1%} "
+          f"(the paper reports 81-87% at full scale)")
+
+
+if __name__ == "__main__":
+    main()

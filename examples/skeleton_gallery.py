@@ -1,0 +1,75 @@
+"""Watch the vision pipeline work: Figures 1-5 and 8 in ASCII.
+
+For a handful of frames of one clip this prints the §2 extraction, the
+raw Z-S thinning with its artifacts, and the cleaned skeleton with key
+points — the same progression the paper's figures photograph.
+
+Usage::
+
+    python examples/skeleton_gallery.py
+"""
+
+import numpy as np
+
+from repro.core.estimator import VisionFrontEnd
+from repro.features.keypoints import PART_ORDER
+from repro.skeleton.analysis import artifact_stats
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.synth.dataset import make_clip
+from repro.thinning.zhangsuen import zhang_suen_thin
+from repro.utils.ascii_art import downsample_for_display, render_binary, render_points
+
+
+def _crop_box(mask: np.ndarray, margin: int = 3):
+    rows = np.any(mask, axis=1).nonzero()[0]
+    cols = np.any(mask, axis=0).nonzero()[0]
+    return (
+        max(0, rows.min() - margin),
+        min(mask.shape[0], rows.max() + margin + 1),
+        max(0, cols.min() - margin),
+        min(mask.shape[1], cols.max() + margin + 1),
+    )
+
+
+def main() -> None:
+    clip = make_clip("gallery", seed=5, variant=0, target_frames=44)
+    front_end = VisionFrontEnd()
+    subtractor = front_end.subtractor_for(clip.background)
+
+    for index in (4, 18, 30):
+        print("=" * 70)
+        print(f"frame {index}: ground truth pose = {clip.labels[index].label}")
+        extraction = subtractor.extract(clip.frames[index])
+        raw_thin = zhang_suen_thin(extraction.mask)
+        raw_stats = artifact_stats(PixelGraph.from_mask(raw_thin))
+        skeleton = front_end.skeletonize(extraction.mask)
+
+        r0, r1, c0, c1 = _crop_box(extraction.mask)
+        print(f"\nsilhouette ({extraction.mask.sum()} px, Th_Object=20):")
+        print(render_binary(
+            downsample_for_display(extraction.mask[r0:r1, c0:c1], 64)
+        ))
+        print(f"\nraw thinning: {raw_stats.summary()}")
+        print(f"cleaned skeleton: {skeleton.stats().summary()}")
+
+        keypoints = front_end.keypoints.extract_candidates(skeleton)[0]
+        labelled = {
+            part.value: position
+            for part, position in keypoints.positions.items()
+            if position is not None
+        }
+        labelled["Waist"] = keypoints.waist
+        crop_points = {
+            name: (row - r0, col - c0) for name, (row, col) in labelled.items()
+        }
+        print("\nskeleton with key points (W = waist):")
+        print(render_points(
+            (r1 - r0, c1 - c0), crop_points, base=skeleton.to_mask()[r0:r1, c0:c1]
+        ))
+        feature = front_end.encoder.encode(keypoints)
+        print(f"\nfeature encoding: {feature.describe()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a full reproduction of Hsu et al., "Pose Estimation for
+Evaluating Standing Long Jumps via Dynamic Bayesian Networks"
+(ICDCS Workshops 2008).
+
+The package is organised bottom-up:
+
+* substrates — :mod:`repro.geometry`, :mod:`repro.imaging`,
+  :mod:`repro.thinning`, :mod:`repro.skeleton`, :mod:`repro.features`,
+  :mod:`repro.bayes`, and the synthetic studio :mod:`repro.synth`;
+* the paper's contribution — :mod:`repro.core` (22-pose taxonomy,
+  per-pose BNs, the stage-flag DBN, end-to-end
+  :class:`~repro.core.pipeline.JumpPoseAnalyzer`);
+* applications — :mod:`repro.scoring` (movement evaluation and advice),
+  :mod:`repro.baselines` (GA stick fitter, static BN, stage-free HMM),
+  :mod:`repro.experiments` (every table/figure of the paper).
+
+Quickstart::
+
+    from repro import JumpPoseAnalyzer, make_paper_protocol_dataset
+
+    dataset = make_paper_protocol_dataset(seed=0)
+    analyzer = JumpPoseAnalyzer.train(dataset.train)
+    result = analyzer.evaluate(dataset.test)
+    print(result.summary())
+"""
+
+from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+from repro.core.dbnclassifier import ClassifierConfig, FramePrediction
+from repro.core.poses import Pose, Stage
+from repro.core.results import ClipResult, EvaluationResult
+from repro.scoring.evaluator import JumpEvaluator
+from repro.scoring.report import render_report
+from repro.synth.dataset import (
+    JumpClip,
+    JumpDataset,
+    make_clip,
+    make_paper_protocol_dataset,
+)
+from repro.synth.variation import Fault
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzerSettings",
+    "JumpPoseAnalyzer",
+    "ClassifierConfig",
+    "FramePrediction",
+    "Pose",
+    "Stage",
+    "ClipResult",
+    "EvaluationResult",
+    "JumpEvaluator",
+    "render_report",
+    "JumpClip",
+    "JumpDataset",
+    "make_clip",
+    "make_paper_protocol_dataset",
+    "Fault",
+    "__version__",
+]

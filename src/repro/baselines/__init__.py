@@ -1,0 +1,26 @@
+"""Baselines and ablation comparators.
+
+* :class:`~repro.baselines.genetic.GeneticSkeletonFitter` — the authors'
+  previous GA stick-model fitter [1], reproduced for the §1 runtime claim
+  ("the search process of the genetic algorithm is very time-consuming").
+* :class:`~repro.baselines.static_bn.StaticBNClassifier` — per-frame BN
+  without temporal links (the Fig 7(a)-only system).
+* :class:`~repro.baselines.hmm.PoseHMMClassifier` — temporal smoothing
+  *without* the jumping-stage flag, isolating the flag's contribution.
+* :class:`~repro.baselines.nearest.NearestCentroidClassifier` — a
+  non-probabilistic feature-matching floor.
+"""
+
+from repro.baselines.genetic import GAConfig, GAFitResult, GeneticSkeletonFitter
+from repro.baselines.static_bn import StaticBNClassifier
+from repro.baselines.hmm import PoseHMMClassifier
+from repro.baselines.nearest import NearestCentroidClassifier
+
+__all__ = [
+    "GAConfig",
+    "GAFitResult",
+    "GeneticSkeletonFitter",
+    "StaticBNClassifier",
+    "PoseHMMClassifier",
+    "NearestCentroidClassifier",
+]

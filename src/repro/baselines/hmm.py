@@ -1,0 +1,92 @@
+"""A pose HMM without the jumping-stage flag.
+
+Identical observation model and previous-pose conditioning as the full
+system, but the transition matrix is a flat ``P(pose_t | pose_{t-1})``
+with no stage variable and no stage masking.  Comparing this against the
+full DBN isolates exactly what §4's "jumping stage flag" contributes
+(namely, keeping the before-jumping and landing twins apart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.dbn import TwoSliceDBN, previous_slice
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.core.dbnclassifier import FramePrediction
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import INITIAL_POSE, NUM_POSES, POSE_STAGE, Pose
+from repro.errors import LearningError, ModelError
+from repro.features.encoding import FeatureVector
+
+
+class PoseHMMClassifier:
+    """Temporal pose decoding without the stage flag."""
+
+    def __init__(
+        self,
+        observation: PoseObservationModel,
+        alpha: float = 0.3,
+        decode: str = "smooth",
+    ) -> None:
+        if not observation.is_fitted:
+            raise ModelError("observation model must be fitted")
+        if decode not in ("filter", "smooth", "viterbi"):
+            raise ModelError(f"decode must be filter/smooth/viterbi, got {decode!r}")
+        self.observation = observation
+        self.alpha = alpha
+        self.decode = decode
+        self._dbn: "TwoSliceDBN | None" = None
+
+    def fit_transitions(self, sequences: "list[list[Pose]]") -> "PoseHMMClassifier":
+        """Learn the flat pose-transition matrix from label sequences."""
+        if not sequences or all(len(s) < 2 for s in sequences):
+            raise LearningError("need at least one sequence of length >= 2")
+        counts = np.full((NUM_POSES, NUM_POSES), self.alpha)
+        for sequence in sequences:
+            for previous, current in zip(sequence[:-1], sequence[1:]):
+                counts[previous, current] += 1.0
+        transition = counts / counts.sum(axis=1, keepdims=True)
+
+        pose_var = Variable("pose", tuple(p.name for p in Pose))
+        prior_values = np.zeros(NUM_POSES)
+        prior_values[INITIAL_POSE] = 1.0
+        prior = Factor((pose_var,), prior_values)
+        cpd = TabularCPD(pose_var, (previous_slice(pose_var),), transition.T)
+        self._dbn = TwoSliceDBN((pose_var,), prior, [cpd])
+        return self
+
+    def classify(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Decode a clip with the stage-free HMM."""
+        if self._dbn is None:
+            raise ModelError("call fit_transitions() before classify()")
+        likelihoods = []
+        for candidates in frames:
+            scores = np.ones(NUM_POSES)
+            if candidates:
+                scores = np.zeros(NUM_POSES)
+                for feature in candidates:
+                    vector = self.observation.part_likelihood_vector(feature)
+                    scores = np.maximum(scores, vector * feature.weight)
+            likelihoods.append(scores)
+        predictions: list[FramePrediction] = []
+        if self.decode == "viterbi":
+            for index in self._dbn.viterbi(likelihoods):
+                pose = Pose(index)
+                predictions.append(FramePrediction(pose, 1.0, POSE_STAGE[pose]))
+        else:
+            rows = (
+                self._dbn.filter(likelihoods)
+                if self.decode == "filter"
+                else self._dbn.smooth(likelihoods)
+            )
+            for row in rows:
+                pose = Pose(int(np.argmax(row)))
+                predictions.append(
+                    FramePrediction(pose, float(row[pose]), POSE_STAGE[pose])
+                )
+        return predictions

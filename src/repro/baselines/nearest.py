@@ -1,0 +1,72 @@
+"""Nearest-centroid feature matching — a non-probabilistic floor.
+
+Each pose is represented by the per-part *modal* area observed in
+training; a test feature votes for the pose with the fewest part
+mismatches (Hamming distance over parts, unobserved counting as its own
+symbol).  No probabilities, no temporal context: the floor any learned
+model must clear.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.dbnclassifier import FramePrediction
+from repro.core.poses import POSE_STAGE, Pose
+from repro.errors import LearningError
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER
+
+
+class NearestCentroidClassifier:
+    """Modal-code matching over the five part areas."""
+
+    def __init__(self) -> None:
+        self._centroids: "dict[Pose, tuple] | None" = None
+
+    def fit(
+        self, samples: "list[tuple[Pose, FeatureVector]]"
+    ) -> "NearestCentroidClassifier":
+        """Compute each pose's modal feature code."""
+        if not samples:
+            raise LearningError("cannot fit nearest-centroid on no samples")
+        by_pose: dict[Pose, list[tuple]] = {}
+        for pose, feature in samples:
+            by_pose.setdefault(pose, []).append(feature.as_tuple())
+        centroids: dict[Pose, tuple] = {}
+        for pose, codes in by_pose.items():
+            modal = tuple(
+                Counter(code[i] for code in codes).most_common(1)[0][0]
+                for i in range(len(PART_ORDER))
+            )
+            centroids[pose] = modal
+        self._centroids = centroids
+        return self
+
+    @staticmethod
+    def _distance(a: tuple, b: tuple) -> int:
+        return sum(1 for x, y in zip(a, b) if x != y)
+
+    def classify(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Per-frame nearest-centroid over all candidates."""
+        if self._centroids is None:
+            raise LearningError("call fit() before classify()")
+        predictions: list[FramePrediction] = []
+        previous = Pose(0)
+        for candidates in frames:
+            best_pose = previous  # carry the last decision through failures
+            best_distance = len(PART_ORDER) + 1
+            for feature in candidates:
+                code = feature.as_tuple()
+                for pose, centroid in self._centroids.items():
+                    distance = self._distance(code, centroid)
+                    if distance < best_distance:
+                        best_distance = distance
+                        best_pose = pose
+            predictions.append(
+                FramePrediction(best_pose, 0.0, POSE_STAGE[best_pose])
+            )
+            previous = best_pose
+        return predictions

@@ -1,0 +1,66 @@
+"""Per-frame Bayesian-network classification without temporal links.
+
+This is the Figure 7(a) system alone: each frame is classified from its
+feature candidates and the class prior, with no previous-pose or stage
+conditioning.  The Figure 7 benchmark compares it against the full DBN to
+show what the temporal structure buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dbnclassifier import FramePrediction
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import NUM_POSES, POSE_STAGE, Pose, Stage
+from repro.errors import ModelError
+from repro.features.encoding import FeatureVector
+
+
+class StaticBNClassifier:
+    """Frame-independent pose classification (no DBN).
+
+    Args:
+        observation: a fitted observation model.
+        pose_counts: training-frame counts per pose, used as the class
+            prior (Dirichlet-smoothed with ``prior_alpha``).
+    """
+
+    def __init__(
+        self,
+        observation: PoseObservationModel,
+        pose_counts: "dict[Pose, int] | None" = None,
+        prior_alpha: float = 1.0,
+    ) -> None:
+        if not observation.is_fitted:
+            raise ModelError("observation model must be fitted")
+        self.observation = observation
+        counts = np.full(NUM_POSES, prior_alpha)
+        for pose, count in (pose_counts or {}).items():
+            counts[pose] += count
+        self.prior = counts / counts.sum()
+
+    def classify(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Independent MAP classification of every frame."""
+        predictions: list[FramePrediction] = []
+        for candidates in frames:
+            if not candidates:
+                pose = Pose(int(np.argmax(self.prior)))
+                predictions.append(
+                    FramePrediction(pose, float(self.prior[pose]), POSE_STAGE[pose])
+                )
+                continue
+            scores = np.zeros(NUM_POSES)
+            for feature in candidates:
+                vector = self.observation.part_likelihood_vector(feature)
+                scores = np.maximum(scores, vector * feature.weight)
+            posterior = scores * self.prior
+            total = posterior.sum()
+            posterior = posterior / total if total > 0 else self.prior
+            pose = Pose(int(np.argmax(posterior)))
+            predictions.append(
+                FramePrediction(pose, float(posterior[pose]), POSE_STAGE[pose])
+            )
+        return predictions

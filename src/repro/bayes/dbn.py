@@ -1,0 +1,253 @@
+"""Two-slice dynamic Bayesian networks with exact filtering and decoding.
+
+A 2-TBN is specified by per-slice state variables, a prior factor over the
+first slice, and one CPD per state variable whose parents live in the
+previous slice (named ``<var>_prev``) and/or the current slice.  For the
+small state spaces of this paper (22 poses × 4 stages = 88 joint states)
+the joint transition matrix is materialised once and filtering/decoding
+run as dense matrix products — exact, simple, and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.errors import InferenceError, ModelError
+
+PREV_SUFFIX = "_prev"
+
+
+def previous_slice(variable: Variable) -> Variable:
+    """The previous-slice copy of a state variable."""
+    return Variable(variable.name + PREV_SUFFIX, variable.states)
+
+
+class TwoSliceDBN:
+    """A dynamic Bayesian network unrolled two slices at a time.
+
+    Args:
+        state_vars: the per-slice state variables, in a fixed order that
+            defines the joint-state enumeration (row-major, first variable
+            slowest).
+        prior: factor over the state variables giving the slice-0
+            distribution.
+        transition_cpds: one CPD per state variable; parents must be
+            previous-slice copies (``<name>_prev``) or current-slice state
+            variables, and the intra-slice dependencies must be acyclic.
+    """
+
+    def __init__(
+        self,
+        state_vars: "tuple[Variable, ...] | list[Variable]",
+        prior: Factor,
+        transition_cpds: "list[TabularCPD]",
+    ) -> None:
+        self._state_vars = tuple(state_vars)
+        names = [v.name for v in self._state_vars]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate state variables: {names}")
+        if set(prior.scope_names) != set(names):
+            raise ModelError(
+                f"prior scope {prior.scope_names} must equal state vars {names}"
+            )
+        self._prior = prior.permuted(names).normalized()
+        by_child = {cpd.child.name: cpd for cpd in transition_cpds}
+        if set(by_child) != set(names):
+            raise ModelError(
+                f"need exactly one transition CPD per state variable; "
+                f"got {sorted(by_child)} for state {sorted(names)}"
+            )
+        valid_parents = set(names) | {n + PREV_SUFFIX for n in names}
+        for cpd in transition_cpds:
+            for parent in cpd.parents:
+                if parent.name not in valid_parents:
+                    raise ModelError(
+                        f"transition CPD for {cpd.child.name!r} has parent "
+                        f"{parent.name!r} outside the two slices"
+                    )
+        self._cpds = by_child
+        self._check_intra_slice_acyclic()
+        self._cards = tuple(v.cardinality for v in self._state_vars)
+        self._joint_card = int(np.prod(self._cards))
+        self._transition = self._build_transition_matrix()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _check_intra_slice_acyclic(self) -> None:
+        names = {v.name for v in self._state_vars}
+        edges = {
+            name: [
+                p.name
+                for p in self._cpds[name].parents
+                if p.name in names
+            ]
+            for name in names
+        }
+        seen: dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state = seen.get(node, 0)
+            if state == 1:
+                raise ModelError("intra-slice dependencies contain a cycle")
+            if state == 2:
+                return
+            seen[node] = 1
+            for parent in edges[node]:
+                visit(parent)
+            seen[node] = 2
+
+        for name in sorted(names):
+            visit(name)
+
+    def _build_transition_matrix(self) -> np.ndarray:
+        """Dense ``T[prev_joint, cur_joint] = P(cur | prev)``."""
+        product: "Factor | None" = None
+        for variable in self._state_vars:
+            factor = self._cpds[variable.name].to_factor()
+            product = factor if product is None else product * factor
+        assert product is not None
+        prev_names = [v.name + PREV_SUFFIX for v in self._state_vars]
+        cur_names = [v.name for v in self._state_vars]
+        # Previous-slice variables that no CPD references are implicit
+        # "don't care" axes; add them as uniform ones so indexing works.
+        scope = set(product.scope_names)
+        for variable in self._state_vars:
+            prev_name = variable.name + PREV_SUFFIX
+            if prev_name not in scope:
+                product = product * Factor.uniform([previous_slice(variable)])
+        ordered = product.permuted(prev_names + cur_names)
+        matrix = ordered.values.reshape(self._joint_card, self._joint_card)
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ModelError(
+                "transition CPDs do not define a proper conditional "
+                f"(row sums deviate by {float(np.max(np.abs(row_sums - 1))):.3g})"
+            )
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Joint-state bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def state_vars(self) -> "tuple[Variable, ...]":
+        return self._state_vars
+
+    @property
+    def joint_cardinality(self) -> int:
+        return self._joint_card
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """``(S, S)`` matrix over joint states (read-only copy)."""
+        return self._transition.copy()
+
+    @property
+    def prior_vector(self) -> np.ndarray:
+        return self._prior.values.reshape(-1).copy()
+
+    def joint_index(self, assignment: "dict[str, int]") -> int:
+        """Row-major index of a full state assignment."""
+        index = 0
+        for variable in self._state_vars:
+            if variable.name not in assignment:
+                raise ModelError(f"assignment missing {variable.name!r}")
+            value = int(assignment[variable.name])
+            if not (0 <= value < variable.cardinality):
+                raise ModelError(
+                    f"state {value} out of range for {variable.name!r}"
+                )
+            index = index * variable.cardinality + value
+        return index
+
+    def assignment_of(self, joint_index: int) -> "dict[str, int]":
+        """Inverse of :meth:`joint_index`."""
+        if not (0 <= joint_index < self._joint_card):
+            raise ModelError(f"joint index {joint_index} out of range")
+        values = np.unravel_index(joint_index, self._cards)
+        return {v.name: int(i) for v, i in zip(self._state_vars, values)}
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def filter(self, likelihoods: "list[np.ndarray]") -> np.ndarray:
+        """Exact forward filtering.
+
+        ``likelihoods[t]`` is ``P(observation_t | joint state)`` as a
+        vector of length ``joint_cardinality``.  Returns an array of shape
+        ``(T, S)`` whose row ``t`` is ``P(state_t | obs_0..t)``.
+        """
+        alphas = np.zeros((len(likelihoods), self._joint_card))
+        belief = self.prior_vector
+        for t, likelihood in enumerate(likelihoods):
+            vector = np.asarray(likelihood, dtype=np.float64).reshape(-1)
+            if vector.shape[0] != self._joint_card:
+                raise InferenceError(
+                    f"likelihood at t={t} has length {vector.shape[0]}, "
+                    f"expected {self._joint_card}"
+                )
+            if t > 0:
+                belief = self._transition.T @ belief
+            belief = belief * vector
+            total = belief.sum()
+            if total <= 0:
+                # Zero-probability observation: recover with the predictive
+                # distribution rather than dying (mirrors the paper's
+                # "Unknown pose" recovery discussion in §5).
+                belief = (
+                    self._transition.T @ alphas[t - 1]
+                    if t > 0
+                    else self.prior_vector
+                )
+                total = belief.sum()
+            alphas[t] = belief / total
+        return alphas
+
+    def smooth(self, likelihoods: "list[np.ndarray]") -> np.ndarray:
+        """Exact forward-backward smoothing.
+
+        Returns ``(T, S)`` with row ``t`` equal to
+        ``P(state_t | obs_0..T-1)`` — the offline posterior a reviewer of a
+        complete clip should use.
+        """
+        alphas = self.filter(likelihoods)
+        n = len(likelihoods)
+        if n == 0:
+            return alphas
+        betas = np.ones((n, self._joint_card))
+        for t in range(n - 2, -1, -1):
+            vector = np.asarray(likelihoods[t + 1], dtype=np.float64).reshape(-1)
+            message = self._transition @ (vector * betas[t + 1])
+            total = message.sum()
+            betas[t] = message / total if total > 0 else 1.0 / self._joint_card
+        smoothed = alphas * betas
+        totals = smoothed.sum(axis=1, keepdims=True)
+        totals[totals <= 0] = 1.0
+        return smoothed / totals
+
+    def viterbi(self, likelihoods: "list[np.ndarray]") -> "list[int]":
+        """MAP joint-state path (log-space Viterbi)."""
+        if not likelihoods:
+            return []
+        with np.errstate(divide="ignore"):
+            log_t = np.log(self._transition)
+            log_prior = np.log(self.prior_vector)
+        back: list[np.ndarray] = []
+        score = log_prior + self._safe_log(likelihoods[0])
+        for t in range(1, len(likelihoods)):
+            candidate = score[:, None] + log_t
+            back.append(np.argmax(candidate, axis=0))
+            score = candidate.max(axis=0) + self._safe_log(likelihoods[t])
+        path = [int(np.argmax(score))]
+        for pointers in reversed(back):
+            path.append(int(pointers[path[-1]]))
+        path.reverse()
+        return path
+
+    @staticmethod
+    def _safe_log(vector: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            return np.log(np.asarray(vector, dtype=np.float64).reshape(-1))

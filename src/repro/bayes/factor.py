@@ -1,0 +1,191 @@
+"""Discrete factors and their algebra.
+
+A :class:`Factor` is a non-negative table over an ordered scope of
+variables.  Products, marginals, and evidence reduction are the three
+operations variable elimination is built from; all are implemented with
+numpy broadcasting so factor size, not Python loops, dominates cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.variables import Variable
+from repro.errors import InferenceError, ModelError
+
+
+class Factor:
+    """An immutable factor ``phi(scope) >= 0``."""
+
+    __slots__ = ("_variables", "_values")
+
+    def __init__(self, variables: "list[Variable] | tuple[Variable, ...]", values: np.ndarray) -> None:
+        variables = tuple(variables)
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ModelError(f"factor scope has duplicate variables: {names}")
+        array = np.asarray(values, dtype=np.float64)
+        expected = tuple(v.cardinality for v in variables)
+        if array.shape != expected:
+            raise ModelError(
+                f"factor values shape {array.shape} does not match scope "
+                f"cardinalities {expected} for {names}"
+            )
+        if np.any(array < 0):
+            raise ModelError("factor values must be non-negative")
+        self._variables = variables
+        self._values = array
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> "tuple[Variable, ...]":
+        return self._variables
+
+    @property
+    def values(self) -> np.ndarray:
+        """The (read-only) probability table."""
+        return self._values
+
+    @property
+    def scope_names(self) -> "tuple[str, ...]":
+        return tuple(v.name for v in self._variables)
+
+    def variable(self, name: str) -> Variable:
+        for v in self._variables:
+            if v.name == name:
+                return v
+        raise ModelError(f"variable {name!r} not in factor scope {self.scope_names}")
+
+    def __repr__(self) -> str:
+        return f"Factor({list(self.scope_names)}, shape={self._values.shape})"
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _aligned_values(self, union: "tuple[Variable, ...]") -> np.ndarray:
+        """View of the values broadcastable over the ``union`` scope."""
+        positions = {v.name: i for i, v in enumerate(self._variables)}
+        # Permute own axes into union order, inserting singleton axes.
+        order = [positions[v.name] for v in union if v.name in positions]
+        permuted = np.transpose(self._values, order)
+        shape = tuple(
+            v.cardinality if v.name in positions else 1 for v in union
+        )
+        return permuted.reshape(shape)
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Factor product over the union scope."""
+        mine = {v.name: v for v in self._variables}
+        for v in other._variables:
+            if v.name in mine and mine[v.name] != v:
+                raise ModelError(
+                    f"variable {v.name!r} has conflicting definitions in product"
+                )
+        union = self._variables + tuple(
+            v for v in other._variables if v.name not in mine
+        )
+        values = self._aligned_values(union) * other._aligned_values(union)
+        return Factor(union, values)
+
+    def __mul__(self, other: "Factor") -> "Factor":
+        return self.multiply(other)
+
+    def marginalize(self, names: "list[str] | tuple[str, ...] | str") -> "Factor":
+        """Sum out the named variables."""
+        if isinstance(names, str):
+            names = (names,)
+        missing = set(names) - set(self.scope_names)
+        if missing:
+            raise ModelError(f"cannot marginalize absent variables: {sorted(missing)}")
+        axes = tuple(i for i, v in enumerate(self._variables) if v.name in set(names))
+        keep = tuple(v for v in self._variables if v.name not in set(names))
+        values = self._values.sum(axis=axes) if axes else self._values
+        if not keep:
+            return Factor((), np.asarray(values, dtype=np.float64).reshape(()))
+        return Factor(keep, values)
+
+    def reduce(self, evidence: "dict[str, int | str]") -> "Factor":
+        """Condition on evidence, dropping the observed variables.
+
+        Evidence values may be state indices or state labels.
+        """
+        if not evidence:
+            return self
+        indexer: list = []
+        keep: list[Variable] = []
+        scope = set(self.scope_names)
+        for name in evidence:
+            if name not in scope:
+                raise ModelError(f"evidence variable {name!r} not in scope")
+        for v in self._variables:
+            if v.name in evidence:
+                value = evidence[v.name]
+                index = v.index_of(value) if isinstance(value, str) else int(value)
+                if not (0 <= index < v.cardinality):
+                    raise ModelError(
+                        f"evidence index {index} out of range for {v.name!r}"
+                    )
+                indexer.append(index)
+            else:
+                indexer.append(slice(None))
+                keep.append(v)
+        values = self._values[tuple(indexer)]
+        if not keep:
+            return Factor((), np.asarray(values, dtype=np.float64).reshape(()))
+        return Factor(tuple(keep), values)
+
+    def normalized(self) -> "Factor":
+        """Scale so the table sums to 1."""
+        total = float(self._values.sum())
+        if total <= 0:
+            raise InferenceError(
+                f"cannot normalize factor over {self.scope_names}: total mass is 0 "
+                "(evidence has probability zero under the model)"
+            )
+        return Factor(self._variables, self._values / total)
+
+    def permuted(self, order: "list[str] | tuple[str, ...]") -> "Factor":
+        """Reorder the scope (same distribution, axes transposed)."""
+        if set(order) != set(self.scope_names) or len(order) != len(self._variables):
+            raise ModelError(
+                f"permutation {order} is not a reordering of {self.scope_names}"
+            )
+        positions = {v.name: i for i, v in enumerate(self._variables)}
+        axes = [positions[name] for name in order]
+        variables = tuple(self.variable(name) for name in order)
+        return Factor(variables, np.transpose(self._values, axes))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def probability(self, assignment: "dict[str, int | str]") -> float:
+        """Table entry for a full assignment of the scope."""
+        if set(assignment) != set(self.scope_names):
+            raise ModelError(
+                f"assignment must cover exactly the scope {self.scope_names}"
+            )
+        index = []
+        for v in self._variables:
+            value = assignment[v.name]
+            index.append(v.index_of(value) if isinstance(value, str) else int(value))
+        return float(self._values[tuple(index)])
+
+    def argmax(self) -> "dict[str, int]":
+        """Assignment (as state indices) of the largest entry."""
+        flat = int(np.argmax(self._values))
+        unraveled = np.unravel_index(flat, self._values.shape)
+        return {v.name: int(i) for v, i in zip(self._variables, unraveled)}
+
+    @staticmethod
+    def uniform(variables: "list[Variable]") -> "Factor":
+        """The all-ones (unnormalised uniform) factor."""
+        shape = tuple(v.cardinality for v in variables)
+        return Factor(tuple(variables), np.ones(shape))
+
+    @staticmethod
+    def unit() -> "Factor":
+        """The empty-scope factor with value 1."""
+        return Factor((), np.asarray(1.0))

@@ -1,0 +1,123 @@
+"""Approximate inference by Gibbs sampling.
+
+Variable elimination is exact but its cost grows with treewidth; the
+Gibbs sampler trades exactness for graceful scaling and serves as an
+independent cross-check of the exact engine in the test suite.  Each step
+resamples one variable from its full conditional
+``P(x | Markov blanket)``, computed from the node's own CPD and its
+children's CPDs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.network import BayesianNetwork
+from repro.errors import InferenceError, ModelError
+from repro.utils.rng import ensure_rng
+
+
+class GibbsSampler:
+    """Markov-chain posterior sampling for discrete networks."""
+
+    def __init__(self, network: BayesianNetwork) -> None:
+        network.validate()
+        self._network = network
+        self._children: dict[str, list[str]] = {
+            name: network.children(name) for name in network.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Full conditionals
+    # ------------------------------------------------------------------
+    def _full_conditional(self, name: str, state: "dict[str, int]") -> np.ndarray:
+        """Normalised ``P(name | Markov blanket values in state)``."""
+        network = self._network
+        variable = network.variable(name)
+        own = network.cpd(name)
+        parent_index = tuple(state[parent.name] for parent in own.parents)
+        scores = own.table[(slice(None),) + parent_index].copy()
+        for child_name in self._children[name]:
+            child_cpd = network.cpd(child_name)
+            child_value = state[child_name]
+            # P(child = observed | parents) as a function of this node.
+            likelihood = np.empty(variable.cardinality)
+            for value in range(variable.cardinality):
+                index: list[int] = [child_value]
+                for parent in child_cpd.parents:
+                    if parent.name == name:
+                        index.append(value)
+                    else:
+                        index.append(state[parent.name])
+                likelihood[value] = child_cpd.table[tuple(index)]
+            scores *= likelihood
+        total = scores.sum()
+        if total <= 0:
+            raise InferenceError(
+                f"zero-probability configuration while resampling {name!r}; "
+                "evidence is inconsistent with the model"
+            )
+        return scores / total
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_posterior(
+        self,
+        targets: "list[str] | str",
+        evidence: "dict[str, int] | None" = None,
+        n_samples: int = 2000,
+        burn_in: int = 500,
+        thin: int = 2,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> "dict[str, np.ndarray]":
+        """Estimate posterior marginals for ``targets`` given evidence.
+
+        Returns a mapping from target name to its estimated marginal
+        (a probability vector).  ``burn_in`` full sweeps are discarded and
+        every ``thin``-th sweep is recorded afterwards.
+        """
+        if isinstance(targets, str):
+            targets = [targets]
+        evidence = dict(evidence or {})
+        if n_samples < 1 or burn_in < 0 or thin < 1:
+            raise ModelError("n_samples >= 1, burn_in >= 0, thin >= 1 required")
+        network = self._network
+        known = set(network.nodes)
+        for name in list(targets) + list(evidence):
+            if name not in known:
+                raise ModelError(f"unknown variable {name!r}")
+        overlap = set(targets) & set(evidence)
+        if overlap:
+            raise InferenceError(
+                f"variables cannot be both target and evidence: {sorted(overlap)}"
+            )
+        rng = ensure_rng(seed)
+
+        # Initialise free variables by ancestral sampling conditioned
+        # crudely on nothing (evidence pinned afterwards).
+        state: dict[str, int] = {}
+        for name in network.topological_order():
+            if name in evidence:
+                state[name] = int(evidence[name])
+                continue
+            cpd = network.cpd(name)
+            parent_index = tuple(state[p.name] for p in cpd.parents)
+            probabilities = cpd.table[(slice(None),) + parent_index]
+            state[name] = int(rng.choice(len(probabilities), p=probabilities))
+
+        free = [name for name in network.nodes if name not in evidence]
+        counts = {
+            name: np.zeros(network.variable(name).cardinality) for name in targets
+        }
+        recorded = 0
+        total_sweeps = burn_in + n_samples * thin
+        for sweep in range(total_sweeps):
+            for name in free:
+                conditional = self._full_conditional(name, state)
+                state[name] = int(rng.choice(len(conditional), p=conditional))
+            if sweep >= burn_in and (sweep - burn_in) % thin == 0:
+                for name in targets:
+                    counts[name][state[name]] += 1.0
+                recorded += 1
+        return {name: counts[name] / recorded for name in targets}

@@ -1,0 +1,119 @@
+"""Bayesian networks: a DAG of variables with one CPD per node."""
+
+from __future__ import annotations
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.errors import ModelError
+
+
+class BayesianNetwork:
+    """A directed acyclic graphical model assembled from CPDs.
+
+    The node set is exactly the set of CPD children; every parent
+    referenced by a CPD must itself have a CPD.  Acyclicity is validated
+    with Kahn's algorithm on :meth:`validate` (called lazily by the
+    methods that need a consistent model).
+    """
+
+    def __init__(self, cpds: "list[TabularCPD] | None" = None) -> None:
+        self._cpds: dict[str, TabularCPD] = {}
+        self._validated = False
+        for cpd in cpds or []:
+            self.add_cpd(cpd)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_cpd(self, cpd: TabularCPD) -> "BayesianNetwork":
+        """Add (or replace) the CPD of one node."""
+        name = cpd.child.name
+        if name in self._cpds and self._cpds[name].child != cpd.child:
+            raise ModelError(
+                f"node {name!r} redefined with different states"
+            )
+        self._cpds[name] = cpd
+        self._validated = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> "list[str]":
+        return sorted(self._cpds)
+
+    def cpd(self, name: str) -> TabularCPD:
+        try:
+            return self._cpds[name]
+        except KeyError:
+            raise ModelError(f"no CPD for node {name!r}") from None
+
+    def variable(self, name: str) -> Variable:
+        return self.cpd(name).child
+
+    def parents(self, name: str) -> "list[str]":
+        return [p.name for p in self.cpd(name).parents]
+
+    def children(self, name: str) -> "list[str]":
+        return sorted(
+            child
+            for child, cpd in self._cpds.items()
+            if name in (p.name for p in cpd.parents)
+        )
+
+    # ------------------------------------------------------------------
+    # Validation / structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the model is a complete, consistent DAG."""
+        for name, cpd in self._cpds.items():
+            for parent in cpd.parents:
+                if parent.name not in self._cpds:
+                    raise ModelError(
+                        f"node {name!r} has parent {parent.name!r} without a CPD"
+                    )
+                if self._cpds[parent.name].child != parent:
+                    raise ModelError(
+                        f"parent {parent.name!r} of {name!r} disagrees with its "
+                        "own definition (different state labels)"
+                    )
+        self.topological_order()  # raises on cycles
+        self._validated = True
+
+    def topological_order(self) -> "list[str]":
+        """Kahn's algorithm; raises :class:`ModelError` on a cycle."""
+        in_degree = {name: len(cpd.parents) for name, cpd in self._cpds.items()}
+        ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for child, cpd in sorted(self._cpds.items()):
+                if current in (p.name for p in cpd.parents):
+                    in_degree[child] -= 1
+                    if in_degree[child] == 0:
+                        ready.append(child)
+            ready.sort()
+        if len(order) != len(self._cpds):
+            stuck = sorted(set(self._cpds) - set(order))
+            raise ModelError(f"model contains a directed cycle through {stuck}")
+        return order
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_factors(self) -> "list[Factor]":
+        """One factor per CPD — the input to variable elimination."""
+        if not self._validated:
+            self.validate()
+        return [cpd.to_factor() for cpd in self._cpds.values()]
+
+    def joint(self) -> Factor:
+        """The full joint distribution (only sensible for tiny models)."""
+        factors = self.to_factors()
+        product = factors[0]
+        for factor in factors[1:]:
+            product = product * factor
+        return product

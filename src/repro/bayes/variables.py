@@ -1,0 +1,53 @@
+"""Discrete random variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named discrete variable with labelled states.
+
+    Equality and hashing are by ``(name, states)``, so two mentions of the
+    same variable in different factors are interchangeable.
+    """
+
+    name: str
+    states: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("variable name must be non-empty")
+        if len(self.states) < 1:
+            raise ModelError(f"variable {self.name!r} needs at least one state")
+        if len(set(self.states)) != len(self.states):
+            raise ModelError(f"variable {self.name!r} has duplicate states")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.states)
+
+    def index_of(self, state: str) -> int:
+        """Index of a state label."""
+        try:
+            return self.states.index(state)
+        except ValueError:
+            raise ModelError(
+                f"variable {self.name!r} has no state {state!r}; "
+                f"states are {self.states}"
+            ) from None
+
+    @staticmethod
+    def binary(name: str) -> "Variable":
+        """Convenience: a no/yes variable."""
+        return Variable(name, ("no", "yes"))
+
+    @staticmethod
+    def categorical(name: str, cardinality: int, prefix: str = "s") -> "Variable":
+        """Convenience: states ``s0 .. s{k-1}``."""
+        if cardinality < 1:
+            raise ModelError(f"cardinality must be >= 1, got {cardinality}")
+        return Variable(name, tuple(f"{prefix}{i}" for i in range(cardinality)))

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: DBN pose estimation for jumps.
+
+Public surface:
+
+* :class:`~repro.core.poses.Pose` / :class:`~repro.core.poses.Stage` —
+  the 22-pose, 4-stage taxonomy;
+* :class:`~repro.core.posebank.PoseObservationModel` — the Fig 7(a)
+  per-pose networks;
+* :class:`~repro.core.transitions.TransitionModel` — the Fig 7(b)
+  temporal structure;
+* :class:`~repro.core.dbnclassifier.DBNPoseClassifier` — §4.2 decoding;
+* :class:`~repro.core.pipeline.JumpPoseAnalyzer` — the end-to-end system.
+"""
+
+from repro.core.poses import (
+    DOMINANT_POSE,
+    INITIAL_POSE,
+    NUM_POSES,
+    NUM_STAGES,
+    POSE_LABELS,
+    POSE_STAGE,
+    Pose,
+    Stage,
+    poses_of_stage,
+    stage_can_follow,
+)
+from repro.core.posebank import MISSING, PoseObservationModel
+from repro.core.transitions import TransitionModel, pose_stage_mask, stage_mask
+from repro.core.dbnclassifier import (
+    ClassifierConfig,
+    DBNPoseClassifier,
+    FramePrediction,
+)
+from repro.core.estimator import VisionFrontEnd
+from repro.core.trainer import TrainedModels, TrainingReport, train_models
+from repro.core.results import ClipResult, EvaluationResult, FrameResult
+from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+
+__all__ = [
+    "DOMINANT_POSE",
+    "INITIAL_POSE",
+    "NUM_POSES",
+    "NUM_STAGES",
+    "POSE_LABELS",
+    "POSE_STAGE",
+    "Pose",
+    "Stage",
+    "poses_of_stage",
+    "stage_can_follow",
+    "MISSING",
+    "PoseObservationModel",
+    "TransitionModel",
+    "pose_stage_mask",
+    "stage_mask",
+    "ClassifierConfig",
+    "DBNPoseClassifier",
+    "FramePrediction",
+    "VisionFrontEnd",
+    "TrainedModels",
+    "TrainingReport",
+    "train_models",
+    "ClipResult",
+    "EvaluationResult",
+    "FrameResult",
+    "AnalyzerSettings",
+    "JumpPoseAnalyzer",
+]

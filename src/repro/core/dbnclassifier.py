@@ -1,0 +1,277 @@
+"""The DBN pose classifier (§4.2): temporal decoding with ``Th_Pose``.
+
+The paper's decision procedure, reproduced faithfully as the default
+``greedy`` decoder:
+
+1. frame 1 resets the jumping-stage flag to *before jumping* and the
+   previous pose to "standing & hand overlap with body";
+2. each frame scores every (candidate feature, pose) pair by
+   ``P(feature | pose) * P(pose | previous pose, stage) * P(stage | flag)``;
+3. ``Th_Pose`` lets rarer poses win over the dominant "standing & hand
+   swung forward" class when their posterior clears a per-pose bar;
+4. a frame whose best posterior stays below the acceptance floor is
+   declared *Unknown*; the previous-pose input of the next frame then
+   falls back to the most recently recognised pose (the §5 fix) instead
+   of "Unknown";
+5. the decided pose is fed to the next frame as the previous pose.
+
+Two alternative decoders — exact forward ``filter``-ing and ``viterbi``
+decoding over the joint (stage, pose) DBN — are provided for the
+Figure 7 / ablation benchmarks; the paper itself uses the greedy rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.poses import (
+    DOMINANT_POSE,
+    INITIAL_POSE,
+    NUM_POSES,
+    POSE_STAGE,
+    Pose,
+    Stage,
+)
+from repro.core.posebank import PoseObservationModel
+from repro.core.transitions import TransitionModel
+from repro.errors import ConfigurationError, ModelError
+from repro.features.encoding import FeatureVector
+
+DECODE_MODES = ("greedy", "filter", "smooth", "viterbi")
+
+
+@dataclass(frozen=True)
+class FramePrediction:
+    """Decoded result for one frame.
+
+    ``pose`` is ``None`` for an *Unknown* frame.  ``posterior`` is the
+    normalised probability of the decided pose (0 for Unknown);
+    ``stage`` is the classifier's stage flag after the frame.
+    """
+
+    pose: "Pose | None"
+    posterior: float
+    stage: Stage
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.pose is None
+
+
+@dataclass
+class ClassifierConfig:
+    """Decoding knobs.
+
+    Args:
+        decode: ``"smooth"`` (default — exact forward-backward posterior
+            over the Fig 7(b) DBN, appropriate because clips are analysed
+            as complete recordings), ``"greedy"`` (the paper's literal
+            hard-decision rule), ``"filter"`` (exact causal filtering), or
+            ``"viterbi"`` (MAP sequence).
+        th_pose: per-pose override bar — when the dominant pose wins the
+            argmax but some rarer pose's posterior exceeds this value, the
+            rarer pose is emitted instead (§4.2's imbalance fix).  May be a
+            scalar applied to every non-dominant pose or a per-pose dict.
+        accept_min: posterior floor below which the frame is *Unknown*.
+        unknown_fallback: keep feeding the most recently recognised pose
+            as the previous pose across Unknown frames (§5's fix).  When
+            False, an Unknown frame resets the previous pose to a uniform
+            mixture — the behaviour the paper found harmful.
+        use_occupancy: score with the Fig 7(a) area-occupancy likelihood
+            instead of labelled part assignments.
+    """
+
+    decode: str = "smooth"
+    th_pose: "float | dict[Pose, float]" = 0.0
+    accept_min: float = 0.0
+    unknown_fallback: bool = True
+    use_occupancy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.decode not in DECODE_MODES:
+            raise ConfigurationError(
+                f"decode must be one of {DECODE_MODES}, got {self.decode!r}"
+            )
+        if isinstance(self.th_pose, dict):
+            for pose, value in self.th_pose.items():
+                if not (0.0 <= value <= 1.0):
+                    raise ConfigurationError(
+                        f"th_pose[{pose.name}] must be in [0, 1], got {value}"
+                    )
+        elif not (0.0 <= float(self.th_pose) <= 1.0):
+            raise ConfigurationError(f"th_pose must be in [0, 1], got {self.th_pose}")
+        if not (0.0 <= self.accept_min <= 1.0):
+            raise ConfigurationError(
+                f"accept_min must be in [0, 1], got {self.accept_min}"
+            )
+
+    def threshold_for(self, pose: Pose) -> float:
+        if isinstance(self.th_pose, dict):
+            return float(self.th_pose.get(pose, 0.0))
+        return float(self.th_pose)
+
+
+class DBNPoseClassifier:
+    """Temporal pose decoding over per-frame feature candidates."""
+
+    def __init__(
+        self,
+        observation: PoseObservationModel,
+        transitions: TransitionModel,
+        config: "ClassifierConfig | None" = None,
+    ) -> None:
+        if not observation.is_fitted:
+            raise ModelError("observation model must be fitted")
+        if not transitions.is_fitted:
+            raise ModelError("transition model must be fitted")
+        self.observation = observation
+        self.transitions = transitions
+        self.config = config or ClassifierConfig()
+
+    # ------------------------------------------------------------------
+    # Observation scoring
+    # ------------------------------------------------------------------
+    def observation_vector(
+        self, candidates: "list[FeatureVector]"
+    ) -> np.ndarray:
+        """``max over candidate assignments of P(feature | pose)`` per pose.
+
+        The §4.2 assignment search: each hypothesis for Head/Hand labels
+        produces a feature vector; every pose is scored by its best
+        hypothesis.  An empty candidate list (skeleton failure) yields a
+        flat vector — the temporal prior then carries the frame.
+        """
+        if not candidates:
+            return np.ones(NUM_POSES)
+        scores = np.zeros(NUM_POSES)
+        for feature in candidates:
+            if self.config.use_occupancy:
+                occupied = feature.occupied_areas()
+                vector = np.array(
+                    [
+                        self.observation.occupancy_likelihood(occupied, pose)
+                        for pose in Pose
+                    ]
+                )
+            else:
+                vector = self.observation.part_likelihood_vector(feature)
+            scores = np.maximum(scores, vector * feature.weight)
+        return scores
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def classify(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Decode a whole clip of per-frame feature candidates."""
+        if self.config.decode == "greedy":
+            return self._classify_greedy(frames)
+        return self._classify_dbn(frames)
+
+    def _select(
+        self, posterior: np.ndarray
+    ) -> "tuple[Pose | None, float]":
+        """Apply the Th_Pose override and the acceptance floor."""
+        best = Pose(int(np.argmax(posterior)))
+        best_prob = float(posterior[best])
+        if best == DOMINANT_POSE:
+            override: "Pose | None" = None
+            override_prob = 0.0
+            for pose in Pose:
+                if pose == DOMINANT_POSE:
+                    continue
+                bar = self.config.threshold_for(pose)
+                if bar > 0 and posterior[pose] > bar and posterior[pose] > override_prob:
+                    override = pose
+                    override_prob = float(posterior[pose])
+            if override is not None:
+                best, best_prob = override, override_prob
+        if best_prob < self.config.accept_min:
+            return None, 0.0
+        return best, best_prob
+
+    def _classify_greedy(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        pose_table = self.transitions.pose_table  # (stage, prev, pose)
+        stage_table = self.transitions.stage_table  # (prev_stage, stage)
+        pose_stages = np.array([POSE_STAGE[p] for p in Pose])
+
+        predictions: list[FramePrediction] = []
+        previous: "Pose | None" = INITIAL_POSE
+        last_recognized: Pose = INITIAL_POSE
+        stage = Stage.BEFORE_JUMPING
+        for candidates in frames:
+            observation = self.observation_vector(candidates)
+            if previous is not None:
+                prior_prev = pose_table[pose_stages, previous, np.arange(NUM_POSES)]
+            else:
+                # Unknown previous pose without fallback: average over all
+                # possible previous poses (a uniform mixture).
+                prior_prev = pose_table[
+                    pose_stages, :, np.arange(NUM_POSES)
+                ].mean(axis=1)
+            stage_prior = stage_table[stage, pose_stages]
+            score = observation * prior_prev * stage_prior
+            total = score.sum()
+            if total <= 0:
+                posterior = prior_prev * stage_prior
+                posterior = posterior / posterior.sum()
+            else:
+                posterior = score / total
+            pose, prob = self._select(posterior)
+            if pose is None:
+                predictions.append(FramePrediction(None, 0.0, stage))
+                previous = last_recognized if self.config.unknown_fallback else None
+                continue
+            stage = POSE_STAGE[pose]
+            previous = pose
+            last_recognized = pose
+            predictions.append(FramePrediction(pose, prob, stage))
+        return predictions
+
+    def _classify_dbn(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Exact filtering / Viterbi over the joint (stage, pose) DBN."""
+        dbn = self.transitions.to_two_slice_dbn()
+        likelihoods: list[np.ndarray] = []
+        for candidates in frames:
+            observation = self.observation_vector(candidates)
+            joint = np.tile(observation, (len(Stage), 1))  # obs independent of stage
+            # A pose outside its stage is structurally impossible; zeroing
+            # here keeps the joint consistent with the pose CPD mask.
+            for pose in Pose:
+                for stage in Stage:
+                    if POSE_STAGE[pose] != stage:
+                        joint[stage, pose] = 0.0
+            likelihoods.append(joint.reshape(-1))
+        predictions: list[FramePrediction] = []
+        if self.config.decode in ("filter", "smooth"):
+            if self.config.decode == "filter":
+                filtered = dbn.filter(likelihoods)
+            else:
+                filtered = dbn.smooth(likelihoods)
+            for row in filtered:
+                grid = row.reshape(len(Stage), NUM_POSES)
+                pose_marginal = grid.sum(axis=0)
+                pose, prob = self._select(pose_marginal)
+                if pose is None:
+                    stage_index = int(np.argmax(grid.sum(axis=1)))
+                    predictions.append(FramePrediction(None, 0.0, Stage(stage_index)))
+                else:
+                    predictions.append(
+                        FramePrediction(pose, prob, POSE_STAGE[pose])
+                    )
+        else:  # viterbi
+            path = dbn.viterbi(likelihoods)
+            for joint_index in path:
+                assignment = dbn.assignment_of(joint_index)
+                pose = Pose(assignment["pose"])
+                predictions.append(
+                    FramePrediction(pose, 1.0, Stage(assignment["stage"]))
+                )
+        return predictions

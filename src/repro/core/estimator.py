@@ -1,0 +1,163 @@
+"""The vision front-end: frames → silhouettes → skeletons → features.
+
+This wires the §2/§3 substrates to the §4 feature encoding, in the two
+flavours the paper uses:
+
+* **supervised** (training, §4.1) — Head/Hand/Foot are *given*; here they
+  come from the synthetic studio's ground-truth joints, snapped onto the
+  extracted skeleton;
+* **assignment search** (testing, §4.2) — Foot is the lowest endpoint and
+  every Head/Hand hypothesis becomes a candidate feature vector for the
+  classifier to score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FeatureError, ImageError, SkeletonError
+from repro.features.areas import PlanePartition
+from repro.features.encoding import FeatureEncoder, FeatureVector
+from repro.features.keypoints import KeypointExtractor
+from repro.imaging.background import BackgroundSubtractor
+from repro.skeleton.pipeline import Skeleton, SkeletonExtractor
+
+if TYPE_CHECKING:  # avoid a runtime core ↔ synth import cycle
+    from repro.synth.dataset import JumpClip
+
+
+@dataclass
+class VisionFrontEnd:
+    """Configurable §2+§3+§4 feature extraction.
+
+    Args:
+        n_areas: plane partition sectors (paper: 8).
+        n_rings: distance rings per sector (1 = the paper's encoding).
+        th_object: extractor threshold ``Th_Object`` (paper: 20).
+        min_branch_length: skeleton pruning threshold (paper: 10).
+        thinner: thinning algorithm name.
+    """
+
+    n_areas: int = 8
+    n_rings: int = 1
+    th_object: float = 20.0
+    min_branch_length: int = 10
+    thinner: str = "zhangsuen"
+    encoder: FeatureEncoder = field(init=False)
+    keypoints: KeypointExtractor = field(default_factory=KeypointExtractor)
+
+    def __post_init__(self) -> None:
+        self.encoder = FeatureEncoder(
+            partition=PlanePartition(n_areas=self.n_areas, n_rings=self.n_rings)
+        )
+        self._skeletonizer = SkeletonExtractor(
+            thinner=self.thinner, min_branch_length=self.min_branch_length
+        )
+
+    @property
+    def total_areas(self) -> int:
+        """Distinct area codes produced by the encoder (sectors x rings)."""
+        return self.encoder.partition.total_areas
+
+    # ------------------------------------------------------------------
+    # §2 + §3
+    # ------------------------------------------------------------------
+    def subtractor_for(self, background: np.ndarray) -> BackgroundSubtractor:
+        """A §2 extractor fitted to one clip's background."""
+        return BackgroundSubtractor(threshold=self.th_object).fit_background(
+            background
+        )
+
+    def skeletonize(self, silhouette: np.ndarray) -> Skeleton:
+        """§3 pipeline on a silhouette mask."""
+        return self._skeletonizer.extract(silhouette)
+
+    def skeleton_of_frame(
+        self, frame: np.ndarray, subtractor: BackgroundSubtractor
+    ) -> Skeleton:
+        """Full §2→§3 path for one RGB frame."""
+        return self.skeletonize(subtractor.extract(frame).mask)
+
+    # ------------------------------------------------------------------
+    # §4 features
+    # ------------------------------------------------------------------
+    def candidate_features(self, skeleton: Skeleton) -> "list[FeatureVector]":
+        """Feature vectors for every Head/Hand assignment hypothesis.
+
+        Each candidate carries a plausibility weight: hypotheses whose
+        Head is not the topmost endpoint, or that leave the Hand
+        unexplained, are geometrically possible but a priori less likely —
+        the weight lets the classifier's max-scoring honour that without
+        discarding the hypothesis.
+        """
+        from repro.features.keypoints import derive_keypoints
+
+        endpoints = skeleton.graph.endpoints()
+        if not endpoints:
+            raise FeatureError("skeleton has no endpoints")
+        top_row = min(p[0] for p in endpoints)
+        features: list[FeatureVector] = []
+        for assignment in self.keypoints.enumerate_assignments(skeleton):
+            try:
+                keypoints = derive_keypoints(skeleton.graph, assignment)
+            except FeatureError:
+                continue
+            weight = 1.0
+            if assignment.head[0] > top_row + 2:
+                weight *= 0.5
+            if assignment.hand is None:
+                weight *= 0.7
+            elif assignment.hand == assignment.head:
+                weight *= 0.85
+            features.append(self.encoder.encode(keypoints, weight=weight))
+        if not features:
+            raise FeatureError("no feasible key-point assignment on this skeleton")
+        return features
+
+    def candidates_for_clip(
+        self, frames: "list[np.ndarray] | tuple[np.ndarray, ...]",
+        background: np.ndarray,
+    ) -> "list[list[FeatureVector]]":
+        """Per-frame candidate features for a whole clip.
+
+        Frames whose extraction or skeletonisation fails contribute an
+        empty candidate list; the classifier's temporal prior carries them.
+        """
+        subtractor = self.subtractor_for(background)
+        result: list[list[FeatureVector]] = []
+        for frame in frames:
+            try:
+                skeleton = self.skeleton_of_frame(frame, subtractor)
+                result.append(self.candidate_features(skeleton))
+            except (ImageError, SkeletonError, FeatureError):
+                result.append([])
+        return result
+
+    def supervised_features(
+        self, clip: "JumpClip"
+    ) -> "list[tuple[int, FeatureVector]]":
+        """Training-phase features with ground-truth part anchors (§4.1).
+
+        Returns ``(frame index, feature)`` pairs; frames where the skeleton
+        or key points cannot be recovered are skipped (and simply do not
+        contribute training counts, as in any real labelling session).
+        """
+        subtractor = self.subtractor_for(clip.background)
+        samples: list[tuple[int, FeatureVector]] = []
+        for index, frame in enumerate(clip.frames):
+            try:
+                skeleton = self.skeleton_of_frame(frame, subtractor)
+                refs = clip.joints[index]
+                keypoints = self.keypoints.extract_with_reference(
+                    skeleton,
+                    head_ref=refs["head_top"],
+                    hand_ref=refs["fingertip"],
+                    foot_ref=refs["toe"],
+                )
+                samples.append((index, self.encoder.encode(keypoints)))
+            except (ImageError, SkeletonError, FeatureError):
+                continue
+        return samples

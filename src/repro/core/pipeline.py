@@ -1,0 +1,133 @@
+"""End-to-end facade: train on clips, decode clips, score against truth.
+
+:class:`JumpPoseAnalyzer` is the public face of the reproduction — the
+"system" of the paper's abstract: silhouette extraction, thinning-based
+skeletonisation, key-point encoding, and DBN pose decoding behind two
+calls (:meth:`train` and :meth:`analyze_clip`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.dbnclassifier import (
+    ClassifierConfig,
+    DBNPoseClassifier,
+    FramePrediction,
+)
+from repro.core.estimator import VisionFrontEnd
+from repro.core.results import ClipResult, EvaluationResult, FrameResult
+from repro.core.trainer import TrainedModels, train_models
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # avoid a runtime core ↔ synth import cycle
+    from repro.synth.dataset import JumpClip
+
+
+@dataclass
+class AnalyzerSettings:
+    """Everything configurable about the full system, with paper defaults."""
+
+    n_areas: int = 8
+    n_rings: int = 1
+    th_object: float = 20.0
+    min_branch_length: int = 10
+    thinner: str = "zhangsuen"
+    observation_alpha: float = 0.25
+    transition_alpha: float = 0.3
+    leak: float = 0.02
+    miss: float = 0.05
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+
+    def front_end(self) -> VisionFrontEnd:
+        return VisionFrontEnd(
+            n_areas=self.n_areas,
+            n_rings=self.n_rings,
+            th_object=self.th_object,
+            min_branch_length=self.min_branch_length,
+            thinner=self.thinner,
+        )
+
+
+class JumpPoseAnalyzer:
+    """The trained system: vision front-end + DBN classifier."""
+
+    def __init__(
+        self,
+        front_end: VisionFrontEnd,
+        models: TrainedModels,
+        classifier_config: "ClassifierConfig | None" = None,
+    ) -> None:
+        self.front_end = front_end
+        self.models = models
+        self.classifier = DBNPoseClassifier(
+            models.observation, models.transitions, classifier_config
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        clips: "list[JumpClip] | tuple[JumpClip, ...]",
+        settings: "AnalyzerSettings | None" = None,
+    ) -> "JumpPoseAnalyzer":
+        """Train the full system on labelled clips (§4.1)."""
+        settings = settings or AnalyzerSettings()
+        front_end = settings.front_end()
+        models = train_models(
+            clips,
+            front_end,
+            observation_alpha=settings.observation_alpha,
+            transition_alpha=settings.transition_alpha,
+            leak=settings.leak,
+            miss=settings.miss,
+        )
+        return cls(front_end, models, settings.classifier)
+
+    def with_classifier(self, config: ClassifierConfig) -> "JumpPoseAnalyzer":
+        """Same trained models, different decoding configuration."""
+        return JumpPoseAnalyzer(self.front_end, self.models, config)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_frames(
+        self,
+        frames: "list[np.ndarray] | tuple[np.ndarray, ...]",
+        background: np.ndarray,
+    ) -> "list[FramePrediction]":
+        """Decode raw RGB frames against a clip background (§4.2)."""
+        candidates = self.front_end.candidates_for_clip(frames, background)
+        return self.classifier.classify(candidates)
+
+    def analyze_clip(self, clip: JumpClip) -> ClipResult:
+        """Decode one clip and score against its ground truth."""
+        predictions = self.predict_frames(clip.frames, clip.background)
+        if len(predictions) != len(clip):
+            raise ModelError(
+                f"prediction count {len(predictions)} does not match clip "
+                f"length {len(clip)}"
+            )
+        frames = tuple(
+            FrameResult(
+                index=i,
+                truth=clip.labels[i],
+                predicted=prediction.pose,
+                posterior=prediction.posterior,
+            )
+            for i, prediction in enumerate(predictions)
+        )
+        return ClipResult(clip_id=clip.clip_id, frames=frames)
+
+    def evaluate(
+        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+    ) -> EvaluationResult:
+        """Decode and score a whole test set (the paper's §5 table)."""
+        return EvaluationResult(
+            clips=tuple(self.analyze_clip(clip) for clip in clips)
+        )

@@ -1,0 +1,255 @@
+"""The per-pose Bayesian networks of Figure 7(a).
+
+Each pose owns a network with one root node (the pose), five hidden nodes
+(the body parts Head, Chest, Hand, Knee, Foot — each taking "which plane
+area am I in" values, plus an *unobserved* state), and eight observed
+nodes (Area I–VIII, empty/occupied).  Given the pose, parts are
+conditionally independent; an area is occupied when some part lies in it
+(a noisy-OR with a small leak for spurious key points and a miss
+probability for dropped ones).
+
+Two exact likelihood routines are provided:
+
+* :meth:`PoseObservationModel.part_likelihood` — when the key points carry
+  part labels (the paper's training phase, or a test-phase assignment
+  hypothesis): a product of per-part area probabilities.
+* :meth:`PoseObservationModel.occupancy_likelihood` — when only the
+  *set* of occupied areas is known (the Fig 7a observed nodes):
+  ``P(occupied set | pose)``, computed exactly by dynamic programming over
+  area bitmasks (256 masks × 5 parts), then pushed through the per-area
+  noise channel.  A brute-force enumeration in the tests validates it.
+
+Parameters are learned with Dirichlet smoothing (§4's quantitative
+training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.variables import Variable
+from repro.core.poses import NUM_POSES, Pose
+from repro.errors import ConfigurationError, LearningError, ModelError
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER, BodyPart
+
+#: Index of the "part not observed on the skeleton" pseudo-area.
+MISSING = -1
+
+
+@dataclass
+class PoseObservationModel:
+    """Learned ``P(part areas | pose)`` plus the area-occupancy channel.
+
+    Args:
+        n_areas: number of plane areas (paper: 8).
+        alpha: Dirichlet pseudo-count for part-location CPDs.
+        leak: probability an empty area still reports a key point
+            (skeleton noise that survived pruning).
+        miss: probability an area containing a part reports empty
+            (key point lost to a merged limb).
+    """
+
+    n_areas: int = 8
+    alpha: float = 0.5
+    leak: float = 0.02
+    miss: float = 0.05
+    _location_probs: "np.ndarray | None" = field(default=None, repr=False)
+    _occupancy_table: "np.ndarray | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_areas < 2:
+            raise ConfigurationError(f"n_areas must be >= 2, got {self.n_areas}")
+        if not (0 <= self.leak < 1 and 0 <= self.miss < 1):
+            raise ConfigurationError("leak and miss must be probabilities < 1")
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self, samples: "list[tuple[Pose, FeatureVector]]"
+    ) -> "PoseObservationModel":
+        """Learn part-location distributions from labelled feature vectors.
+
+        ``samples`` pairs each training frame's ground-truth pose with its
+        encoded feature vector.  Counts are smoothed with ``alpha``; poses
+        never seen in training fall back to a uniform location model.
+        """
+        if not samples:
+            raise LearningError("cannot fit an observation model on no samples")
+        n_parts = len(PART_ORDER)
+        # Axis layout: [pose, part, area] with the last area index = MISSING.
+        counts = np.zeros((NUM_POSES, n_parts, self.n_areas + 1))
+        for pose, feature in samples:
+            if feature.n_areas != self.n_areas:
+                raise LearningError(
+                    f"feature encoded over {feature.n_areas} areas, model expects "
+                    f"{self.n_areas}"
+                )
+            for part_index, part in enumerate(PART_ORDER):
+                area = feature.area_of(part)
+                slot = self.n_areas if area is None else area
+                counts[pose, part_index, slot] += 1.0
+        smoothed = counts + self.alpha
+        self._location_probs = smoothed / smoothed.sum(axis=2, keepdims=True)
+        # The occupancy table is exponential in n_areas (2^n masks); it is
+        # built lazily on first use so partition-count sweeps that never
+        # touch the Fig 7(a) occupancy view stay cheap.
+        self._occupancy_table = None
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._location_probs is not None
+
+    def _require_fit(self) -> np.ndarray:
+        if self._location_probs is None:
+            raise ModelError("observation model is not fitted; call fit() first")
+        return self._location_probs
+
+    def location_distribution(self, pose: Pose, part: BodyPart) -> np.ndarray:
+        """``P(area | pose, part)`` with the last entry = P(unobserved)."""
+        probs = self._require_fit()
+        return probs[pose, PART_ORDER.index(part)].copy()
+
+    # ------------------------------------------------------------------
+    # Likelihoods
+    # ------------------------------------------------------------------
+    def part_likelihood(self, feature: FeatureVector, pose: Pose) -> float:
+        """``P(feature | pose)`` with labelled parts (product over parts)."""
+        probs = self._require_fit()
+        if feature.n_areas != self.n_areas:
+            raise ModelError(
+                f"feature has {feature.n_areas} areas, model has {self.n_areas}"
+            )
+        likelihood = 1.0
+        for part_index, part in enumerate(PART_ORDER):
+            area = feature.area_of(part)
+            slot = self.n_areas if area is None else area
+            likelihood *= float(probs[pose, part_index, slot])
+        return likelihood
+
+    def part_likelihood_vector(self, feature: FeatureVector) -> np.ndarray:
+        """``P(feature | pose)`` for every pose at once (vectorised)."""
+        probs = self._require_fit()
+        result = np.ones(NUM_POSES)
+        for part_index, part in enumerate(PART_ORDER):
+            area = feature.area_of(part)
+            slot = self.n_areas if area is None else area
+            result *= probs[:, part_index, slot]
+        return result
+
+    def occupancy_likelihood(self, occupied: frozenset, pose: Pose) -> float:
+        """``P(exactly this set of areas occupied | pose)`` (Fig 7a view)."""
+        self._require_fit()
+        if self._occupancy_table is None:
+            if self.n_areas > 12:
+                raise ModelError(
+                    f"the occupancy view is exponential in areas; "
+                    f"{self.n_areas} areas would need a 2^{self.n_areas} mask "
+                    "table — use part likelihoods instead"
+                )
+            self._occupancy_table = self._build_occupancy_table()
+        mask = 0
+        for area in occupied:
+            if not (0 <= int(area) < self.n_areas):
+                raise ModelError(f"area {area} out of range 0..{self.n_areas - 1}")
+            mask |= 1 << int(area)
+        return float(self._occupancy_table[pose, mask])
+
+    # ------------------------------------------------------------------
+    # Occupancy machinery
+    # ------------------------------------------------------------------
+    def _coverage_distribution(self, pose_index: int) -> np.ndarray:
+        """``P(covered-area bitmask | pose)`` by DP over the five parts."""
+        probs = self._require_fit()
+        n_masks = 1 << self.n_areas
+        coverage = np.zeros(n_masks)
+        coverage[0] = 1.0
+        masks = np.arange(n_masks)
+        for part_index in range(len(PART_ORDER)):
+            location = probs[pose_index, part_index]
+            updated = coverage * location[self.n_areas]  # part unobserved
+            for area in range(self.n_areas):
+                p = float(location[area])
+                if p == 0.0:
+                    continue
+                shifted = np.zeros(n_masks)
+                np.add.at(shifted, masks | (1 << area), coverage * p)
+                updated = updated + shifted
+            coverage = updated
+        return coverage
+
+    def _noise_channel(self) -> np.ndarray:
+        """``P(observed mask | covered mask)`` factorised per area."""
+        n_masks = 1 << self.n_areas
+        channel = np.ones((n_masks, n_masks))
+        for area in range(self.n_areas):
+            bit = 1 << area
+            covered = (np.arange(n_masks)[:, None] & bit) > 0
+            observed = (np.arange(n_masks)[None, :] & bit) > 0
+            prob = np.where(
+                covered,
+                np.where(observed, 1.0 - self.miss, self.miss),
+                np.where(observed, self.leak, 1.0 - self.leak),
+            )
+            channel *= prob
+        return channel
+
+    def _build_occupancy_table(self) -> np.ndarray:
+        """``P(observed mask | pose)`` for every pose and mask."""
+        n_masks = 1 << self.n_areas
+        channel = self._noise_channel()
+        table = np.zeros((NUM_POSES, n_masks))
+        for pose_index in range(NUM_POSES):
+            coverage = self._coverage_distribution(pose_index)
+            table[pose_index] = coverage @ channel
+        return table
+
+    # ------------------------------------------------------------------
+    # Explicit Fig 7(a) network construction
+    # ------------------------------------------------------------------
+    def build_pose_network(self, pose: Pose) -> BayesianNetwork:
+        """Materialise the Figure 7(a) BN for one pose.
+
+        Structure: binary root ``Pose`` → five part nodes (area +
+        "unobserved" states) → eight binary ``Area`` nodes with noisy-OR
+        CPDs.  Under ``Pose = yes`` parts follow the learned distributions;
+        under ``Pose = no`` they are uniform (the generic alternative).
+        Intended for structural validation and the Figure 7 benchmark —
+        the classifier's hot path uses the closed-form routines above.
+        """
+        probs = self._require_fit()
+        pose_var = Variable("Pose", ("no", "yes"))
+        network = BayesianNetwork(
+            [TabularCPD(pose_var, (), np.array([0.5, 0.5]))]
+        )
+        part_vars: list[Variable] = []
+        part_states = tuple(
+            [f"area{area}" for area in range(self.n_areas)] + ["unobserved"]
+        )
+        for part_index, part in enumerate(PART_ORDER):
+            variable = Variable(part.value, part_states)
+            part_vars.append(variable)
+            uniform = np.full(self.n_areas + 1, 1.0 / (self.n_areas + 1))
+            table = np.stack([uniform, probs[pose, part_index]], axis=-1)
+            network.add_cpd(TabularCPD(variable, (pose_var,), table))
+        for area in range(self.n_areas):
+            area_var = Variable.binary(f"Area{area + 1}")
+            shape = (2,) + tuple(v.cardinality for v in part_vars)
+            occupied = np.zeros(shape[1:], dtype=bool)
+            for part_axis in range(len(part_vars)):
+                index: list = [slice(None)] * len(part_vars)
+                index[part_axis] = area
+                occupied[tuple(index)] = True
+            p_yes = np.where(occupied, 1.0 - self.miss, self.leak)
+            table = np.stack([1.0 - p_yes, p_yes], axis=0)
+            network.add_cpd(TabularCPD(area_var, tuple(part_vars), table))
+        network.validate()
+        return network

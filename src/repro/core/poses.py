@@ -1,0 +1,165 @@
+"""The 22-pose / 4-stage taxonomy of the paper (§4).
+
+The paper defines 22 poses across the four jump stages *before jumping*,
+*jumping*, *in the air*, and *landing*, naming four of them explicitly:
+
+* "standing & hand overlap with body"  (the reset pose for frame 1),
+* "Standing & hand swung forward"      (the dominant class),
+* "Knee and foot extended & Hand raised forward",
+* "Waist bended & Hand raised forward".
+
+The remaining 18 names are not listed in the paper; this module fills the
+taxonomy with the intermediate postures a standing long jump passes
+through, keeping the documented structural properties: similar poses occur
+in both the *before jumping* and *landing* stages (distinguished only by
+the stage flag, §4.1), and each pose belongs to exactly one stage.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Stage(IntEnum):
+    """The four stages of a standing long jump (§4)."""
+
+    BEFORE_JUMPING = 0
+    JUMPING = 1
+    IN_THE_AIR = 2
+    LANDING = 3
+
+    @property
+    def label(self) -> str:
+        return _STAGE_LABELS[self]
+
+
+_STAGE_LABELS = {
+    Stage.BEFORE_JUMPING: "before jumping",
+    Stage.JUMPING: "jumping",
+    Stage.IN_THE_AIR: "in the air",
+    Stage.LANDING: "landing",
+}
+
+
+class Pose(IntEnum):
+    """The 22 predefined poses.  Values are contiguous for array indexing."""
+
+    # --- before jumping (8 poses) ---
+    STANDING_HANDS_OVERLAP = 0
+    STANDING_HANDS_RAISED_FORWARD = 1
+    STANDING_HANDS_SWUNG_FORWARD = 2
+    STANDING_HANDS_SWUNG_UP = 3
+    STANDING_HANDS_SWUNG_BACKWARD = 4
+    WAIST_BENT_HANDS_RAISED_FORWARD = 5
+    KNEES_BENT_HANDS_BACKWARD = 6
+    KNEES_BENT_HANDS_FORWARD = 7
+    # --- jumping / take-off (3 poses) ---
+    EXTENSION_HANDS_RAISED_FORWARD = 8
+    TAKEOFF_BODY_FORWARD = 9
+    TAKEOFF_ARMS_UP = 10
+    # --- in the air (5 poses) ---
+    AIRBORNE_BODY_EXTENDED = 11
+    AIRBORNE_KNEES_TUCKED = 12
+    AIRBORNE_PIKE = 13
+    AIRBORNE_ARMS_DOWNSWING = 14
+    AIRBORNE_LEGS_FORWARD = 15
+    # --- landing (6 poses) ---
+    TOUCHDOWN_KNEES_BENT = 16
+    LANDING_WAIST_BENT_ARMS_FORWARD = 17
+    LANDING_DEEP_SQUAT = 18
+    LANDING_STANDING_UP = 19
+    LANDING_STANDING_HANDS_DOWN = 20
+    LANDING_STANDING_HANDS_OVERLAP = 21
+
+    @property
+    def stage(self) -> Stage:
+        return POSE_STAGE[self]
+
+    @property
+    def label(self) -> str:
+        return POSE_LABELS[self]
+
+
+POSE_STAGE: "dict[Pose, Stage]" = {
+    Pose.STANDING_HANDS_OVERLAP: Stage.BEFORE_JUMPING,
+    Pose.STANDING_HANDS_RAISED_FORWARD: Stage.BEFORE_JUMPING,
+    Pose.STANDING_HANDS_SWUNG_FORWARD: Stage.BEFORE_JUMPING,
+    Pose.STANDING_HANDS_SWUNG_UP: Stage.BEFORE_JUMPING,
+    Pose.STANDING_HANDS_SWUNG_BACKWARD: Stage.BEFORE_JUMPING,
+    Pose.WAIST_BENT_HANDS_RAISED_FORWARD: Stage.BEFORE_JUMPING,
+    Pose.KNEES_BENT_HANDS_BACKWARD: Stage.BEFORE_JUMPING,
+    Pose.KNEES_BENT_HANDS_FORWARD: Stage.BEFORE_JUMPING,
+    Pose.EXTENSION_HANDS_RAISED_FORWARD: Stage.JUMPING,
+    Pose.TAKEOFF_BODY_FORWARD: Stage.JUMPING,
+    Pose.TAKEOFF_ARMS_UP: Stage.JUMPING,
+    Pose.AIRBORNE_BODY_EXTENDED: Stage.IN_THE_AIR,
+    Pose.AIRBORNE_KNEES_TUCKED: Stage.IN_THE_AIR,
+    Pose.AIRBORNE_PIKE: Stage.IN_THE_AIR,
+    Pose.AIRBORNE_ARMS_DOWNSWING: Stage.IN_THE_AIR,
+    Pose.AIRBORNE_LEGS_FORWARD: Stage.IN_THE_AIR,
+    Pose.TOUCHDOWN_KNEES_BENT: Stage.LANDING,
+    Pose.LANDING_WAIST_BENT_ARMS_FORWARD: Stage.LANDING,
+    Pose.LANDING_DEEP_SQUAT: Stage.LANDING,
+    Pose.LANDING_STANDING_UP: Stage.LANDING,
+    Pose.LANDING_STANDING_HANDS_DOWN: Stage.LANDING,
+    Pose.LANDING_STANDING_HANDS_OVERLAP: Stage.LANDING,
+}
+
+POSE_LABELS: "dict[Pose, str]" = {
+    Pose.STANDING_HANDS_OVERLAP: "standing & hand overlap with body",
+    Pose.STANDING_HANDS_RAISED_FORWARD: "standing & hand raised forward",
+    Pose.STANDING_HANDS_SWUNG_FORWARD: "standing & hand swung forward",
+    Pose.STANDING_HANDS_SWUNG_UP: "standing & hand swung up",
+    Pose.STANDING_HANDS_SWUNG_BACKWARD: "standing & hand swung backward",
+    Pose.WAIST_BENT_HANDS_RAISED_FORWARD: "waist bended & hand raised forward",
+    Pose.KNEES_BENT_HANDS_BACKWARD: "knees bent & hand swung backward",
+    Pose.KNEES_BENT_HANDS_FORWARD: "knees bent & hand swung forward",
+    Pose.EXTENSION_HANDS_RAISED_FORWARD: "knee and foot extended & hand raised forward",
+    Pose.TAKEOFF_BODY_FORWARD: "take-off & body leaned forward",
+    Pose.TAKEOFF_ARMS_UP: "take-off & hand swung up",
+    Pose.AIRBORNE_BODY_EXTENDED: "in air & body extended",
+    Pose.AIRBORNE_KNEES_TUCKED: "in air & knees tucked",
+    Pose.AIRBORNE_PIKE: "in air & waist piked",
+    Pose.AIRBORNE_ARMS_DOWNSWING: "in air & hand swung downward",
+    Pose.AIRBORNE_LEGS_FORWARD: "in air & legs extended forward",
+    Pose.TOUCHDOWN_KNEES_BENT: "touch-down & knees bent",
+    Pose.LANDING_WAIST_BENT_ARMS_FORWARD: "landing & waist bended & hand raised forward",
+    Pose.LANDING_DEEP_SQUAT: "landing & deep squat",
+    Pose.LANDING_STANDING_UP: "landing & standing up",
+    Pose.LANDING_STANDING_HANDS_DOWN: "landing & standing & hand lowered",
+    Pose.LANDING_STANDING_HANDS_OVERLAP: "landing & standing & hand overlap with body",
+}
+
+#: The pose every clip is reset to on frame 1 (§4.1).
+INITIAL_POSE = Pose.STANDING_HANDS_OVERLAP
+
+#: The dominant class §4.2 singles out when motivating ``Th_Pose``.
+DOMINANT_POSE = Pose.STANDING_HANDS_SWUNG_FORWARD
+
+NUM_POSES = len(Pose)
+NUM_STAGES = len(Stage)
+
+
+def poses_of_stage(stage: Stage) -> "list[Pose]":
+    """All poses belonging to ``stage``, in enum order."""
+    return [pose for pose in Pose if POSE_STAGE[pose] == stage]
+
+
+def stage_can_follow(current: Stage, previous: Stage) -> bool:
+    """Whether ``current`` may directly follow ``previous`` (§4).
+
+    Stages progress monotonically: a stage can repeat or advance to the
+    next stage, never go back — e.g. poses of *before jumping* and
+    *landing* "cannot occur consecutively because it does not exist in
+    real cases".
+    """
+    return current.value in (previous.value, previous.value + 1)
+
+
+#: Canonical order a correct jump visits the stages in.
+STAGE_ORDER: "tuple[Stage, ...]" = (
+    Stage.BEFORE_JUMPING,
+    Stage.JUMPING,
+    Stage.IN_THE_AIR,
+    Stage.LANDING,
+)

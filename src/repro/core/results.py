@@ -1,0 +1,182 @@
+"""Result containers and accuracy accounting for pose-estimation runs.
+
+The paper reports per-clip frame accuracy (81–87% on its three test clips)
+and remarks that "most errors ... occurred in consecutive frames"; these
+containers compute both statistics, plus the confusion matrix used by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.poses import NUM_POSES, Pose
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Ground truth vs prediction for one frame."""
+
+    index: int
+    truth: Pose
+    predicted: "Pose | None"
+    posterior: float = 0.0
+
+    @property
+    def is_correct(self) -> bool:
+        return self.predicted is not None and self.predicted == self.truth
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.predicted is None
+
+
+@dataclass(frozen=True)
+class ClipResult:
+    """All frame results of one clip."""
+
+    clip_id: str
+    frames: "tuple[FrameResult, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ConfigurationError(f"clip result {self.clip_id!r} has no frames")
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of frames classified correctly (Unknown counts wrong)."""
+        return sum(f.is_correct for f in self.frames) / len(self.frames)
+
+    @property
+    def unknown_rate(self) -> float:
+        return sum(f.is_unknown for f in self.frames) / len(self.frames)
+
+    def error_runs(self) -> "list[int]":
+        """Lengths of maximal runs of consecutive misclassified frames."""
+        runs: list[int] = []
+        current = 0
+        for frame in self.frames:
+            if frame.is_correct:
+                if current:
+                    runs.append(current)
+                current = 0
+            else:
+                current += 1
+        if current:
+            runs.append(current)
+        return runs
+
+    def consecutive_error_fraction(self) -> float:
+        """Fraction of errors that sit in a run of length >= 2.
+
+        The paper observes most errors are consecutive; this is the
+        quantity the Table 1 benchmark reports for that claim.
+        """
+        runs = self.error_runs()
+        total_errors = sum(runs)
+        if total_errors == 0:
+            return 0.0
+        return sum(r for r in runs if r >= 2) / total_errors
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Results over a whole test set."""
+
+    clips: "tuple[ClipResult, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.clips:
+            raise ConfigurationError("evaluation needs at least one clip result")
+
+    @property
+    def per_clip_accuracy(self) -> "dict[str, float]":
+        return {clip.clip_id: clip.accuracy for clip in self.clips}
+
+    @property
+    def overall_accuracy(self) -> float:
+        total = sum(len(clip.frames) for clip in self.clips)
+        correct = sum(
+            sum(f.is_correct for f in clip.frames) for clip in self.clips
+        )
+        return correct / total
+
+    @property
+    def min_accuracy(self) -> float:
+        return min(clip.accuracy for clip in self.clips)
+
+    @property
+    def max_accuracy(self) -> float:
+        return max(clip.accuracy for clip in self.clips)
+
+    def confusion_matrix(self) -> np.ndarray:
+        """``(true, predicted)`` counts; the extra last column is Unknown."""
+        matrix = np.zeros((NUM_POSES, NUM_POSES + 1), dtype=np.int64)
+        for clip in self.clips:
+            for frame in clip.frames:
+                column = NUM_POSES if frame.predicted is None else int(frame.predicted)
+                matrix[int(frame.truth), column] += 1
+        return matrix
+
+    def consecutive_error_fraction(self) -> float:
+        """Pooled fraction of errors occurring in runs of length >= 2."""
+        total_errors = 0
+        consecutive = 0
+        for clip in self.clips:
+            runs = clip.error_runs()
+            total_errors += sum(runs)
+            consecutive += sum(r for r in runs if r >= 2)
+        if total_errors == 0:
+            return 0.0
+        return consecutive / total_errors
+
+    def per_stage_accuracy(self) -> "dict[str, float]":
+        """Frame accuracy split by the ground-truth jump stage."""
+        from repro.core.poses import POSE_STAGE, Stage
+
+        correct = {stage: 0 for stage in Stage}
+        total = {stage: 0 for stage in Stage}
+        for clip in self.clips:
+            for frame in clip.frames:
+                stage = POSE_STAGE[frame.truth]
+                total[stage] += 1
+                correct[stage] += int(frame.is_correct)
+        return {
+            stage.label: (correct[stage] / total[stage] if total[stage] else 0.0)
+            for stage in Stage
+        }
+
+    def top_confusions(self, limit: int = 8) -> "list[tuple[str, str, int]]":
+        """Most frequent (true, predicted) error pairs, Unknown included."""
+        matrix = self.confusion_matrix()
+        pairs: list[tuple[str, str, int]] = []
+        for true_index in range(NUM_POSES):
+            for pred_index in range(NUM_POSES + 1):
+                if true_index == pred_index:
+                    continue
+                count = int(matrix[true_index, pred_index])
+                if count > 0:
+                    predicted = (
+                        "Unknown" if pred_index == NUM_POSES
+                        else Pose(pred_index).name
+                    )
+                    pairs.append((Pose(true_index).name, predicted, count))
+        pairs.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return pairs[:limit]
+
+    def summary(self) -> str:
+        """Multi-line report mirroring the paper's §5 numbers."""
+        lines = [
+            f"{clip.clip_id}: accuracy {clip.accuracy:.1%} over "
+            f"{len(clip.frames)} frames (unknown {clip.unknown_rate:.1%})"
+            for clip in self.clips
+        ]
+        lines.append(
+            f"overall: {self.overall_accuracy:.1%} "
+            f"(range {self.min_accuracy:.1%} – {self.max_accuracy:.1%}); "
+            f"consecutive-error fraction {self.consecutive_error_fraction():.1%}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Training phase (§4.1): fit the observation and transition models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.estimator import VisionFrontEnd
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import Pose
+from repro.core.transitions import TransitionModel
+from repro.errors import LearningError
+from repro.features.encoding import FeatureVector
+
+if TYPE_CHECKING:  # avoid a runtime core ↔ synth import cycle
+    from repro.synth.dataset import JumpClip
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Bookkeeping from one training run.
+
+    Attributes:
+        total_frames: frames across all training clips.
+        used_frames: frames that produced a usable feature vector.
+        pose_counts: training-frame count per pose (the §4.2 imbalance).
+    """
+
+    total_frames: int
+    used_frames: int
+    pose_counts: "dict[Pose, int]"
+
+    @property
+    def skipped_frames(self) -> int:
+        return self.total_frames - self.used_frames
+
+    @property
+    def dominant_fraction(self) -> float:
+        """Share of training frames belonging to the most frequent pose."""
+        if not self.pose_counts:
+            return 0.0
+        return max(self.pose_counts.values()) / max(1, sum(self.pose_counts.values()))
+
+
+@dataclass(frozen=True)
+class TrainedModels:
+    """The two fitted model components plus the training report."""
+
+    observation: PoseObservationModel
+    transitions: TransitionModel
+    report: TrainingReport
+
+
+def train_models(
+    clips: "list[JumpClip] | tuple[JumpClip, ...]",
+    front_end: "VisionFrontEnd | None" = None,
+    observation_alpha: float = 0.5,
+    transition_alpha: float = 0.5,
+    leak: float = 0.02,
+    miss: float = 0.05,
+) -> TrainedModels:
+    """Run §4.1 training over labelled clips.
+
+    The observation model learns from supervised feature vectors (vision
+    pipeline output anchored by ground-truth Head/Hand/Foot); the
+    transition model learns from the ground-truth pose sequences of *all*
+    frames, since transitions need no vision.
+    """
+    if not clips:
+        raise LearningError("training needs at least one clip")
+    front_end = front_end or VisionFrontEnd()
+
+    samples: list[tuple[Pose, FeatureVector]] = []
+    total = 0
+    pose_counts: dict[Pose, int] = {}
+    for clip in clips:
+        total += len(clip)
+        for index, feature in front_end.supervised_features(clip):
+            pose = clip.labels[index]
+            samples.append((pose, feature))
+            pose_counts[pose] = pose_counts.get(pose, 0) + 1
+    if not samples:
+        raise LearningError(
+            "no training clip produced a single usable feature vector; "
+            "check the extraction settings"
+        )
+
+    observation = PoseObservationModel(
+        n_areas=front_end.total_areas, alpha=observation_alpha, leak=leak, miss=miss
+    ).fit(samples)
+    transitions = TransitionModel(alpha=transition_alpha).fit(
+        [list(clip.labels) for clip in clips]
+    )
+    report = TrainingReport(
+        total_frames=total, used_frames=len(samples), pose_counts=pose_counts
+    )
+    return TrainedModels(
+        observation=observation, transitions=transitions, report=report
+    )

@@ -1,0 +1,168 @@
+"""Temporal structure: pose and stage transition models (Figure 7(b)).
+
+The DBN extends each per-pose network with two temporal parents: the
+*previous pose* and the *jumping stage flag*.  Structurally:
+
+* ``P(Stage_t | Stage_{t-1})`` — monotone: a stage may persist or advance
+  to the next stage, never regress (§4: poses of *before jumping* and
+  *landing* "cannot occur consecutively").
+* ``P(Pose_t | Pose_{t-1}, Stage_t)`` — masked so a pose can only occur in
+  its own stage.
+
+Both tables are learned from ground-truth pose sequences with Dirichlet
+smoothing applied *inside* the structural mask (zero-probability structure
+is never smoothed away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.dbn import TwoSliceDBN, previous_slice
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.core.poses import (
+    INITIAL_POSE,
+    NUM_POSES,
+    NUM_STAGES,
+    POSE_STAGE,
+    Pose,
+    Stage,
+    stage_can_follow,
+)
+from repro.errors import ConfigurationError, LearningError, ModelError
+
+
+def stage_mask() -> np.ndarray:
+    """Boolean ``(prev_stage, stage)`` matrix of allowed stage moves."""
+    mask = np.zeros((NUM_STAGES, NUM_STAGES), dtype=bool)
+    for previous in Stage:
+        for current in Stage:
+            mask[previous, current] = stage_can_follow(current, previous)
+    return mask
+
+
+def pose_stage_mask() -> np.ndarray:
+    """Boolean ``(stage, pose)`` compatibility matrix."""
+    mask = np.zeros((NUM_STAGES, NUM_POSES), dtype=bool)
+    for pose in Pose:
+        mask[POSE_STAGE[pose], pose] = True
+    return mask
+
+
+@dataclass
+class TransitionModel:
+    """Learned, structurally-masked temporal CPDs.
+
+    Attributes after :meth:`fit`:
+        pose_table: ``(stage, prev_pose, pose)`` with
+            ``pose_table[s, q, p] = P(Pose_t = p | Pose_{t-1} = q, Stage_t = s)``.
+        stage_table: ``(prev_stage, stage)`` transition matrix.
+    """
+
+    alpha: float = 0.5
+    _pose_table: "np.ndarray | None" = field(default=None, repr=False)
+    _stage_table: "np.ndarray | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def fit(self, sequences: "list[list[Pose]]") -> "TransitionModel":
+        """Count consecutive ``(pose, pose)`` pairs across training clips."""
+        if not sequences or all(len(s) < 2 for s in sequences):
+            raise LearningError("need at least one sequence of length >= 2")
+        pose_counts = np.zeros((NUM_STAGES, NUM_POSES, NUM_POSES))
+        stage_counts = np.zeros((NUM_STAGES, NUM_STAGES))
+        for sequence in sequences:
+            for previous, current in zip(sequence[:-1], sequence[1:]):
+                stage = POSE_STAGE[current]
+                prev_stage = POSE_STAGE[previous]
+                if not stage_can_follow(stage, prev_stage):
+                    raise LearningError(
+                        f"training sequence violates stage monotonicity: "
+                        f"{previous.name} -> {current.name}"
+                    )
+                pose_counts[stage, previous, current] += 1.0
+                stage_counts[prev_stage, stage] += 1.0
+
+        p_mask = pose_stage_mask()  # (stage, pose)
+        smoothed = pose_counts + self.alpha * p_mask[:, None, :]
+        sums = smoothed.sum(axis=2, keepdims=True)
+        safe = np.where(sums > 0, sums, 1.0)
+        table = smoothed / safe
+        # Rows with zero mass (unseen prev-pose/stage combos) fall back to
+        # uniform over the stage-compatible poses.
+        fallback = p_mask / p_mask.sum(axis=1, keepdims=True)  # (stage, pose)
+        table = np.where(sums > 0, table, fallback[:, None, :])
+        self._pose_table = table
+
+        s_mask = stage_mask()
+        s_smoothed = stage_counts + self.alpha * s_mask
+        s_sums = s_smoothed.sum(axis=1, keepdims=True)
+        self._stage_table = s_smoothed / s_sums
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._pose_table is not None
+
+    def _require_fit(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._pose_table is None or self._stage_table is None:
+            raise ModelError("transition model is not fitted; call fit() first")
+        return self._pose_table, self._stage_table
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def pose_table(self) -> np.ndarray:
+        return self._require_fit()[0].copy()
+
+    @property
+    def stage_table(self) -> np.ndarray:
+        return self._require_fit()[1].copy()
+
+    def pose_distribution(self, previous: Pose, stage: Stage) -> np.ndarray:
+        """``P(Pose_t | Pose_{t-1} = previous, Stage_t = stage)``."""
+        pose_table, _ = self._require_fit()
+        return pose_table[stage, previous].copy()
+
+    def stage_distribution(self, previous: Stage) -> np.ndarray:
+        """``P(Stage_t | Stage_{t-1} = previous)``."""
+        _, stage_table = self._require_fit()
+        return stage_table[previous].copy()
+
+    # ------------------------------------------------------------------
+    # DBN assembly (Fig 7(b) as an explicit 2-TBN)
+    # ------------------------------------------------------------------
+    def to_two_slice_dbn(self) -> TwoSliceDBN:
+        """Assemble the joint (Stage, Pose) two-slice DBN.
+
+        State order is ``(stage, pose)``; the prior pins frame 1 to the
+        paper's reset: stage *before jumping*, pose "standing & hand
+        overlap with body" (§4.1).
+        """
+        pose_table, stage_table = self._require_fit()
+        stage_var = Variable("stage", tuple(s.name for s in Stage))
+        pose_var = Variable("pose", tuple(p.name for p in Pose))
+
+        prior_values = np.zeros((NUM_STAGES, NUM_POSES))
+        prior_values[Stage.BEFORE_JUMPING, INITIAL_POSE] = 1.0
+        prior = Factor((stage_var, pose_var), prior_values)
+
+        stage_cpd = TabularCPD(
+            stage_var, (previous_slice(stage_var),), stage_table.T
+        )
+        # pose CPD axes: (pose_t, pose_prev, stage_t).
+        pose_cpd_table = np.transpose(pose_table, (2, 1, 0))
+        pose_cpd = TabularCPD(
+            pose_var, (previous_slice(pose_var), stage_var), pose_cpd_table
+        )
+        return TwoSliceDBN((stage_var, pose_var), prior, [stage_cpd, pose_cpd])

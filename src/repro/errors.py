@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime pipeline failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class ImageError(ReproError):
+    """An image array has the wrong dtype, shape, or value range."""
+
+
+class SkeletonError(ReproError):
+    """Skeleton extraction failed (empty silhouette, disconnected graph...)."""
+
+
+class FeatureError(ReproError):
+    """Key-point extraction or feature encoding failed."""
+
+
+class ModelError(ReproError):
+    """A Bayesian-network model is structurally invalid."""
+
+
+class InferenceError(ReproError):
+    """Exact inference could not be carried out on a model."""
+
+
+class LearningError(ReproError):
+    """Parameter learning received unusable training data."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation was asked for an impossible protocol."""
+
+
+class ScoringError(ReproError):
+    """Jump evaluation could not interpret a pose sequence."""

@@ -1,0 +1,26 @@
+"""Experiment harness: the paper's protocol, figures, and ablations.
+
+Every table and figure of the paper has a regeneration entry point here;
+the ``benchmarks/`` directory wraps these in pytest-benchmark targets and
+prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.protocol import (
+    paper_dataset,
+    pilot_dataset,
+    trained_analyzer,
+    trained_pilot_analyzer,
+)
+from repro.experiments.accuracy import run_table1, table1_rows
+from repro.experiments import ablations, figures
+
+__all__ = [
+    "paper_dataset",
+    "pilot_dataset",
+    "trained_analyzer",
+    "trained_pilot_analyzer",
+    "run_table1",
+    "table1_rows",
+    "ablations",
+    "figures",
+]

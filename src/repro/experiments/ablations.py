@@ -1,0 +1,200 @@
+"""Ablation sweeps for the design choices DESIGN.md calls out.
+
+Each function returns a list of ``(setting, EvaluationResult-or-metric)``
+rows; the corresponding benchmark prints them as a table.  The sweeps
+cover the knobs the paper itself discusses: partition count (§6),
+``Th_Pose`` (§4.2), training-set size (§5), the unknown-pose fallback
+(§5), ``Th_Object`` (§2), and the decoder/temporal-structure comparison
+implied by Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.hmm import PoseHMMClassifier
+from repro.baselines.nearest import NearestCentroidClassifier
+from repro.baselines.static_bn import StaticBNClassifier
+from repro.core.dbnclassifier import ClassifierConfig
+from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+from repro.core.results import ClipResult, EvaluationResult, FrameResult
+from repro.imaging.background import BackgroundSubtractor
+from repro.imaging.metrics import intersection_over_union
+from repro.synth.dataset import JumpDataset
+
+
+def _evaluate_custom_classifier(
+    analyzer: JumpPoseAnalyzer, dataset: JumpDataset, classifier
+) -> EvaluationResult:
+    """Score a baseline classifier through the trained front-end."""
+    clips = []
+    for clip in dataset.test:
+        candidates = analyzer.front_end.candidates_for_clip(
+            clip.frames, clip.background
+        )
+        predictions = classifier.classify(candidates)
+        frames = tuple(
+            FrameResult(i, clip.labels[i], p.pose, p.posterior)
+            for i, p in enumerate(predictions)
+        )
+        clips.append(ClipResult(clip_id=clip.clip_id, frames=frames))
+    return EvaluationResult(clips=tuple(clips))
+
+
+# ----------------------------------------------------------------------
+# Decoder / temporal-structure comparison (Figure 7 DBN-vs-BN)
+# ----------------------------------------------------------------------
+def decoder_comparison(
+    analyzer: JumpPoseAnalyzer, dataset: JumpDataset
+) -> "list[tuple[str, EvaluationResult]]":
+    """Static BN, stage-free HMM, and all four DBN decoders."""
+    rows: list[tuple[str, EvaluationResult]] = []
+    static = StaticBNClassifier(
+        analyzer.models.observation, analyzer.models.report.pose_counts
+    )
+    rows.append(("static BN (Fig 7a only)", _evaluate_custom_classifier(
+        analyzer, dataset, static)))
+    hmm = PoseHMMClassifier(analyzer.models.observation).fit_transitions(
+        [list(clip.labels) for clip in dataset.train]
+    )
+    rows.append(("pose HMM (no stage flag)", _evaluate_custom_classifier(
+        analyzer, dataset, hmm)))
+    for decode in ("greedy", "filter", "smooth", "viterbi"):
+        configured = analyzer.with_classifier(ClassifierConfig(decode=decode))
+        rows.append((f"DBN decode={decode}", configured.evaluate(dataset.test)))
+    return rows
+
+
+def nearest_centroid_floor(
+    analyzer: JumpPoseAnalyzer, dataset: JumpDataset
+) -> EvaluationResult:
+    """The non-probabilistic matching floor."""
+    samples = []
+    for clip in dataset.train:
+        for index, feature in analyzer.front_end.supervised_features(clip):
+            samples.append((clip.labels[index], feature))
+    baseline = NearestCentroidClassifier().fit(samples)
+    return _evaluate_custom_classifier(analyzer, dataset, baseline)
+
+
+# ----------------------------------------------------------------------
+# Ablation A — partition count (§6: "more partitions ... can be used")
+# ----------------------------------------------------------------------
+def partition_sweep(
+    dataset: JumpDataset, counts: "tuple[int, ...]" = (4, 8, 12, 16)
+) -> "list[tuple[int, EvaluationResult]]":
+    rows = []
+    for n_areas in counts:
+        settings = AnalyzerSettings(n_areas=n_areas)
+        analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
+        rows.append((n_areas, analyzer.evaluate(dataset.test)))
+    return rows
+
+
+def ring_sweep(
+    dataset: JumpDataset,
+    configs: "tuple[tuple[int, int], ...]" = ((8, 1), (8, 2), (6, 2)),
+) -> "list[tuple[str, EvaluationResult]]":
+    """Sector x ring encoding sweep — the conclusion's 'more partitions'.
+
+    ``configs`` pairs ``(n_areas, n_rings)``; ``(8, 1)`` is the paper's
+    encoding, ``(8, 2)`` splits each sector into a near and far band.
+    """
+    rows = []
+    for n_areas, n_rings in configs:
+        settings = AnalyzerSettings(n_areas=n_areas, n_rings=n_rings)
+        analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
+        rows.append((f"{n_areas}x{n_rings}", analyzer.evaluate(dataset.test)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation B — Th_Pose (§4.2 class-imbalance override)
+# ----------------------------------------------------------------------
+def th_pose_sweep(
+    analyzer: JumpPoseAnalyzer,
+    dataset: JumpDataset,
+    thresholds: "tuple[float, ...]" = (0.0, 0.1, 0.2, 0.3, 0.5),
+    decode: str = "greedy",
+) -> "list[tuple[float, EvaluationResult]]":
+    rows = []
+    for threshold in thresholds:
+        configured = analyzer.with_classifier(
+            ClassifierConfig(decode=decode, th_pose=threshold)
+        )
+        rows.append((threshold, configured.evaluate(dataset.test)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation C — training-set size (§5: small sample limits accuracy)
+# ----------------------------------------------------------------------
+def training_size_sweep(
+    dataset: JumpDataset, sizes: "tuple[int, ...]" = (3, 6, 9, 12)
+) -> "list[tuple[int, EvaluationResult]]":
+    rows = []
+    for size in sizes:
+        analyzer = JumpPoseAnalyzer.train(dataset.train[:size], AnalyzerSettings())
+        rows.append((size, analyzer.evaluate(dataset.test)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation D — unknown fallback (§5: most-recent-pose recovery)
+# ----------------------------------------------------------------------
+def fallback_sweep(
+    analyzer: JumpPoseAnalyzer,
+    dataset: JumpDataset,
+    accept_min: float = 0.45,
+) -> "list[tuple[str, EvaluationResult]]":
+    rows = []
+    for fallback in (True, False):
+        configured = analyzer.with_classifier(
+            ClassifierConfig(
+                decode="greedy", accept_min=accept_min, unknown_fallback=fallback
+            )
+        )
+        label = "fallback on" if fallback else "fallback off"
+        rows.append((label, configured.evaluate(dataset.test)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablation E — Th_Object sensitivity (§2)
+# ----------------------------------------------------------------------
+def th_object_sweep(
+    dataset: JumpDataset,
+    thresholds: "tuple[float, ...]" = (5, 10, 20, 40, 80),
+    frames_per_clip: int = 5,
+) -> "list[tuple[float, float]]":
+    """Mean extraction IoU against ground truth per threshold."""
+    rows = []
+    for threshold in thresholds:
+        scores = []
+        for clip in dataset.test:
+            subtractor = BackgroundSubtractor(threshold=threshold)
+            subtractor.fit_background(clip.background)
+            step = max(1, len(clip) // frames_per_clip)
+            for index in range(0, len(clip), step):
+                extraction = subtractor.extract(clip.frames[index])
+                scores.append(
+                    intersection_over_union(
+                        extraction.mask, clip.silhouettes[index]
+                    )
+                )
+        rows.append((threshold, float(np.mean(scores))))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Thinning-algorithm comparison (Z-S vs Guo-Hall)
+# ----------------------------------------------------------------------
+def thinner_comparison(
+    dataset: JumpDataset,
+) -> "list[tuple[str, EvaluationResult]]":
+    rows = []
+    for thinner in ("zhangsuen", "guohall"):
+        settings = AnalyzerSettings(thinner=thinner)
+        analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
+        rows.append((thinner, analyzer.evaluate(dataset.test)))
+    return rows

@@ -1,0 +1,46 @@
+"""The paper's experimental protocol, with caching.
+
+The paper trains on 12 clips (522 frames) and tests on 3 clips
+(135 frames).  Generating the corpus and training the system are the
+expensive steps shared by many benchmarks, so both are memoised per seed.
+A smaller *pilot* protocol (4 train / 2 test clips) keeps unit tests and
+quick ablations fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+from repro.synth.dataset import JumpDataset, make_paper_protocol_dataset
+
+PILOT_TRAIN_LENGTHS = (44, 43, 44, 43)
+PILOT_TEST_LENGTHS = (45, 45)
+
+
+@lru_cache(maxsize=4)
+def paper_dataset(seed: int = 0) -> JumpDataset:
+    """The full 12-train / 3-test corpus (522 / 135 frames)."""
+    return make_paper_protocol_dataset(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def pilot_dataset(seed: int = 0) -> JumpDataset:
+    """A 4-train / 2-test corpus for fast tests."""
+    return make_paper_protocol_dataset(
+        seed=seed,
+        train_lengths=PILOT_TRAIN_LENGTHS,
+        test_lengths=PILOT_TEST_LENGTHS,
+    )
+
+
+@lru_cache(maxsize=2)
+def trained_analyzer(seed: int = 0) -> JumpPoseAnalyzer:
+    """The full system trained on the paper protocol with defaults."""
+    return JumpPoseAnalyzer.train(paper_dataset(seed).train, AnalyzerSettings())
+
+
+@lru_cache(maxsize=2)
+def trained_pilot_analyzer(seed: int = 0) -> JumpPoseAnalyzer:
+    """The full system trained on the pilot corpus."""
+    return JumpPoseAnalyzer.train(pilot_dataset(seed).train, AnalyzerSettings())

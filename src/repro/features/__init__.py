@@ -1,0 +1,27 @@
+"""Key-point extraction and 8-area feature encoding (§4, Figure 6).
+
+From a cleaned skeleton the paper derives five key points — Head, Chest,
+Hand, Knee, Foot — anchored at the *waist* (the midpoint of the Head→Foot
+torso path).  Each key point is encoded by which of eight plane areas
+around the waist it falls into; the resulting feature vector is the
+observation the Bayesian networks consume.
+"""
+
+from repro.features.areas import PlanePartition
+from repro.features.keypoints import (
+    BodyPart,
+    KeyPoints,
+    KeypointExtractor,
+    PartAssignment,
+)
+from repro.features.encoding import FeatureEncoder, FeatureVector
+
+__all__ = [
+    "PlanePartition",
+    "BodyPart",
+    "KeyPoints",
+    "KeypointExtractor",
+    "PartAssignment",
+    "FeatureEncoder",
+    "FeatureVector",
+]

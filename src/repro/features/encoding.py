@@ -1,0 +1,102 @@
+"""Feature vectors: key points coded by plane area (§4, Figure 6).
+
+The feature the paper feeds its networks is, for each of the five key
+points, the index of the waist-centred plane area that contains it.  A
+part that could not be located on the skeleton is encoded as *unobserved*
+(``None``) — the estimation phase marginalises over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FeatureError
+from repro.features.areas import PlanePartition
+from repro.features.keypoints import PART_ORDER, BodyPart, KeyPoints
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """Per-part area indices (``None`` = part unobserved).
+
+    Hashable via :meth:`as_tuple` so training can count occurrences.
+    ``weight`` is an assignment-plausibility prior attached by the test
+    phase (a Head hypothesis far from the top of the skeleton is less
+    plausible a priori); it scales likelihoods but is not part of the
+    feature identity.
+    """
+
+    areas: "dict[BodyPart, int | None]"
+    n_areas: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        for part, area in self.areas.items():
+            if area is not None and not (0 <= area < self.n_areas):
+                raise FeatureError(
+                    f"{part.value} assigned area {area}, outside 0..{self.n_areas - 1}"
+                )
+
+    def area_of(self, part: BodyPart) -> "int | None":
+        return self.areas.get(part)
+
+    def observed_parts(self) -> "list[BodyPart]":
+        return [p for p in PART_ORDER if self.areas.get(p) is not None]
+
+    def occupied_areas(self) -> frozenset:
+        """The set of plane areas containing at least one key point —
+        the states of the paper's eight observed "Area" nodes."""
+        return frozenset(a for a in self.areas.values() if a is not None)
+
+    def as_tuple(self) -> tuple:
+        """Hashable canonical form ``(area(Head), ..., area(Foot))``."""
+        return tuple(self.areas.get(p) for p in PART_ORDER)
+
+    def describe(self, partition: "PlanePartition | None" = None) -> str:
+        """Human-readable rendering like ``Head=II Chest=VII ... Hand=?``."""
+        partition = partition or PlanePartition(n_areas=self.n_areas)
+        chunks = []
+        for part in PART_ORDER:
+            area = self.areas.get(part)
+            label = "?" if area is None else partition.roman_label(area)
+            chunks.append(f"{part.value}={label}")
+        return " ".join(chunks)
+
+
+@dataclass(frozen=True)
+class FeatureEncoder:
+    """Encode :class:`KeyPoints` into a :class:`FeatureVector`."""
+
+    partition: PlanePartition = PlanePartition(n_areas=8)
+
+    def encode(self, keypoints: KeyPoints, weight: float = 1.0) -> FeatureVector:
+        """Area-code every observed key point relative to the waist.
+
+        Ring partitions scale their distance bands by the head-to-waist
+        distance of this skeleton, so near/far codes track the jumper's
+        apparent size rather than absolute pixels.
+        """
+        origin = (float(keypoints.waist[0]), float(keypoints.waist[1]))
+        reference: "float | None" = None
+        if self.partition.n_rings > 1:
+            anchor = keypoints.position_of(BodyPart.HEAD) or keypoints.position_of(
+                BodyPart.FOOT
+            )
+            if anchor is not None:
+                reference = max(
+                    1.0,
+                    ((anchor[0] - origin[0]) ** 2 + (anchor[1] - origin[1]) ** 2)
+                    ** 0.5,
+                )
+        areas: dict[BodyPart, "int | None"] = {}
+        for part in PART_ORDER:
+            position = keypoints.position_of(part)
+            if position is None:
+                areas[part] = None
+            else:
+                areas[part] = self.partition.area_of(
+                    (float(position[0]), float(position[1])), origin, reference
+                )
+        return FeatureVector(
+            areas=areas, n_areas=self.partition.total_areas, weight=weight
+        )

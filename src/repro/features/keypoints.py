@@ -1,0 +1,227 @@
+"""Key-point extraction from a cleaned skeleton (§4.1–4.2).
+
+The paper anchors everything on three primary points:
+
+* **Foot** — "we set the lowest point to be Foot because no matter what
+  pose it is Foot is always the lowest point" (§4.2);
+* **Head** and **Hand** — in training these are given (§4.1: "we input the
+  locations of Head, Hand and Foot"); in testing the system "tries to
+  assign body parts to other key points" and keeps the assignment whose
+  feature vector scores highest.
+
+From Head and Foot the *torso* is the skeleton path between them; the
+waist is its midpoint, the Chest the midpoint of the upper half, and the
+Knee the midpoint of the lower half.  This module provides both the
+supervised mapping (ground-truth joints → skeleton endpoints) and the
+assignment enumeration the test phase requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import FeatureError
+from repro.skeleton.pixelgraph import Pixel, PixelGraph
+from repro.skeleton.pipeline import Skeleton
+
+
+class BodyPart(Enum):
+    """The five key points the paper's BNs model as hidden nodes."""
+
+    HEAD = "Head"
+    CHEST = "Chest"
+    HAND = "Hand"
+    KNEE = "Knee"
+    FOOT = "Foot"
+
+
+#: Stable iteration order for feature vectors and CPD tables.
+PART_ORDER: "tuple[BodyPart, ...]" = (
+    BodyPart.HEAD,
+    BodyPart.CHEST,
+    BodyPart.HAND,
+    BodyPart.KNEE,
+    BodyPart.FOOT,
+)
+
+
+@dataclass(frozen=True)
+class PartAssignment:
+    """A hypothesis assigning skeleton endpoints to primary body parts."""
+
+    head: Pixel
+    foot: Pixel
+    hand: "Pixel | None"
+
+
+@dataclass(frozen=True)
+class KeyPoints:
+    """The five key points plus the waist origin, in image coordinates."""
+
+    waist: Pixel
+    positions: "dict[BodyPart, Pixel | None]"
+
+    def observed_parts(self) -> "list[BodyPart]":
+        """Parts that were actually located on this skeleton."""
+        return [p for p in PART_ORDER if self.positions.get(p) is not None]
+
+    def position_of(self, part: BodyPart) -> "Pixel | None":
+        return self.positions.get(part)
+
+
+def _shortest_path(graph: PixelGraph, start: Pixel, goal: Pixel) -> "list[Pixel]":
+    """Unweighted BFS path from ``start`` to ``goal`` (inclusive)."""
+    if start not in graph or goal not in graph:
+        raise FeatureError(f"path endpoints {start}→{goal} not both in skeleton")
+    if start == goal:
+        return [start]
+    parents: dict[Pixel, Pixel] = {start: start}
+    frontier = [start]
+    while frontier:
+        next_frontier: list[Pixel] = []
+        for current in frontier:
+            for neighbour in sorted(graph.neighbors(current)):
+                if neighbour not in parents:
+                    parents[neighbour] = current
+                    if neighbour == goal:
+                        path = [goal]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    raise FeatureError(f"no skeleton path between {start} and {goal}")
+
+
+def derive_keypoints(
+    graph: PixelGraph, assignment: PartAssignment
+) -> KeyPoints:
+    """Build the five key points from a Head/Hand/Foot assignment.
+
+    The torso is the Head→Foot skeleton path; waist = its midpoint,
+    Chest = midpoint of Head→waist, Knee = midpoint of waist→Foot (§4.1).
+    """
+    torso = _shortest_path(graph, assignment.head, assignment.foot)
+    if len(torso) < 3:
+        raise FeatureError(
+            f"torso path from {assignment.head} to {assignment.foot} too short "
+            f"({len(torso)} pixels) to place the waist"
+        )
+    waist = torso[len(torso) // 2]
+    chest = torso[len(torso) // 4]
+    knee = torso[(3 * len(torso)) // 4]
+    return KeyPoints(
+        waist=waist,
+        positions={
+            BodyPart.HEAD: assignment.head,
+            BodyPart.CHEST: chest,
+            BodyPart.HAND: assignment.hand,
+            BodyPart.KNEE: knee,
+            BodyPart.FOOT: assignment.foot,
+        },
+    )
+
+
+def _distance(a: Pixel, b: "tuple[float, float]") -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass
+class KeypointExtractor:
+    """Key-point extraction policies over a :class:`Skeleton`.
+
+    Args:
+        hand_merge_distance: in the supervised mapping, a ground-truth hand
+            farther than this from every endpoint is treated as merged into
+            the body (Hand unobserved).
+    """
+
+    hand_merge_distance: float = 14.0
+
+    def lowest_endpoint(self, skeleton: Skeleton) -> Pixel:
+        """The paper's Foot anchor: the lowest skeleton endpoint."""
+        endpoints = skeleton.graph.endpoints()
+        if not endpoints:
+            raise FeatureError("skeleton has no endpoints; cannot anchor the Foot")
+        return max(endpoints, key=lambda p: (p[0], -p[1]))
+
+    def enumerate_assignments(self, skeleton: Skeleton) -> "list[PartAssignment]":
+        """All Head/Hand hypotheses the test phase should score (§4.2).
+
+        Foot is pinned to the lowest endpoint.  Head hypotheses are
+        restricted to endpoints in the upper part of the skeleton's
+        bounding box — in a side-view standing long jump the head never
+        drops into the lower third of the body, while hands and feet do —
+        and every remaining endpoint is tried as the Hand, including the
+        Head endpoint itself (arms overlapping the head merge into one
+        skeleton line) and "Hand unobserved" (a pruning casualty).
+        """
+        foot = self.lowest_endpoint(skeleton)
+        endpoints = skeleton.graph.endpoints()
+        others = [p for p in endpoints if p != foot]
+        if not others:
+            raise FeatureError("skeleton has a single endpoint; not a valid body")
+        rows = [p[0] for p in endpoints]
+        head_limit = min(rows) + 0.6 * max(1, max(rows) - min(rows))
+        head_pool = [p for p in others if p[0] <= head_limit]
+        if not head_pool:
+            head_pool = [min(others)]  # fall back to the highest endpoint
+        assignments: list[PartAssignment] = []
+        for head in head_pool:
+            for hand in others:
+                assignments.append(PartAssignment(head=head, foot=foot, hand=hand))
+            assignments.append(PartAssignment(head=head, foot=foot, hand=None))
+        return assignments
+
+    def extract_candidates(self, skeleton: Skeleton) -> "list[KeyPoints]":
+        """Key points for every feasible assignment, skipping degenerate ones."""
+        candidates: list[KeyPoints] = []
+        for assignment in self.enumerate_assignments(skeleton):
+            try:
+                candidates.append(derive_keypoints(skeleton.graph, assignment))
+            except FeatureError:
+                continue
+        if not candidates:
+            raise FeatureError("no feasible key-point assignment on this skeleton")
+        return candidates
+
+    def extract_with_reference(
+        self,
+        skeleton: Skeleton,
+        head_ref: tuple[float, float],
+        hand_ref: tuple[float, float],
+        foot_ref: tuple[float, float],
+    ) -> KeyPoints:
+        """Supervised mapping for the training phase (§4.1).
+
+        The given Head/Hand/Foot locations select, **from the same
+        assignment candidates the test phase enumerates**, the hypothesis
+        closest to the truth.  Training features therefore come from the
+        exact distribution the classifier will see at test time — an
+        assignment the test phase cannot produce is never trained on.
+
+        The distance of an assignment is the summed Head/Foot endpoint
+        error plus a Hand term: the endpoint error when the hypothesis
+        names a Hand endpoint, or ``hand_merge_distance`` when it declares
+        the Hand unobserved (so "merged" only wins when no endpoint is
+        genuinely close to the true hand).
+        """
+        assignments = self.enumerate_assignments(skeleton)
+        best: "PartAssignment | None" = None
+        best_cost = float("inf")
+        for assignment in assignments:
+            cost = _distance(assignment.head, head_ref)
+            cost += _distance(assignment.foot, foot_ref)
+            if assignment.hand is None:
+                cost += self.hand_merge_distance
+            else:
+                cost += _distance(assignment.hand, hand_ref)
+            if cost < best_cost:
+                best_cost = cost
+                best = assignment
+        if best is None:
+            raise FeatureError("no assignment candidates on this skeleton")
+        return derive_keypoints(skeleton.graph, best)

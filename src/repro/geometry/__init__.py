@@ -1,0 +1,29 @@
+"""2-D geometry substrate: points, rasterisation, and angle arithmetic.
+
+Image coordinates throughout the package are ``(row, col)`` with row 0 at
+the top; Cartesian body-model coordinates are ``(x, y)`` with y pointing
+*up*.  The renderer is the only place that converts between the two.
+"""
+
+from repro.geometry.points import BoundingBox, Point
+from repro.geometry.lines import bresenham_line, rasterize_capsule, rasterize_disk
+from repro.geometry.angles import (
+    angle_between,
+    degrees_to_radians,
+    normalize_angle,
+    radians_to_degrees,
+    rotate,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "bresenham_line",
+    "rasterize_capsule",
+    "rasterize_disk",
+    "angle_between",
+    "degrees_to_radians",
+    "normalize_angle",
+    "radians_to_degrees",
+    "rotate",
+]

@@ -1,0 +1,49 @@
+"""Angle arithmetic used by the body model and motion choreographer."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.points import Point
+
+
+def degrees_to_radians(degrees: float) -> float:
+    """Convert degrees to radians."""
+    return degrees * math.pi / 180.0
+
+
+def radians_to_degrees(radians: float) -> float:
+    """Convert radians to degrees."""
+    return radians * 180.0 / math.pi
+
+
+def normalize_angle(radians: float) -> float:
+    """Wrap an angle to the interval (-pi, pi]."""
+    wrapped = math.fmod(radians + math.pi, 2 * math.pi)
+    if wrapped <= 0:
+        wrapped += 2 * math.pi
+    return wrapped - math.pi
+
+
+def angle_between(a: Point, b: Point) -> float:
+    """Signed angle (radians) to rotate vector ``a`` onto vector ``b``."""
+    return normalize_angle(b.angle() - a.angle())
+
+
+def rotate(point: Point, radians: float, origin: "Point | None" = None) -> Point:
+    """Rotate ``point`` counter-clockwise by ``radians`` about ``origin``."""
+    pivot = origin if origin is not None else Point(0.0, 0.0)
+    dx = point.x - pivot.x
+    dy = point.y - pivot.y
+    cos_t = math.cos(radians)
+    sin_t = math.sin(radians)
+    return Point(
+        pivot.x + dx * cos_t - dy * sin_t,
+        pivot.y + dx * sin_t + dy * cos_t,
+    )
+
+
+def lerp_angle(a: float, b: float, t: float) -> float:
+    """Interpolate between two angles along the shorter arc."""
+    delta = normalize_angle(b - a)
+    return normalize_angle(a + delta * t)

@@ -1,0 +1,131 @@
+"""Rasterisation primitives: Bresenham lines, disks, and thick capsules.
+
+The synthetic renderer draws body segments as *capsules* (a thick line with
+rounded ends) because human limbs in a silhouette are roughly constant-width
+strips; the GA baseline rasterises its candidate stick models the same way
+so both pipelines share one geometric vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bresenham_line(
+    r0: int, c0: int, r1: int, c1: int
+) -> "list[tuple[int, int]]":
+    """Integer pixels of the line segment from ``(r0, c0)`` to ``(r1, c1)``.
+
+    Classic Bresenham; endpoints are always included and consecutive pixels
+    are 8-adjacent, which the skeleton-graph code relies on.
+    """
+    pixels: list[tuple[int, int]] = []
+    dr = abs(r1 - r0)
+    dc = abs(c1 - c0)
+    step_r = 1 if r1 >= r0 else -1
+    step_c = 1 if c1 >= c0 else -1
+    r, c = r0, c0
+    if dc >= dr:
+        err = dc // 2
+        while True:
+            pixels.append((r, c))
+            if c == c1:
+                break
+            err -= dr
+            if err < 0:
+                r += step_r
+                err += dc
+            c += step_c
+    else:
+        err = dr // 2
+        while True:
+            pixels.append((r, c))
+            if r == r1:
+                break
+            err -= dc
+            if err < 0:
+                c += step_c
+                err += dr
+            r += step_r
+    return pixels
+
+
+def rasterize_disk(
+    canvas: np.ndarray, row: float, col: float, radius: float
+) -> None:
+    """Set to True every pixel of ``canvas`` within ``radius`` of the centre."""
+    if radius < 0:
+        raise ConfigurationError(f"radius must be >= 0, got {radius}")
+    height, width = canvas.shape
+    r_lo = max(0, int(np.floor(row - radius)))
+    r_hi = min(height - 1, int(np.ceil(row + radius)))
+    c_lo = max(0, int(np.floor(col - radius)))
+    c_hi = min(width - 1, int(np.ceil(col + radius)))
+    if r_lo > r_hi or c_lo > c_hi:
+        return
+    rows = np.arange(r_lo, r_hi + 1)[:, None]
+    cols = np.arange(c_lo, c_hi + 1)[None, :]
+    mask = (rows - row) ** 2 + (cols - col) ** 2 <= radius**2
+    canvas[r_lo : r_hi + 1, c_lo : c_hi + 1] |= mask
+
+
+def rasterize_capsule(
+    canvas: np.ndarray,
+    r0: float,
+    c0: float,
+    r1: float,
+    c1: float,
+    radius: float,
+) -> None:
+    """Draw a thick segment (capsule) onto a boolean ``canvas`` in place.
+
+    A pixel is on when its distance to the segment ``(r0,c0)-(r1,c1)`` is at
+    most ``radius``.  Distances are computed on the pixel grid restricted to
+    the capsule's bounding box, so large canvases stay cheap.
+    """
+    if canvas.ndim != 2 or canvas.dtype != bool:
+        raise ConfigurationError(
+            f"canvas must be a 2-D bool array, got shape {canvas.shape}, "
+            f"dtype {canvas.dtype}"
+        )
+    if radius < 0:
+        raise ConfigurationError(f"radius must be >= 0, got {radius}")
+    height, width = canvas.shape
+    r_lo = max(0, int(np.floor(min(r0, r1) - radius)))
+    r_hi = min(height - 1, int(np.ceil(max(r0, r1) + radius)))
+    c_lo = max(0, int(np.floor(min(c0, c1) - radius)))
+    c_hi = min(width - 1, int(np.ceil(max(c0, c1) + radius)))
+    if r_lo > r_hi or c_lo > c_hi:
+        return
+    rows = np.arange(r_lo, r_hi + 1, dtype=float)[:, None]
+    cols = np.arange(c_lo, c_hi + 1, dtype=float)[None, :]
+    seg_r = r1 - r0
+    seg_c = c1 - c0
+    seg_len_sq = seg_r * seg_r + seg_c * seg_c
+    if seg_len_sq == 0:
+        dist_sq = (rows - r0) ** 2 + (cols - c0) ** 2
+    else:
+        # Project each pixel onto the segment, clamped to [0, 1].
+        t = ((rows - r0) * seg_r + (cols - c0) * seg_c) / seg_len_sq
+        t = np.clip(t, 0.0, 1.0)
+        nearest_r = r0 + t * seg_r
+        nearest_c = c0 + t * seg_c
+        dist_sq = (rows - nearest_r) ** 2 + (cols - nearest_c) ** 2
+    canvas[r_lo : r_hi + 1, c_lo : c_hi + 1] |= dist_sq <= radius**2
+
+
+def rasterize_polyline(
+    canvas: np.ndarray,
+    points: "list[tuple[float, float]]",
+    radius: float,
+) -> None:
+    """Draw consecutive capsules through ``points`` (``(row, col)`` pairs)."""
+    if len(points) < 1:
+        return
+    if len(points) == 1:
+        rasterize_disk(canvas, points[0][0], points[0][1], radius)
+        return
+    for (r0, c0), (r1, c1) in zip(points[:-1], points[1:]):
+        rasterize_capsule(canvas, r0, c0, r1, c1, radius)

@@ -1,0 +1,117 @@
+"""Immutable 2-D points and axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in Cartesian coordinates (x right, y up)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with another point treated as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).norm()
+
+    def angle(self) -> float:
+        """Angle of the vector from the origin, in radians in (-pi, pi]."""
+        return math.atan2(self.y, self.x)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linear interpolation: ``t = 0`` gives self, ``t = 1`` gives other."""
+        return Point(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ConfigurationError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside or on the boundary."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box covering both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    @staticmethod
+    def around(points: "list[Point]") -> "BoundingBox":
+        """Smallest box covering all ``points`` (at least one required)."""
+        if not points:
+            raise ConfigurationError("cannot build a bounding box around no points")
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))

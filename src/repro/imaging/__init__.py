@@ -1,0 +1,52 @@
+"""Imaging substrate: the paper's §2 object extractor and its helpers.
+
+Everything operates on plain numpy arrays:
+
+* RGB frames are ``(H, W, 3)`` ``uint8`` arrays,
+* binary masks are ``(H, W)`` ``bool`` arrays.
+
+The package implements, from the paper's equations, the moving-window
+background subtractor (steps i–viii of §2), the median filter used to smooth
+the silhouette, morphological operators, and a union-find connected-component
+labeller used to isolate the jumper blob.
+"""
+
+from repro.imaging.background import BackgroundSubtractor, ExtractionResult
+from repro.imaging.components import connected_components, largest_component
+from repro.imaging.filters import box_filter, median_filter
+from repro.imaging.image import (
+    ensure_binary,
+    ensure_gray,
+    ensure_rgb,
+    rgb_to_gray,
+)
+from repro.imaging.morphology import (
+    binary_closing,
+    binary_dilation,
+    binary_erosion,
+    binary_opening,
+    count_holes,
+    fill_holes,
+)
+from repro.imaging.metrics import boundary_roughness, intersection_over_union
+
+__all__ = [
+    "BackgroundSubtractor",
+    "ExtractionResult",
+    "connected_components",
+    "largest_component",
+    "box_filter",
+    "median_filter",
+    "ensure_binary",
+    "ensure_gray",
+    "ensure_rgb",
+    "rgb_to_gray",
+    "binary_closing",
+    "binary_dilation",
+    "binary_erosion",
+    "binary_opening",
+    "count_holes",
+    "fill_holes",
+    "boundary_roughness",
+    "intersection_over_union",
+]

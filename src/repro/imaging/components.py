@@ -1,0 +1,110 @@
+"""Connected-component labelling with two-pass union-find.
+
+Used by the extractor to isolate the jumper blob and by the morphology
+module to count/fill background holes.  8-connectivity is the default
+because silhouettes are 8-connected objects in this pipeline (and the Z-S
+skeleton preserves 8-connectivity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.imaging.image import ensure_binary
+
+
+class _UnionFind:
+    """Array-based union-find with path compression and union by size."""
+
+    def __init__(self, capacity: int) -> None:
+        self.parent = np.arange(capacity, dtype=np.int64)
+        self.size = np.ones(capacity, dtype=np.int64)
+
+    def find(self, node: int) -> int:
+        root = node
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def connected_components(
+    mask: np.ndarray, connectivity: int = 8
+) -> tuple[np.ndarray, int]:
+    """Label connected components of a binary mask.
+
+    Returns ``(labels, count)`` where ``labels`` is int32 with 0 for
+    background and 1..count for components, numbered in raster order of
+    their first pixel.
+    """
+    if connectivity not in (4, 8):
+        raise ConfigurationError(f"connectivity must be 4 or 8, got {connectivity}")
+    binary = ensure_binary(mask)
+    height, width = binary.shape
+    labels = np.zeros((height, width), dtype=np.int32)
+    if not binary.any():
+        return labels, 0
+
+    # First pass: provisional labels + equivalences via union-find.
+    uf = _UnionFind(height * width // 2 + 2)
+    next_label = 1
+    provisional = np.zeros((height, width), dtype=np.int32)
+    if connectivity == 8:
+        neighbour_offsets = ((-1, -1), (-1, 0), (-1, 1), (0, -1))
+    else:
+        neighbour_offsets = ((-1, 0), (0, -1))
+    rows, cols = np.nonzero(binary)
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        neighbour_labels = []
+        for dr, dc in neighbour_offsets:
+            rr, cc = r + dr, c + dc
+            if 0 <= rr < height and 0 <= cc < width and provisional[rr, cc]:
+                neighbour_labels.append(provisional[rr, cc])
+        if not neighbour_labels:
+            provisional[r, c] = next_label
+            next_label += 1
+        else:
+            smallest = min(neighbour_labels)
+            provisional[r, c] = smallest
+            for other in neighbour_labels:
+                if other != smallest:
+                    uf.union(smallest, other)
+
+    # Second pass: resolve equivalences into dense labels.
+    remap: dict[int, int] = {}
+    count = 0
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        root = uf.find(provisional[r, c])
+        if root not in remap:
+            count += 1
+            remap[root] = count
+        labels[r, c] = remap[root]
+    return labels, count
+
+
+def component_sizes(labels: np.ndarray, count: int) -> np.ndarray:
+    """Pixel count of each component; index 0 is the background."""
+    return np.bincount(labels.ravel(), minlength=count + 1)
+
+
+def largest_component(mask: np.ndarray, connectivity: int = 8) -> np.ndarray:
+    """Return a mask containing only the largest connected component."""
+    labels, count = connected_components(mask, connectivity)
+    if count == 0:
+        return np.zeros_like(ensure_binary(mask))
+    sizes = component_sizes(labels, count)
+    sizes[0] = 0  # never pick the background
+    keep = int(sizes.argmax())
+    return labels == keep

@@ -1,0 +1,61 @@
+"""Image validation and conversion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+
+def ensure_rgb(image: np.ndarray) -> np.ndarray:
+    """Validate an ``(H, W, 3)`` uint8 RGB frame and return it unchanged."""
+    if not isinstance(image, np.ndarray):
+        raise ImageError(f"expected a numpy array, got {type(image).__name__}")
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ImageError(f"expected an (H, W, 3) RGB array, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise ImageError(f"expected uint8 RGB data, got dtype {image.dtype}")
+    return image
+
+
+def ensure_gray(image: np.ndarray) -> np.ndarray:
+    """Validate a 2-D numeric array and return it as float64."""
+    if not isinstance(image, np.ndarray):
+        raise ImageError(f"expected a numpy array, got {type(image).__name__}")
+    if image.ndim != 2:
+        raise ImageError(f"expected a 2-D array, got shape {image.shape}")
+    return image.astype(np.float64, copy=False)
+
+
+def ensure_binary(image: np.ndarray) -> np.ndarray:
+    """Validate a 2-D mask and return it as bool.
+
+    Accepts bool arrays and 0/1 integer arrays; anything else is rejected so
+    that accidentally passing a grayscale image into a morphology routine
+    fails loudly instead of thresholding implicitly.
+    """
+    if not isinstance(image, np.ndarray):
+        raise ImageError(f"expected a numpy array, got {type(image).__name__}")
+    if image.ndim != 2:
+        raise ImageError(f"expected a 2-D array, got shape {image.shape}")
+    if image.dtype == bool:
+        return image
+    if np.issubdtype(image.dtype, np.integer):
+        unique = np.unique(image)
+        if np.all(np.isin(unique, (0, 1))):
+            return image.astype(bool)
+        raise ImageError(
+            f"integer mask contains values other than 0/1: {unique[:8]}"
+        )
+    raise ImageError(f"expected a bool or 0/1 integer mask, got dtype {image.dtype}")
+
+
+def rgb_to_gray(image: np.ndarray) -> np.ndarray:
+    """Luma conversion (ITU-R BT.601 weights), returned as float64."""
+    rgb = ensure_rgb(image).astype(np.float64)
+    return 0.299 * rgb[..., 0] + 0.587 * rgb[..., 1] + 0.114 * rgb[..., 2]
+
+
+def clip_to_uint8(image: np.ndarray) -> np.ndarray:
+    """Round and clip a float image into the uint8 range."""
+    return np.clip(np.rint(image), 0, 255).astype(np.uint8)

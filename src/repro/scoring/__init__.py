@@ -1,0 +1,28 @@
+"""Movement evaluation against the standing-long-jump standard.
+
+The system's purpose (§1) is to spot "incorrect movements, i.e. the ones
+different from the standing long jump standards" from the decoded pose
+sequence and give the student advice.  This package defines the standard
+as a set of required movement elements, segments a decoded sequence into
+jump stages, checks each element, and renders a coaching report.
+"""
+
+from repro.scoring.standards import (
+    MovementElement,
+    STANDARD_ELEMENTS,
+    element_for_fault,
+)
+from repro.scoring.segmentation import StageSpan, segment_stages
+from repro.scoring.evaluator import JumpEvaluation, JumpEvaluator
+from repro.scoring.report import render_report
+
+__all__ = [
+    "MovementElement",
+    "STANDARD_ELEMENTS",
+    "element_for_fault",
+    "StageSpan",
+    "segment_stages",
+    "JumpEvaluation",
+    "JumpEvaluator",
+    "render_report",
+]

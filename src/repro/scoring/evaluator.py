@@ -1,0 +1,100 @@
+"""Checking a decoded jump against the standard (the system's part 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.poses import Pose, Stage
+from repro.scoring.segmentation import (
+    StageSpan,
+    segment_stages,
+    stage_coverage,
+    stages_in_order,
+)
+from repro.scoring.standards import STANDARD_ELEMENTS, MovementElement
+
+
+@dataclass(frozen=True)
+class ElementFinding:
+    """Verdict for one movement element."""
+
+    element: MovementElement
+    satisfied: bool
+    evidence_frames: int
+
+    @property
+    def advice(self) -> str:
+        return self.element.advice
+
+
+@dataclass(frozen=True)
+class JumpEvaluation:
+    """Full evaluation of one decoded jump."""
+
+    findings: "tuple[ElementFinding, ...]"
+    spans: "tuple[StageSpan, ...]"
+    well_formed: bool
+    unknown_fraction: float
+
+    @property
+    def missing_elements(self) -> "list[MovementElement]":
+        return [f.element for f in self.findings if not f.satisfied]
+
+    @property
+    def satisfied_elements(self) -> "list[MovementElement]":
+        return [f.element for f in self.findings if f.satisfied]
+
+    @property
+    def score(self) -> float:
+        """Fraction of standard elements performed (0..1)."""
+        if not self.findings:
+            return 0.0
+        return sum(f.satisfied for f in self.findings) / len(self.findings)
+
+    def advice(self) -> "list[str]":
+        """Coaching advice for every missing element."""
+        return [f.advice for f in self.findings if not f.satisfied]
+
+
+@dataclass
+class JumpEvaluator:
+    """Evaluate decoded pose sequences against the standard.
+
+    Args:
+        elements: the movement elements to check (defaults to the full
+            standing-long-jump standard).
+        min_stage_frames: a stage visited for fewer frames than this is
+            flagged as missing from the jump (used for well-formedness).
+    """
+
+    elements: "tuple[MovementElement, ...]" = STANDARD_ELEMENTS
+    min_stage_frames: int = 1
+
+    def evaluate(self, poses: "list[Pose | None]") -> JumpEvaluation:
+        """Check every element of the standard on one decoded sequence."""
+        spans = segment_stages(poses)
+        coverage = stage_coverage(spans)
+        counts: dict[Pose, int] = {}
+        for pose in poses:
+            if pose is not None:
+                counts[pose] = counts.get(pose, 0) + 1
+        findings = []
+        for element in self.elements:
+            evidence = sum(counts.get(pose, 0) for pose in element.evidence)
+            findings.append(
+                ElementFinding(
+                    element=element,
+                    satisfied=evidence >= element.min_frames,
+                    evidence_frames=evidence,
+                )
+            )
+        well_formed = stages_in_order(spans) and all(
+            coverage[stage] >= self.min_stage_frames for stage in Stage
+        )
+        unknown = sum(1 for pose in poses if pose is None) / max(1, len(poses))
+        return JumpEvaluation(
+            findings=tuple(findings),
+            spans=tuple(spans),
+            well_formed=well_formed,
+            unknown_fraction=unknown,
+        )

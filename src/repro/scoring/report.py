@@ -1,0 +1,46 @@
+"""Human-readable coaching reports from jump evaluations."""
+
+from __future__ import annotations
+
+from repro.scoring.evaluator import JumpEvaluation
+
+
+def render_report(evaluation: JumpEvaluation, student: str = "the jumper") -> str:
+    """Render a coaching report like the tutor scenario of §1.
+
+    The report lists the stage timeline, the elements performed, and one
+    advice line per missing element.
+    """
+    lines = [f"Standing long jump evaluation for {student}"]
+    lines.append("-" * len(lines[0]))
+    timeline = " -> ".join(
+        f"{span.stage.label} [{span.start}..{span.end}]" for span in evaluation.spans
+    )
+    lines.append(f"Stage timeline: {timeline}")
+    if not evaluation.well_formed:
+        lines.append(
+            "Warning: the jump does not pass through all four stages in order; "
+            "the movement may be incomplete or the clip mis-framed."
+        )
+    if evaluation.unknown_fraction > 0:
+        lines.append(
+            f"Note: {evaluation.unknown_fraction:.0%} of frames could not be "
+            "classified and were carried over from neighbouring frames."
+        )
+    lines.append(f"Standard elements performed: "
+                 f"{len(evaluation.satisfied_elements)}/{len(evaluation.findings)} "
+                 f"(score {evaluation.score:.0%})")
+    for finding in evaluation.findings:
+        mark = "ok " if finding.satisfied else "MISS"
+        lines.append(
+            f"  [{mark}] {finding.element.name} "
+            f"({finding.evidence_frames} evidence frames)"
+        )
+    advice = evaluation.advice()
+    if advice:
+        lines.append("Advice:")
+        for item in advice:
+            lines.append(f"  - {item}")
+    else:
+        lines.append("Great jump! Every element of the standard was performed.")
+    return "\n".join(lines)

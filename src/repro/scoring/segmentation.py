@@ -1,0 +1,68 @@
+"""Segmenting a decoded pose sequence into jump-stage spans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.poses import POSE_STAGE, Pose, Stage
+from repro.errors import ScoringError
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """A maximal run of frames in one stage: ``[start, end]`` inclusive."""
+
+    stage: Stage
+    start: int
+    end: int
+
+    @property
+    def n_frames(self) -> int:
+        return self.end - self.start + 1
+
+
+def segment_stages(poses: "list[Pose | None]") -> "list[StageSpan]":
+    """Split a decoded sequence into stage spans.
+
+    Unknown frames (``None``) inherit the stage of the most recent
+    recognised pose — the same convention the classifier's fallback uses.
+    A sequence with no recognised pose at all is an error: there is
+    nothing to evaluate.
+    """
+    if not poses:
+        raise ScoringError("cannot segment an empty pose sequence")
+    stages: list[Stage] = []
+    current: "Stage | None" = None
+    for pose in poses:
+        if pose is not None:
+            current = POSE_STAGE[pose]
+        if current is None:
+            continue  # leading unknowns attach to the first recognised stage
+        stages.append(current)
+    if current is None:
+        raise ScoringError("pose sequence contains no recognised pose")
+    # Leading unknowns: backfill with the first recognised stage.
+    lead = len(poses) - len(stages)
+    stages = [stages[0]] * lead + stages
+
+    spans: list[StageSpan] = []
+    start = 0
+    for index in range(1, len(stages) + 1):
+        if index == len(stages) or stages[index] != stages[start]:
+            spans.append(StageSpan(stage=stages[start], start=start, end=index - 1))
+            start = index
+    return spans
+
+
+def stage_coverage(spans: "list[StageSpan]") -> "dict[Stage, int]":
+    """Total frames per stage across all spans."""
+    coverage: dict[Stage, int] = {stage: 0 for stage in Stage}
+    for span in spans:
+        coverage[span.stage] += span.n_frames
+    return coverage
+
+
+def stages_in_order(spans: "list[StageSpan]") -> bool:
+    """Whether the spans visit stages monotonically (a well-formed jump)."""
+    values = [span.stage.value for span in spans]
+    return all(b >= a for a, b in zip(values[:-1], values[1:]))

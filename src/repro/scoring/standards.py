@@ -1,0 +1,112 @@
+"""The standing-long-jump standard as checkable movement elements.
+
+Each element names the poses that count as evidence the element was
+performed, the stage it belongs to, and the advice a student should hear
+when it is missing.  The elements mirror the faults the synthetic studio
+can inject (:class:`repro.synth.variation.Fault`), so the evaluator can be
+validated end-to-end: inject a fault, decode the clip, and the matching
+element must be reported missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.poses import Pose, Stage
+from repro.synth.variation import Fault
+
+
+@dataclass(frozen=True)
+class MovementElement:
+    """One requirement of the standard.
+
+    Attributes:
+        name: short identifier.
+        stage: the stage the element must occur in.
+        evidence: poses whose presence satisfies the element.
+        min_frames: minimum number of evidence frames required.
+        advice: coaching feedback when the element is missing.
+        fault: the synthetic fault that removes this element (for tests).
+    """
+
+    name: str
+    stage: Stage
+    evidence: "tuple[Pose, ...]"
+    min_frames: int
+    advice: str
+    fault: "Fault | None" = None
+
+
+STANDARD_ELEMENTS: "tuple[MovementElement, ...]" = (
+    MovementElement(
+        name="preparatory arm swing",
+        stage=Stage.BEFORE_JUMPING,
+        evidence=(
+            Pose.STANDING_HANDS_SWUNG_FORWARD,
+            Pose.STANDING_HANDS_SWUNG_UP,
+            Pose.STANDING_HANDS_SWUNG_BACKWARD,
+        ),
+        min_frames=2,
+        advice="Swing both arms forward and back before jumping to build momentum.",
+        fault=Fault.NO_ARM_SWING,
+    ),
+    MovementElement(
+        name="crouch before take-off",
+        stage=Stage.BEFORE_JUMPING,
+        evidence=(
+            Pose.KNEES_BENT_HANDS_BACKWARD,
+            Pose.KNEES_BENT_HANDS_FORWARD,
+        ),
+        min_frames=2,
+        advice="Bend your knees deeply before take-off; jump power comes from the crouch.",
+        fault=Fault.NO_CROUCH,
+    ),
+    MovementElement(
+        name="full take-off extension",
+        stage=Stage.JUMPING,
+        # TAKEOFF_ARMS_UP alone is *not* evidence: popping upright with the
+        # arms up is exactly what a jump without the forward drive looks
+        # like, and the NO_EXTENSION fault leaves that pose in place so the
+        # jump still passes through the take-off stage.
+        evidence=(
+            Pose.EXTENSION_HANDS_RAISED_FORWARD,
+            Pose.TAKEOFF_BODY_FORWARD,
+        ),
+        min_frames=1,
+        advice="Extend knees, ankles and body fully as you leave the ground.",
+        fault=Fault.NO_EXTENSION,
+    ),
+    MovementElement(
+        name="flight leg carry",
+        stage=Stage.IN_THE_AIR,
+        evidence=(
+            Pose.AIRBORNE_KNEES_TUCKED,
+            Pose.AIRBORNE_PIKE,
+            Pose.AIRBORNE_LEGS_FORWARD,
+            Pose.AIRBORNE_ARMS_DOWNSWING,
+        ),
+        min_frames=2,
+        advice="Tuck your knees or carry your legs forward during flight to extend the jump.",
+        fault=Fault.NO_TUCK,
+    ),
+    MovementElement(
+        name="soft knee-bent landing",
+        stage=Stage.LANDING,
+        evidence=(
+            Pose.TOUCHDOWN_KNEES_BENT,
+            Pose.LANDING_DEEP_SQUAT,
+            Pose.LANDING_WAIST_BENT_ARMS_FORWARD,
+        ),
+        min_frames=1,
+        advice="Land with bent knees and absorb the impact; never land stiff-legged.",
+        fault=Fault.STIFF_LANDING,
+    ),
+)
+
+
+def element_for_fault(fault: Fault) -> MovementElement:
+    """The standard element a given synthetic fault violates."""
+    for element in STANDARD_ELEMENTS:
+        if element.fault == fault:
+            return element
+    raise KeyError(f"no standard element mapped to fault {fault!r}")

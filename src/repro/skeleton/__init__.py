@@ -1,0 +1,53 @@
+"""Skeleton-graph processing (§3 of the paper).
+
+The raw Zhang–Suen skeleton suffers from loops, corners, and redundant
+short segments (Figure 2).  This package converts it to a graph and applies
+the paper's three repairs, in order:
+
+1. :func:`~repro.skeleton.simplify.remove_adjacent_junctions` — collapse
+   clusters of mutually adjacent junction pixels into one junction vertex,
+2. :func:`~repro.skeleton.spanning.cut_loops` — cut cycles using a
+   *maximum* spanning tree over skeleton segments (Figure 3),
+3. :func:`~repro.skeleton.pruning.prune_short_branches` — delete noisy
+   branches shorter than 10 pixels, one at a time (Figure 4).
+
+:class:`~repro.skeleton.pipeline.SkeletonExtractor` chains thinning and the
+three repairs behind one call.
+"""
+
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.analysis import (
+    ArtifactStats,
+    Segment,
+    artifact_stats,
+    count_corners,
+    find_branches,
+    find_segments,
+)
+from repro.skeleton.simplify import remove_adjacent_junctions
+from repro.skeleton.spanning import LoopCutResult, cut_loops, maximum_spanning_segments
+from repro.skeleton.pruning import (
+    PruneResult,
+    prune_all_at_once,
+    prune_short_branches,
+)
+from repro.skeleton.pipeline import Skeleton, SkeletonExtractor
+
+__all__ = [
+    "PixelGraph",
+    "ArtifactStats",
+    "Segment",
+    "artifact_stats",
+    "count_corners",
+    "find_branches",
+    "find_segments",
+    "remove_adjacent_junctions",
+    "LoopCutResult",
+    "cut_loops",
+    "maximum_spanning_segments",
+    "PruneResult",
+    "prune_all_at_once",
+    "prune_short_branches",
+    "Skeleton",
+    "SkeletonExtractor",
+]

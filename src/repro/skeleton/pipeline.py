@@ -1,0 +1,123 @@
+"""The complete §3 skeleton extractor: thin → simplify → cut loops → prune."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SkeletonError
+from repro.imaging.image import ensure_binary
+from repro.skeleton.analysis import ArtifactStats, Segment, artifact_stats, find_segments
+from repro.skeleton.pixelgraph import Pixel, PixelGraph
+from repro.skeleton.pruning import DEFAULT_MIN_BRANCH_LENGTH, prune_short_branches
+from repro.skeleton.simplify import JunctionCluster, remove_adjacent_junctions
+from repro.skeleton.spanning import cut_loops
+from repro.thinning.guohall import guo_hall_thin
+from repro.thinning.zhangsuen import zhang_suen_thin
+
+_THINNERS = {
+    "zhangsuen": zhang_suen_thin,
+    "guohall": guo_hall_thin,
+}
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """A cleaned skeleton plus everything the later stages need.
+
+    Attributes:
+        graph: final acyclic, pruned pixel graph.
+        shape: image shape the skeleton lives in.
+        raw_mask: thinning output before any repair (Figure 2 state).
+        endpoints: degree-1 vertices of the final graph.
+        junctions: degree-3+ vertices of the final graph.
+        clusters: junction clusters contracted by the simplify stage.
+        cut_points: loop-cut pixels (Figure 3(b) green dots).
+        pruned_branches: branches removed by the pruning stage.
+    """
+
+    graph: PixelGraph
+    shape: tuple[int, int]
+    raw_mask: np.ndarray
+    endpoints: "tuple[Pixel, ...]"
+    junctions: "tuple[Pixel, ...]"
+    clusters: "tuple[JunctionCluster, ...]"
+    cut_points: "tuple[Pixel, ...]"
+    pruned_branches: "tuple[Segment, ...]"
+
+    def to_mask(self) -> np.ndarray:
+        """Final skeleton as a boolean image."""
+        return self.graph.to_mask(self.shape)
+
+    def segments(self) -> "list[Segment]":
+        """Segment decomposition of the final graph."""
+        return find_segments(self.graph)
+
+    def stats(self) -> ArtifactStats:
+        """Artifact statistics of the final graph."""
+        return artifact_stats(self.graph)
+
+    def raw_stats(self) -> ArtifactStats:
+        """Artifact statistics of the raw thinning output."""
+        return artifact_stats(PixelGraph.from_mask(self.raw_mask))
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.graph) == 0
+
+
+@dataclass
+class SkeletonExtractor:
+    """§3 pipeline facade.
+
+    Args:
+        thinner: ``"zhangsuen"`` (the paper's Z-S algorithm) or ``"guohall"``.
+        min_branch_length: pruning threshold in vertices (paper: 10).
+        keep_largest_component: work on the largest skeleton component only,
+            discarding stray specks that survive extraction.
+    """
+
+    thinner: str = "zhangsuen"
+    min_branch_length: int = DEFAULT_MIN_BRANCH_LENGTH
+    keep_largest_component: bool = True
+    _thin: "callable" = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.thinner not in _THINNERS:
+            raise ConfigurationError(
+                f"unknown thinner {self.thinner!r}; expected one of {sorted(_THINNERS)}"
+            )
+        if self.min_branch_length < 1:
+            raise ConfigurationError(
+                f"min_branch_length must be >= 1, got {self.min_branch_length}"
+            )
+        self._thin = _THINNERS[self.thinner]
+
+    def extract(self, silhouette: np.ndarray) -> Skeleton:
+        """Thin a silhouette and run the three §3 repairs.
+
+        Raises :class:`~repro.errors.SkeletonError` when the silhouette is
+        empty — callers decide whether a missing jumper is fatal.
+        """
+        mask = ensure_binary(silhouette)
+        if not mask.any():
+            raise SkeletonError("cannot extract a skeleton from an empty silhouette")
+        raw = self._thin(mask)
+        graph = PixelGraph.from_mask(raw)
+        if self.keep_largest_component:
+            graph = graph.largest_component()
+        graph, clusters = remove_adjacent_junctions(graph)
+        loop_result = cut_loops(graph)
+        prune_result = prune_short_branches(loop_result.graph, self.min_branch_length)
+        final = prune_result.graph
+        return Skeleton(
+            graph=final,
+            shape=mask.shape,
+            raw_mask=raw,
+            endpoints=tuple(final.endpoints()),
+            junctions=tuple(final.junctions()),
+            clusters=tuple(clusters),
+            cut_points=loop_result.cut_points,
+            pruned_branches=prune_result.removed,
+        )

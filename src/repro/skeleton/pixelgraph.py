@@ -1,0 +1,163 @@
+"""A skeleton as an 8-adjacency graph over its pixels.
+
+Vertices are ``(row, col)`` tuples; two pixels are adjacent when they are
+8-neighbours.  Degree classifies vertices the way §3 of the paper uses
+them: *end vertices* (degree 1), *path pixels* (degree 2), and *junction
+vertices* (degree ≥ 3, "the intersection points between body parts").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SkeletonError
+from repro.imaging.image import ensure_binary
+
+Pixel = tuple[int, int]
+
+_OFFSETS: "tuple[Pixel, ...]" = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+class PixelGraph:
+    """Undirected 8-adjacency graph over a set of skeleton pixels.
+
+    Redundant diagonal edges are dropped at construction: when two diagonal
+    neighbours also share a common rook (4-adjacent) neighbour, the diagonal
+    edge duplicates the rook path and would register a spurious 3-cycle.
+    Removing it leaves connectivity intact and makes the graph's cycle rank
+    equal to the number of *visible* loops — the quantity Figure 2/3 of the
+    paper reasons about.
+    """
+
+    def __init__(self, pixels: "set[Pixel] | list[Pixel]") -> None:
+        self._pixels: set[Pixel] = set(pixels)
+        self._adjacency: dict[Pixel, set[Pixel]] = {p: set() for p in self._pixels}
+        for r, c in self._pixels:
+            for dr, dc in _OFFSETS:
+                neighbour = (r + dr, c + dc)
+                if neighbour not in self._pixels:
+                    continue
+                if dr != 0 and dc != 0:
+                    # Diagonal: skip when a rook bridge exists through
+                    # either shared corner pixel.
+                    if (r, c + dc) in self._pixels or (r + dr, c) in self._pixels:
+                        continue
+                self._adjacency[(r, c)].add(neighbour)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "PixelGraph":
+        """Build a graph from a boolean skeleton image."""
+        binary = ensure_binary(mask)
+        rows, cols = np.nonzero(binary)
+        return cls(set(zip(rows.tolist(), cols.tolist())))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def pixels(self) -> set[Pixel]:
+        """The vertex set (do not mutate)."""
+        return self._pixels
+
+    def __len__(self) -> int:
+        return len(self._pixels)
+
+    def __contains__(self, pixel: Pixel) -> bool:
+        return pixel in self._pixels
+
+    def neighbors(self, pixel: Pixel) -> set[Pixel]:
+        """Adjacent skeleton pixels of ``pixel``."""
+        if pixel not in self._adjacency:
+            raise SkeletonError(f"pixel {pixel} is not in the graph")
+        return self._adjacency[pixel]
+
+    def degree(self, pixel: Pixel) -> int:
+        """Number of adjacent skeleton pixels."""
+        return len(self.neighbors(pixel))
+
+    def endpoints(self) -> "list[Pixel]":
+        """Vertices of degree 1, sorted for determinism."""
+        return sorted(p for p in self._pixels if len(self._adjacency[p]) == 1)
+
+    def junctions(self) -> "list[Pixel]":
+        """Vertices of degree >= 3, sorted for determinism."""
+        return sorted(p for p in self._pixels if len(self._adjacency[p]) >= 3)
+
+    def isolated(self) -> "list[Pixel]":
+        """Vertices with no neighbours."""
+        return sorted(p for p in self._pixels if not self._adjacency[p])
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> "list[set[Pixel]]":
+        """Connected components, largest first (ties broken by min pixel)."""
+        seen: set[Pixel] = set()
+        components: list[set[Pixel]] = []
+        for start in sorted(self._pixels):
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            components.append(component)
+        components.sort(key=lambda comp: (-len(comp), min(comp)))
+        return components
+
+    def largest_component(self) -> "PixelGraph":
+        """Subgraph induced by the largest connected component."""
+        components = self.connected_components()
+        if not components:
+            return PixelGraph(set())
+        return self.subgraph(components[0])
+
+    def cycle_rank(self) -> int:
+        """Number of independent cycles: ``E - V + C`` (the "loops" of Fig 2)."""
+        if not self._pixels:
+            return 0
+        return self.edge_count() - len(self._pixels) + len(self.connected_components())
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: "set[Pixel]") -> "PixelGraph":
+        """Graph induced on ``keep`` (must be a subset of the vertices)."""
+        missing = keep - self._pixels
+        if missing:
+            raise SkeletonError(f"{len(missing)} pixels not in graph, e.g. {next(iter(missing))}")
+        return PixelGraph(keep)
+
+    def without(self, remove: "set[Pixel]") -> "PixelGraph":
+        """Graph with ``remove`` deleted (pixels absent are ignored)."""
+        return PixelGraph(self._pixels - set(remove))
+
+    def to_mask(self, shape: tuple[int, int]) -> np.ndarray:
+        """Render the vertex set as a boolean image of ``shape``."""
+        mask = np.zeros(shape, dtype=bool)
+        for r, c in self._pixels:
+            if not (0 <= r < shape[0] and 0 <= c < shape[1]):
+                raise SkeletonError(f"pixel {(r, c)} outside shape {shape}")
+            mask[r, c] = True
+        return mask
+
+    def bounding_shape(self) -> tuple[int, int]:
+        """Smallest ``(H, W)`` that contains every pixel."""
+        if not self._pixels:
+            return (0, 0)
+        max_r = max(r for r, _ in self._pixels)
+        max_c = max(c for _, c in self._pixels)
+        return (max_r + 1, max_c + 1)

@@ -1,0 +1,102 @@
+"""Adjacent-junction-vertex removal (§3, Figure 3(a)).
+
+Thinning frequently leaves *clusters* of mutually adjacent junction pixels
+where three body parts meet (e.g. hand against torso).  The paper removes
+"adjacent junction vertices" — junction pixels with more than one junction
+pixel among their eight neighbours — so each anatomical intersection is
+represented by a single vertex of bounded degree.
+
+Deleting pixels can break skeleton lines (the paper shows exactly this in
+Figure 3(a) and compensates in the spanning-tree step), so this
+implementation contracts *conservatively*: a cluster collapses onto the
+member nearest its centroid only when the removal provably keeps the
+skeleton connected; clusters whose removal would strand a limb are left
+in place.  Leftover adjacent junctions are harmless downstream — the
+segment tracer simply produces a short junction-to-junction segment — so
+safety is preferred over completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skeleton.pixelgraph import Pixel, PixelGraph
+
+
+@dataclass(frozen=True)
+class JunctionCluster:
+    """A contracted cluster of adjacent junction pixels."""
+
+    representative: Pixel
+    members: "tuple[Pixel, ...]"
+
+
+def junction_clusters(graph: PixelGraph) -> "list[list[Pixel]]":
+    """8-connected components of the junction-pixel set (size >= 1)."""
+    junction_set = set(graph.junctions())
+    clusters: list[list[Pixel]] = []
+    seen: set[Pixel] = set()
+    for start in sorted(junction_set):
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in graph.neighbors(current):
+                if neighbour in junction_set and neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        seen |= component
+        clusters.append(sorted(component))
+    return clusters
+
+
+def _representative(members: "list[Pixel]") -> Pixel:
+    """Member pixel nearest the cluster centroid (ties: smallest pixel)."""
+    mean_r = sum(r for r, _ in members) / len(members)
+    mean_c = sum(c for _, c in members) / len(members)
+    return min(
+        members,
+        key=lambda p: ((p[0] - mean_r) ** 2 + (p[1] - mean_c) ** 2, p),
+    )
+
+
+def remove_adjacent_junctions(
+    graph: PixelGraph,
+    max_rounds: int = 4,
+) -> tuple[PixelGraph, "list[JunctionCluster]"]:
+    """Collapse multi-pixel junction clusters where it is safe to do so.
+
+    Returns the simplified graph and the clusters actually contracted.
+    Safety criterion: removing the non-representative members must not
+    change the number of connected components and must not create new
+    isolated pixels.  The loop repeats (bounded) because one contraction
+    can simplify a neighbouring cluster's situation.
+    """
+    current = graph
+    contracted: list[JunctionCluster] = []
+    for _round in range(max_rounds):
+        changed = False
+        for members in junction_clusters(current):
+            if len(members) < 2:
+                continue
+            # An earlier contraction this round may have demoted some
+            # member to an ordinary path pixel; contract only live clusters.
+            if any(p not in current or current.degree(p) < 3 for p in members):
+                continue
+            rep = _representative(members)
+            removal = set(members) - {rep}
+            candidate = current.without(removal)
+            if len(candidate.connected_components()) != len(
+                current.connected_components()
+            ):
+                continue  # contraction would strand a limb; keep cluster
+            if candidate.isolated() and not current.isolated():
+                continue
+            current = candidate
+            contracted.append(JunctionCluster(rep, tuple(members)))
+            changed = True
+        if not changed:
+            break
+    return current, contracted

@@ -1,0 +1,189 @@
+"""Loop cutting with a *maximum* spanning tree (§3, Figure 3).
+
+The simplified skeleton graph may still contain cycles (a loop where an arm
+touches the torso, say).  The paper builds a spanning tree that — unlike
+the familiar minimum variant — keeps the *longest* segments while the tree
+grows, so the loop is cut at its shortest constituent segment and every
+neighbour of a contracted junction stays reachable.
+
+The cut is applied the way Figure 3(b) draws it: the losing segment is
+*split at its midpoint* (the paper's green dot) rather than deleted, which
+leaves two stub branches that the pruning stage may then remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skeleton.analysis import Segment, find_segments
+from repro.skeleton.pixelgraph import Pixel, PixelGraph
+
+
+class _UnionFind:
+    """Union-find over hashable node keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Pixel, Pixel] = {}
+
+    def find(self, node: Pixel) -> Pixel:
+        parent = self._parent
+        if node not in parent:
+            parent[node] = node
+            return node
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(self, a: Pixel, b: Pixel) -> bool:
+        """Merge the sets of ``a`` and ``b``; False when already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+
+def maximum_spanning_segments(
+    segments: "list[Segment]",
+) -> tuple["list[Segment]", "list[Segment]"]:
+    """Split segments into (kept, cut) by Kruskal on decreasing length.
+
+    Self-loop segments (``start == end``) can never join the forest and are
+    always cut.  Ties in length break on the segment's start/end pixels so
+    results are deterministic.
+    """
+    ordered = sorted(
+        segments,
+        key=lambda s: (-s.euclidean_length, s.start, s.end, s.pixels[:2]),
+    )
+    forest = _UnionFind()
+    kept: list[Segment] = []
+    cut: list[Segment] = []
+    for segment in ordered:
+        if segment.start == segment.end:
+            cut.append(segment)
+            continue
+        if forest.union(segment.start, segment.end):
+            kept.append(segment)
+        else:
+            cut.append(segment)
+    return kept, cut
+
+
+@dataclass(frozen=True)
+class LoopCutResult:
+    """Outcome of :func:`cut_loops`.
+
+    Attributes:
+        graph: the acyclic skeleton graph.
+        cut_points: the removed midpoint pixel of each cut segment —
+            Figure 3(b)'s green dots.
+        cut_segments: the segments that lost the spanning-tree competition.
+    """
+
+    graph: PixelGraph
+    cut_points: "tuple[Pixel, ...]"
+    cut_segments: "tuple[Segment, ...]"
+
+    @property
+    def loops_cut(self) -> int:
+        return len(self.cut_segments)
+
+
+def cut_loops(graph: PixelGraph) -> LoopCutResult:
+    """Cut every cycle of ``graph`` at the midpoint of its weakest segment.
+
+    Iterates because splitting a segment changes the segment decomposition;
+    each round removes at least one pixel per remaining cycle, so the loop
+    terminates once the cycle rank reaches zero.
+    """
+    current = graph
+    cut_points: list[Pixel] = []
+    cut_segments: list[Segment] = []
+    while current.cycle_rank() > 0:
+        segments = find_segments(current)
+        _kept, cut = maximum_spanning_segments(segments)
+        if not cut:
+            # Cycle exists but tracing found nothing to cut (cannot happen
+            # for valid graphs; guard against an infinite loop regardless).
+            break
+        removable: set[Pixel] = set()
+        for segment in cut:
+            midpoint = segment.pixels[len(segment.pixels) // 2]
+            # Never remove a special vertex: splitting must happen on the
+            # path interior. Fall back to any interior pixel.
+            if midpoint in (segment.start, segment.end):
+                interior = segment.interior()
+                if not interior:
+                    continue
+                midpoint = interior[len(interior) // 2]
+            removable.add(midpoint)
+            cut_segments.append(segment)
+        if not removable:
+            # Degenerate cycles of adjacent special vertices (no interior
+            # on the losing segment).  Break the cycle by deleting any
+            # pixel — from the losing segment or a parallel one — whose
+            # removal lowers the cycle rank without disconnecting.
+            fallback = _cut_degenerate_cycle(current, cut, segments)
+            if fallback is None:
+                break
+            removable = {fallback}
+            cut_segments.append(cut[0])
+        cut_points.extend(sorted(removable))
+        current = current.without(removable)
+    return LoopCutResult(
+        graph=current,
+        cut_points=tuple(cut_points),
+        cut_segments=tuple(cut_segments),
+    )
+
+
+def _cut_degenerate_cycle(
+    graph: PixelGraph,
+    cut: "list[Segment]",
+    segments: "list[Segment]",
+) -> "Pixel | None":
+    """A cycle pixel whose removal does not disconnect the skeleton.
+
+    Used only when every cut candidate is a 2-pixel segment between
+    adjacent special vertices, so there is no interior to split.  The
+    losing segment's own pixels are tried first; failing that, the
+    interiors of *parallel* segments in the same cycle (a 2-pixel direct
+    edge shadowed by a short thinning-noise detour is the common case) —
+    removing one such pixel is exactly what the paper's green-dot cut
+    does to a tight loop.
+    """
+    components_before = len(graph.connected_components())
+    rank_before = graph.cycle_rank()
+
+    def try_pixels(pixels: "tuple[Pixel, ...]") -> "Pixel | None":
+        for pixel in pixels:
+            candidate = graph.without({pixel})
+            if (
+                len(candidate.connected_components()) == components_before
+                and candidate.cycle_rank() < rank_before
+            ):
+                return pixel
+        return None
+
+    for segment in cut:
+        found = try_pixels(segment.pixels)
+        if found is not None:
+            return found
+        # Parallel segments between the same two special vertices.
+        nodes = {segment.start, segment.end}
+        for other in segments:
+            if other is segment or {other.start, other.end} != nodes:
+                continue
+            found = try_pixels(other.interior())
+            if found is not None:
+                return found
+    # Last resort: any interior pixel anywhere that breaks a cycle.
+    for segment in segments:
+        found = try_pixels(segment.interior())
+        if found is not None:
+            return found
+    return None

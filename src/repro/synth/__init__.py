@@ -1,0 +1,52 @@
+"""Synthetic studio substrate.
+
+The paper's evaluation uses 15 self-recorded side-view video clips of
+standing long jumps on a black studio background (12 training clips with
+522 frames, 3 test clips with 135 frames).  Those recordings are not
+available, so this package *simulates the studio*: an articulated 2-D body
+model performs a choreographed standing long jump and a rasteriser turns
+each time step into an RGB frame with controllable lighting flicker and
+sensor noise.  Every frame carries ground truth (pose label, stage, joint
+positions, clean silhouette), which the real recordings never had — the
+reproduction's training labels come from here.
+"""
+
+from repro.synth.body import BodyDimensions, BodyPose, JointAngles, compute_joints
+from repro.synth.posture import posture_for_pose
+from repro.synth.motion import JumpScript, ScriptStep, default_jump_script, run_script
+from repro.synth.renderer import RenderSettings, render_rgb_frame, render_silhouette
+from repro.synth.studio import StudioSettings, make_background
+from repro.synth.variation import Fault, SubjectProfile, sample_profile
+from repro.synth.dataset import (
+    JumpClip,
+    JumpDataset,
+    make_clip,
+    make_paper_protocol_dataset,
+)
+from repro.synth.io import load_clip, save_clip
+
+__all__ = [
+    "BodyDimensions",
+    "BodyPose",
+    "JointAngles",
+    "compute_joints",
+    "posture_for_pose",
+    "JumpScript",
+    "ScriptStep",
+    "default_jump_script",
+    "run_script",
+    "RenderSettings",
+    "render_rgb_frame",
+    "render_silhouette",
+    "StudioSettings",
+    "make_background",
+    "Fault",
+    "SubjectProfile",
+    "sample_profile",
+    "JumpClip",
+    "JumpDataset",
+    "make_clip",
+    "make_paper_protocol_dataset",
+    "load_clip",
+    "save_clip",
+]

@@ -1,0 +1,206 @@
+"""The articulated 2-D body model.
+
+A jumper seen from the left-hand side (the paper's camera placement) is
+modelled as a kinematic tree rooted at the pelvis, in Cartesian world
+coordinates (x = jump direction, y = up, ground at y = 0):
+
+    pelvis ── trunk ── neck ── head centre ── head top
+                        └─ shoulder ── elbow ── hand ── fingertip
+    pelvis ── hip ── knee ── ankle ── toe
+
+Only one arm and one leg are articulated (from the side the two arms and
+two legs of a standing long jump move together and project onto nearly the
+same pixels); the renderer paints the far limb with a small constant angle
+offset to give the silhouette realistic thickness.
+
+Angle conventions (degrees):
+
+* ``trunk``     — lean of the trunk from vertical; positive leans forward.
+* ``neck``      — head tilt relative to the trunk; positive nods forward.
+* ``shoulder``  — upper-arm swing relative to hanging along the trunk;
+                  positive swings forward/up (180 = straight overhead).
+* ``elbow``     — flexion; 0 is a straight arm, positive folds forward.
+* ``hip``       — thigh swing relative to the trunk's downward extension;
+                  positive brings the thigh forward/up.
+* ``knee``      — flexion; 0 is a straight leg, positive folds the shin
+                  backwards (heel towards the buttocks).
+* ``ankle``     — plantar flexion; 0 keeps the foot perpendicular to the
+                  shin, positive points the toes down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ConfigurationError
+from repro.geometry.angles import degrees_to_radians
+from repro.geometry.points import Point
+
+
+@dataclass(frozen=True)
+class BodyDimensions:
+    """Segment lengths and girths in world units (≈ pixels).
+
+    Defaults approximate a primary-school jumper about 120 units tall,
+    which fills a 240-row frame nicely at the default studio zoom.
+    """
+
+    head_radius: float = 9.0
+    neck_length: float = 7.0
+    trunk_length: float = 38.0
+    upper_arm_length: float = 22.0
+    forearm_length: float = 22.0
+    hand_length: float = 10.0
+    thigh_length: float = 30.0
+    shin_length: float = 28.0
+    foot_length: float = 13.0
+    trunk_girth: float = 8.5
+    limb_girth: float = 4.0
+    leg_girth: float = 5.0
+
+    def __post_init__(self) -> None:
+        for field_info in fields(self):
+            value = getattr(self, field_info.name)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"body dimension {field_info.name} must be > 0, got {value}"
+                )
+
+    def scaled(self, factor: float) -> "BodyDimensions":
+        """All lengths and girths multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be > 0, got {factor}")
+        return BodyDimensions(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    @property
+    def standing_height(self) -> float:
+        """Approximate head-top-to-ground height when standing straight."""
+        return (
+            self.thigh_length
+            + self.shin_length
+            + self.trunk_length
+            + self.neck_length
+            + 2 * self.head_radius
+        )
+
+    @property
+    def leg_length(self) -> float:
+        """Pelvis-to-ankle length with a straight leg."""
+        return self.thigh_length + self.shin_length
+
+
+@dataclass(frozen=True)
+class JointAngles:
+    """A posture as joint angles (degrees; conventions in module docstring)."""
+
+    trunk: float = 0.0
+    neck: float = 0.0
+    shoulder: float = 0.0
+    elbow: float = 0.0
+    hip: float = 0.0
+    knee: float = 0.0
+    ankle: float = 0.0
+
+    def blended(self, other: "JointAngles", t: float) -> "JointAngles":
+        """Linear blend: ``t = 0`` gives self, ``t = 1`` gives ``other``."""
+        return JointAngles(
+            **{
+                f.name: getattr(self, f.name) * (1 - t) + getattr(other, f.name) * t
+                for f in fields(self)
+            }
+        )
+
+    def with_offsets(self, **offsets: float) -> "JointAngles":
+        """Copy with named angles shifted by the given amounts."""
+        unknown = set(offsets) - {f.name for f in fields(self)}
+        if unknown:
+            raise ConfigurationError(f"unknown joint angle(s): {sorted(unknown)}")
+        return replace(
+            self, **{k: getattr(self, k) + v for k, v in offsets.items()}
+        )
+
+
+@dataclass(frozen=True)
+class BodyPose:
+    """A posture placed in the world: joint angles + pelvis position."""
+
+    angles: JointAngles
+    pelvis: Point
+
+
+def _rotate(v: Point, degrees: float) -> Point:
+    radians = degrees_to_radians(degrees)
+    cos_t, sin_t = math.cos(radians), math.sin(radians)
+    return Point(v.x * cos_t - v.y * sin_t, v.x * sin_t + v.y * cos_t)
+
+
+def compute_joints(
+    pose: BodyPose, dims: "BodyDimensions | None" = None
+) -> "dict[str, Point]":
+    """Forward kinematics: world position of every joint.
+
+    Returns a dict with keys ``pelvis, neck, head_center, head_top,
+    shoulder, elbow, hand, fingertip, hip, knee, ankle, toe``.
+    """
+    dims = dims or BodyDimensions()
+    angles = pose.angles
+    pelvis = pose.pelvis
+
+    # Trunk points up, rotated forward by the trunk angle. With
+    # lean = trunk degrees, the up vector (0, 1) rotates towards +x,
+    # i.e. by -trunk in the counter-clockwise convention.
+    trunk_dir = _rotate(Point(0.0, 1.0), -angles.trunk)
+    neck = pelvis + trunk_dir * dims.trunk_length
+    head_dir = _rotate(trunk_dir, -angles.neck)
+    head_center = neck + head_dir * (dims.neck_length + dims.head_radius)
+    head_top = head_center + head_dir * dims.head_radius
+
+    # Arm: hanging along the trunk at shoulder = 0; positive swings forward.
+    shoulder = neck
+    hang_dir = -trunk_dir
+    upper_arm_dir = _rotate(hang_dir, angles.shoulder)
+    elbow = shoulder + upper_arm_dir * dims.upper_arm_length
+    forearm_dir = _rotate(upper_arm_dir, angles.elbow)
+    hand = elbow + forearm_dir * dims.forearm_length
+    fingertip = hand + forearm_dir * dims.hand_length
+
+    # Leg: thigh aligned with the trunk's downward extension at hip = 0.
+    thigh_dir = _rotate(hang_dir, angles.hip)
+    hip = pelvis
+    knee = hip + thigh_dir * dims.thigh_length
+    shin_dir = _rotate(thigh_dir, -angles.knee)
+    ankle = knee + shin_dir * dims.shin_length
+    foot_dir = _rotate(shin_dir, 90.0 + angles.ankle)
+    toe = ankle + foot_dir * dims.foot_length
+
+    return {
+        "pelvis": pelvis,
+        "neck": neck,
+        "head_center": head_center,
+        "head_top": head_top,
+        "shoulder": shoulder,
+        "elbow": elbow,
+        "hand": hand,
+        "fingertip": fingertip,
+        "hip": hip,
+        "knee": knee,
+        "ankle": ankle,
+        "toe": toe,
+    }
+
+
+def lowest_point_offset(angles: JointAngles, dims: BodyDimensions) -> float:
+    """Vertical offset from the pelvis to the body's lowest point.
+
+    Used by the choreographer to plant the feet: during ground stages the
+    pelvis height is chosen so that ``pelvis.y + offset == 0``.  The lowest
+    point is almost always the toe or ankle, but a deep forward bend can
+    bring the fingertip lower, so all extremities are checked.
+    """
+    probe = BodyPose(angles=angles, pelvis=Point(0.0, 0.0))
+    joints = compute_joints(probe, dims)
+    candidates = ("toe", "ankle", "knee", "fingertip", "hand")
+    return min(joints[name].y for name in candidates)

@@ -1,0 +1,265 @@
+"""Clip and dataset generation following the paper's protocol (§5).
+
+The paper evaluates on 12 training clips totalling 522 frames and 3 test
+clips totalling 135 frames, each clip "about 40 frames" of one complete
+jump.  :func:`make_paper_protocol_dataset` reproduces those exact counts:
+six training clips of 44 frames and six of 43 (= 522), and three test
+clips of 45 frames (= 135).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.poses import Pose, Stage
+from repro.errors import DatasetError
+from repro.synth.body import BodyDimensions, BodyPose
+from repro.synth.motion import (
+    JumpScript,
+    MotionFrame,
+    ScriptStep,
+    default_jump_script,
+    num_script_variants,
+    run_script,
+)
+from repro.synth.posture import all_postures
+from repro.synth.renderer import (
+    RenderSettings,
+    joints_in_image,
+    render_rgb_frame,
+    render_silhouette,
+)
+from repro.synth.studio import StudioSettings, make_background, sample_lighting_gains
+from repro.synth.variation import (
+    Fault,
+    SubjectProfile,
+    apply_faults,
+    jitter_postures,
+    sample_profile,
+)
+from repro.utils.rng import derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class JumpClip:
+    """One synthesised jump clip with full ground truth.
+
+    Attributes:
+        clip_id: human-readable identifier (e.g. ``"train-03"``).
+        frames: RGB frames, each ``(H, W, 3)`` uint8.
+        background: the clean background frame the extractor is fitted on.
+        silhouettes: ground-truth clean silhouettes (no sensor noise).
+        labels: ground-truth pose per frame.
+        stages: ground-truth stage per frame.
+        joints: ground-truth joint positions per frame, in image
+            ``(row, col)`` coordinates.
+        motion: raw motion frames (angles + pelvis) for diagnostics.
+        profile: the subject profile the clip was generated with.
+    """
+
+    clip_id: str
+    frames: "tuple[np.ndarray, ...]"
+    background: np.ndarray
+    silhouettes: "tuple[np.ndarray, ...]"
+    labels: "tuple[Pose, ...]"
+    stages: "tuple[Stage, ...]"
+    joints: "tuple[dict[str, tuple[float, float]], ...]"
+    motion: "tuple[MotionFrame, ...]"
+    profile: SubjectProfile
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def faults(self) -> "tuple[Fault, ...]":
+        return self.profile.faults
+
+
+@dataclass(frozen=True)
+class JumpDataset:
+    """A train/test split of jump clips."""
+
+    train: "tuple[JumpClip, ...]"
+    test: "tuple[JumpClip, ...]"
+
+    @property
+    def train_frames(self) -> int:
+        return sum(len(clip) for clip in self.train)
+
+    @property
+    def test_frames(self) -> int:
+        return sum(len(clip) for clip in self.test)
+
+
+def fit_script_length(script: JumpScript, target_frames: int) -> JumpScript:
+    """Stretch or squeeze hold durations so the script lasts ``target_frames``.
+
+    Extra frames are distributed round-robin over the keyframes (longest
+    holds first when shrinking), which keeps the choreography intact while
+    hitting the paper's exact per-clip frame counts.
+    """
+    if target_frames < len(script.steps):
+        raise DatasetError(
+            f"cannot fit {len(script.steps)} keyframes into {target_frames} frames"
+        )
+    steps = list(script.steps)
+    current = script.total_frames
+    guard = 0
+    while current != target_frames:
+        guard += 1
+        if guard > 10000:
+            raise DatasetError("script length fitting did not converge")
+        if current < target_frames:
+            index = guard % len(steps)
+            steps[index] = ScriptStep(
+                steps[index].pose,
+                hold=steps[index].hold + 1,
+                transition=steps[index].transition,
+            )
+            current += 1
+        else:
+            # Shrink the longest hold (never below 1).
+            index = max(range(len(steps)), key=lambda i: steps[i].hold)
+            if steps[index].hold <= 1:
+                raise DatasetError(
+                    f"cannot shrink script below {current} frames "
+                    f"(target {target_frames})"
+                )
+            steps[index] = ScriptStep(
+                steps[index].pose,
+                hold=steps[index].hold - 1,
+                transition=steps[index].transition,
+            )
+            current -= 1
+    return JumpScript(
+        steps=tuple(steps),
+        flight_span=script.flight_span,
+        flight_apex=script.flight_apex,
+        start_x=script.start_x,
+        takeoff_drive=script.takeoff_drive,
+    )
+
+
+def make_clip(
+    clip_id: str,
+    seed: "int | np.random.Generator | None" = None,
+    variant: "int | None" = None,
+    target_frames: int = 44,
+    faults: "tuple[Fault, ...]" = (),
+    profile: "SubjectProfile | None" = None,
+    render_settings: "RenderSettings | None" = None,
+    studio_settings: "StudioSettings | None" = None,
+) -> JumpClip:
+    """Synthesise one complete jump clip.
+
+    Args:
+        clip_id: identifier stored on the clip.
+        seed: RNG seed; every stochastic choice in the clip flows from it.
+        variant: choreography variant (``None`` picks one from the seed).
+        target_frames: exact clip length in frames.
+        faults: standard violations to inject (rewrites the script).
+        profile: subject profile; sampled from the seed when omitted.
+        render_settings / studio_settings: rendering overrides.
+    """
+    rng = ensure_rng(seed)
+    render_settings = render_settings or RenderSettings()
+    studio_settings = studio_settings or StudioSettings(
+        shape=render_settings.shape, ground_row=render_settings.ground_row
+    )
+    if variant is None:
+        variant = int(rng.integers(0, num_script_variants()))
+    if profile is None:
+        profile = sample_profile(derive_rng(rng, 0), faults=faults)
+    elif faults and not profile.faults:
+        raise DatasetError("pass faults via the profile when supplying one explicitly")
+
+    base = default_jump_script(variant)
+    steps = apply_faults(base.steps, profile.faults)
+    script = JumpScript(
+        steps=steps,
+        flight_span=profile.flight_span,
+        flight_apex=profile.flight_apex,
+        start_x=profile.start_x,
+        takeoff_drive=base.takeoff_drive,
+    )
+    script = fit_script_length(script, target_frames)
+
+    postures = jitter_postures(
+        all_postures(), profile.angle_jitter_deg, derive_rng(rng, 1)
+    )
+    dims = profile.body_dimensions()
+    motion = run_script(script, dims, postures)
+
+    background = make_background(studio_settings, derive_rng(rng, 2))
+    gains = sample_lighting_gains(len(motion), studio_settings, derive_rng(rng, 3))
+    noise_rng = derive_rng(rng, 4)
+
+    frames: list[np.ndarray] = []
+    silhouettes: list[np.ndarray] = []
+    labels: list[Pose] = []
+    stages: list[Stage] = []
+    joints: list[dict[str, tuple[float, float]]] = []
+    for frame_index, motion_frame in enumerate(motion):
+        body = BodyPose(angles=motion_frame.angles, pelvis=motion_frame.pelvis)
+        silhouettes.append(render_silhouette(body, dims, render_settings))
+        frames.append(
+            render_rgb_frame(
+                body,
+                background,
+                dims,
+                render_settings,
+                lighting_gain=float(gains[frame_index]),
+                noise_sigma=studio_settings.sensor_sigma,
+                rng=noise_rng,
+            )
+        )
+        labels.append(motion_frame.pose)
+        stages.append(motion_frame.stage)
+        joints.append(joints_in_image(body, dims, render_settings))
+
+    return JumpClip(
+        clip_id=clip_id,
+        frames=tuple(frames),
+        background=background,
+        silhouettes=tuple(silhouettes),
+        labels=tuple(labels),
+        stages=tuple(stages),
+        joints=tuple(joints),
+        motion=tuple(motion),
+        profile=profile,
+    )
+
+
+#: Paper protocol: 12 train clips (522 frames), 3 test clips (135 frames).
+PAPER_TRAIN_LENGTHS: "tuple[int, ...]" = (44, 43, 44, 43, 44, 43, 44, 43, 44, 43, 44, 43)
+PAPER_TEST_LENGTHS: "tuple[int, ...]" = (45, 45, 45)
+
+
+def make_paper_protocol_dataset(
+    seed: "int | np.random.Generator | None" = 0,
+    train_lengths: "tuple[int, ...]" = PAPER_TRAIN_LENGTHS,
+    test_lengths: "tuple[int, ...]" = PAPER_TEST_LENGTHS,
+) -> JumpDataset:
+    """Generate the 12-train / 3-test corpus with the paper's frame counts."""
+    rng = ensure_rng(seed)
+    train = tuple(
+        make_clip(
+            f"train-{i:02d}",
+            seed=derive_rng(rng, i),
+            variant=i % num_script_variants(),
+            target_frames=length,
+        )
+        for i, length in enumerate(train_lengths)
+    )
+    test = tuple(
+        make_clip(
+            f"test-{i:02d}",
+            seed=derive_rng(rng, 100 + i),
+            variant=i % num_script_variants(),
+            target_frames=length,
+        )
+        for i, length in enumerate(test_lengths)
+    )
+    return JumpDataset(train=train, test=test)

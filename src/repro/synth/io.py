@@ -1,0 +1,135 @@
+"""Saving and loading jump clips as ``.npz`` archives.
+
+A clip round-trips losslessly: frames, background, ground-truth
+silhouettes, labels, stages, joints, and enough of the profile to
+reconstruct it.  The format is plain numpy so archives can be inspected
+without this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.poses import Pose, Stage
+from repro.errors import DatasetError
+from repro.synth.body import JointAngles
+from repro.synth.dataset import JumpClip
+from repro.synth.motion import MotionFrame
+from repro.geometry.points import Point
+from repro.synth.variation import Fault, SubjectProfile
+
+_FORMAT_VERSION = 1
+
+
+def save_clip(clip: JumpClip, path: "str | Path") -> Path:
+    """Write a clip to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    joints_names = sorted(clip.joints[0]) if clip.joints else []
+    joints_array = np.array(
+        [[clip.joints[t][name] for name in joints_names] for t in range(len(clip))]
+    )
+    profile = clip.profile
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "clip_id": clip.clip_id,
+        "joints_names": joints_names,
+        "profile": {
+            "scale": profile.scale,
+            "angle_jitter_deg": profile.angle_jitter_deg,
+            "flight_span": profile.flight_span,
+            "flight_apex": profile.flight_apex,
+            "start_x": profile.start_x,
+            "faults": [fault.name for fault in profile.faults],
+        },
+        "motion": [
+            {
+                "index": frame.index,
+                "angles": frame.angles.__dict__ if hasattr(frame.angles, "__dict__")
+                else {
+                    name: getattr(frame.angles, name)
+                    for name in (
+                        "trunk", "neck", "shoulder", "elbow", "hip", "knee", "ankle"
+                    )
+                },
+                "pelvis": [frame.pelvis.x, frame.pelvis.y],
+                "pose": frame.pose.name,
+                "airborne": frame.airborne,
+            }
+            for frame in clip.motion
+        ],
+    }
+    np.savez_compressed(
+        path,
+        frames=np.stack(clip.frames),
+        background=clip.background,
+        silhouettes=np.stack(clip.silhouettes),
+        labels=np.array([int(p) for p in clip.labels], dtype=np.int64),
+        stages=np.array([int(s) for s in clip.stages], dtype=np.int64),
+        joints=joints_array,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path
+
+
+def load_clip(path: "str | Path") -> JumpClip:
+    """Read a clip written by :func:`save_clip`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"clip archive not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        if metadata.get("version") != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported clip format version {metadata.get('version')}"
+            )
+        frames = tuple(archive["frames"])
+        background = archive["background"]
+        silhouettes = tuple(archive["silhouettes"].astype(bool))
+        labels = tuple(Pose(int(v)) for v in archive["labels"])
+        stages = tuple(Stage(int(v)) for v in archive["stages"])
+        joints_names = metadata["joints_names"]
+        joints = tuple(
+            {
+                name: (float(row[i][0]), float(row[i][1]))
+                for i, name in enumerate(joints_names)
+            }
+            for row in archive["joints"]
+        )
+    profile_meta = metadata["profile"]
+    profile = SubjectProfile(
+        scale=profile_meta["scale"],
+        angle_jitter_deg=profile_meta["angle_jitter_deg"],
+        flight_span=profile_meta["flight_span"],
+        flight_apex=profile_meta["flight_apex"],
+        start_x=profile_meta["start_x"],
+        faults=tuple(Fault[name] for name in profile_meta["faults"]),
+    )
+    motion = tuple(
+        MotionFrame(
+            index=entry["index"],
+            angles=JointAngles(**entry["angles"]),
+            pelvis=Point(entry["pelvis"][0], entry["pelvis"][1]),
+            pose=Pose[entry["pose"]],
+            stage=Pose[entry["pose"]].stage,
+            airborne=entry["airborne"],
+        )
+        for entry in metadata["motion"]
+    )
+    return JumpClip(
+        clip_id=metadata["clip_id"],
+        frames=frames,
+        background=background,
+        silhouettes=silhouettes,
+        labels=labels,
+        stages=stages,
+        joints=joints,
+        motion=motion,
+        profile=profile,
+    )

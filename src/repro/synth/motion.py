@@ -1,0 +1,283 @@
+"""Jump choreography: keyframe scripts and frame-by-frame motion synthesis.
+
+A :class:`JumpScript` is a list of pose keyframes, each held for a few
+frames and blended into the next.  :func:`run_script` turns a script into a
+sequence of :class:`MotionFrame` objects — joint angles, pelvis position,
+ground-truth pose and stage per frame — planting the feet during ground
+stages and flying the pelvis along a ballistic parabola while airborne.
+
+A complete jump is "about 40 frames" in the paper; the default scripts land
+in the low 40s and the dataset generator jitters hold durations to match
+the paper's exact clip lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.poses import Pose, Stage
+from repro.errors import ConfigurationError
+from repro.geometry.points import Point
+from repro.synth.body import BodyDimensions, JointAngles, lowest_point_offset
+from repro.synth.posture import posture_for_pose
+
+
+@dataclass(frozen=True)
+class ScriptStep:
+    """One keyframe: a pose held for ``hold`` frames, then ``transition``
+    frames blending linearly toward the next keyframe's posture."""
+
+    pose: Pose
+    hold: int = 2
+    transition: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hold < 1:
+            raise ConfigurationError(f"hold must be >= 1 frame, got {self.hold}")
+        if self.transition < 0:
+            raise ConfigurationError(
+                f"transition must be >= 0 frames, got {self.transition}"
+            )
+
+    @property
+    def frames(self) -> int:
+        return self.hold + self.transition
+
+
+@dataclass(frozen=True)
+class JumpScript:
+    """A full jump: keyframes plus flight geometry.
+
+    Attributes:
+        steps: pose keyframes in execution order.
+        flight_span: horizontal pelvis travel during the airborne stage
+            (world units ≈ pixels).
+        flight_apex: extra pelvis height at the apex of the parabola.
+        start_x: pelvis x at the first frame.
+        takeoff_drive: forward pelvis drift accumulated over the JUMPING
+            stage frames (the body moves forward during extension).
+    """
+
+    steps: "tuple[ScriptStep, ...]"
+    flight_span: float = 170.0
+    flight_apex: float = 18.0
+    start_x: float = 80.0
+    takeoff_drive: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("a jump script needs at least one step")
+        if self.flight_span < 0:
+            raise ConfigurationError(f"flight_span must be >= 0, got {self.flight_span}")
+
+    @property
+    def total_frames(self) -> int:
+        """Number of frames the script produces (last transition dropped)."""
+        return sum(s.frames for s in self.steps[:-1]) + self.steps[-1].hold
+
+    def poses_used(self) -> "list[Pose]":
+        return [s.pose for s in self.steps]
+
+
+@dataclass(frozen=True)
+class MotionFrame:
+    """Ground truth for one synthesised frame."""
+
+    index: int
+    angles: JointAngles
+    pelvis: Point
+    pose: Pose
+    stage: Stage
+    airborne: bool
+
+
+def _smoothstep(t: float) -> float:
+    """Cubic ease-in/ease-out; keeps keyframe velocities from snapping."""
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _frame_plan(
+    steps: "tuple[ScriptStep, ...]",
+    postures: "dict[Pose, JointAngles]",
+) -> "list[tuple[JointAngles, Pose]]":
+    """Expand keyframes into per-frame (angles, pose label) pairs.
+
+    Transition frames take the label of the nearer keyframe, mirroring how
+    a human annotator labels in-between frames.
+    """
+    plan: list[tuple[JointAngles, Pose]] = []
+    for step_index, step in enumerate(steps):
+        current = postures[step.pose]
+        for _ in range(step.hold):
+            plan.append((current, step.pose))
+        if step_index == len(steps) - 1:
+            break
+        next_step = steps[step_index + 1]
+        target = postures[next_step.pose]
+        for k in range(step.transition):
+            # Skew samples off the exact midpoint: a frame blended 50/50
+            # between two postures is unlabelable even by a human, so the
+            # schedule keeps every transition frame geometrically closer
+            # to the keyframe whose label it carries.
+            t = (k + 1) / (step.transition + 0.8)
+            label = step.pose if t < 0.5 else next_step.pose
+            plan.append((current.blended(target, _smoothstep(t)), label))
+    return plan
+
+
+def run_script(
+    script: JumpScript,
+    dims: "BodyDimensions | None" = None,
+    postures: "dict[Pose, JointAngles] | None" = None,
+) -> "list[MotionFrame]":
+    """Synthesise the motion of a whole jump.
+
+    Pelvis placement:
+
+    * ground frames — feet planted: ``pelvis.y`` solves
+      ``lowest body point == 0``; ``pelvis.x`` stays at ``start_x`` during
+      *before jumping*, drifts forward by ``takeoff_drive`` across the
+      *jumping* frames, and settles at the landing point afterwards;
+    * airborne frames — ``pelvis`` follows a parabola from the last
+      take-off position to the first landing position, raised by
+      ``flight_apex`` at mid-flight.
+    """
+    dims = dims or BodyDimensions()
+    if postures is None:
+        postures = {pose: posture_for_pose(pose) for pose in Pose}
+    plan = _frame_plan(script.steps, postures)
+    stages = [pose.stage for _, pose in plan]
+
+    air_indices = [i for i, s in enumerate(stages) if s == Stage.IN_THE_AIR]
+    first_air = air_indices[0] if air_indices else None
+    last_air = air_indices[-1] if air_indices else None
+
+    # Horizontal plan: cumulative forward progress per frame.
+    xs: list[float] = []
+    x = script.start_x
+    jumping_frames = sum(1 for s in stages if s == Stage.JUMPING)
+    for i, stage in enumerate(stages):
+        if stage == Stage.BEFORE_JUMPING:
+            pass  # stay on the mark
+        elif stage == Stage.JUMPING and jumping_frames:
+            x += script.takeoff_drive / jumping_frames
+        elif stage == Stage.IN_THE_AIR and air_indices:
+            x += script.flight_span / len(air_indices)
+        elif stage == Stage.LANDING:
+            pass  # stick the landing
+        xs.append(x)
+
+    # Vertical plan: planted on the ground, parabolic in the air.
+    grounded_y = [-lowest_point_offset(angles, dims) for angles, _ in plan]
+    frames: list[MotionFrame] = []
+    if first_air is not None and last_air is not None:
+        takeoff_y = grounded_y[first_air - 1] if first_air > 0 else grounded_y[0]
+        landing_y = (
+            grounded_y[last_air + 1] if last_air + 1 < len(plan) else grounded_y[-1]
+        )
+    for i, (angles, pose) in enumerate(plan):
+        stage = stages[i]
+        airborne = stage == Stage.IN_THE_AIR
+        if airborne and first_air is not None and last_air is not None:
+            span = max(1, last_air - first_air + 1)
+            t = (i - first_air + 0.5) / span
+            y = (1 - t) * takeoff_y + t * landing_y + 4 * script.flight_apex * t * (1 - t)
+        else:
+            y = grounded_y[i]
+        frames.append(
+            MotionFrame(
+                index=i,
+                angles=angles,
+                pelvis=Point(xs[i], y),
+                pose=pose,
+                stage=stage,
+                airborne=airborne,
+            )
+        )
+    return frames
+
+
+#: Script variants.  A standing long jump follows one standard sequence, so
+#: every variant shares the same canonical backbone and deviates in only a
+#: couple of local substitutions (a different arm swing, a different flight
+#: shape, a different landing recovery).  Across the three variants all 22
+#: poses appear, with very unequal frequency — the imbalance §4.2
+#: introduces ``Th_Pose`` to fight.
+_BACKBONE: "tuple[ScriptStep, ...]" = (
+    ScriptStep(Pose.STANDING_HANDS_OVERLAP, hold=2, transition=1),
+    ScriptStep(Pose.STANDING_HANDS_RAISED_FORWARD, hold=1, transition=1),
+    ScriptStep(Pose.STANDING_HANDS_SWUNG_FORWARD, hold=3, transition=1),
+    ScriptStep(Pose.STANDING_HANDS_SWUNG_BACKWARD, hold=2, transition=1),
+    ScriptStep(Pose.KNEES_BENT_HANDS_BACKWARD, hold=2, transition=1),
+    ScriptStep(Pose.KNEES_BENT_HANDS_FORWARD, hold=1, transition=1),
+    ScriptStep(Pose.EXTENSION_HANDS_RAISED_FORWARD, hold=1, transition=1),
+    ScriptStep(Pose.TAKEOFF_BODY_FORWARD, hold=1, transition=1),
+    ScriptStep(Pose.AIRBORNE_BODY_EXTENDED, hold=2, transition=1),
+    ScriptStep(Pose.AIRBORNE_KNEES_TUCKED, hold=2, transition=1),
+    ScriptStep(Pose.AIRBORNE_LEGS_FORWARD, hold=2, transition=1),
+    ScriptStep(Pose.TOUCHDOWN_KNEES_BENT, hold=1, transition=1),
+    ScriptStep(Pose.LANDING_DEEP_SQUAT, hold=2, transition=1),
+    ScriptStep(Pose.LANDING_STANDING_UP, hold=2, transition=1),
+    ScriptStep(Pose.LANDING_STANDING_HANDS_DOWN, hold=2, transition=1),
+    ScriptStep(Pose.LANDING_STANDING_HANDS_OVERLAP, hold=2),
+)
+
+
+def _substitute(
+    steps: "tuple[ScriptStep, ...]",
+    swaps: "dict[Pose, Pose]",
+    inserts: "dict[Pose, ScriptStep]",
+) -> "tuple[ScriptStep, ...]":
+    """Apply keyframe swaps and after-pose insertions to a backbone."""
+    result: list[ScriptStep] = []
+    for step in steps:
+        pose = swaps.get(step.pose, step.pose)
+        result.append(ScriptStep(pose, hold=step.hold, transition=step.transition))
+        if step.pose in inserts:
+            result.append(inserts[step.pose])
+    return tuple(result)
+
+
+_VARIANT_STEPS: "dict[int, tuple[ScriptStep, ...]]" = {
+    # The canonical execution.
+    0: _BACKBONE,
+    # Arms swing fully overhead; take-off drives the arms up; the flight
+    # uses a pike instead of a tuck.
+    1: _substitute(
+        _BACKBONE,
+        swaps={
+            Pose.STANDING_HANDS_RAISED_FORWARD: Pose.STANDING_HANDS_SWUNG_UP,
+            Pose.TAKEOFF_BODY_FORWARD: Pose.TAKEOFF_ARMS_UP,
+            Pose.AIRBORNE_KNEES_TUCKED: Pose.AIRBORNE_PIKE,
+        },
+        inserts={},
+    ),
+    # A waist bend during the preparation; arms swing down mid-flight; the
+    # landing recovers through a waist bend instead of a deep squat.
+    2: _substitute(
+        _BACKBONE,
+        swaps={
+            Pose.AIRBORNE_KNEES_TUCKED: Pose.AIRBORNE_ARMS_DOWNSWING,
+            Pose.LANDING_DEEP_SQUAT: Pose.LANDING_WAIST_BENT_ARMS_FORWARD,
+        },
+        inserts={
+            Pose.STANDING_HANDS_RAISED_FORWARD: ScriptStep(
+                Pose.WAIST_BENT_HANDS_RAISED_FORWARD, hold=2, transition=1
+            ),
+        },
+    ),
+}
+
+
+def default_jump_script(variant: int = 0) -> JumpScript:
+    """A realistic standing-long-jump script (variants 0–2)."""
+    if variant not in _VARIANT_STEPS:
+        raise ConfigurationError(
+            f"unknown script variant {variant}; available: {sorted(_VARIANT_STEPS)}"
+        )
+    return JumpScript(steps=_VARIANT_STEPS[variant])
+
+
+def num_script_variants() -> int:
+    """How many built-in script variants exist."""
+    return len(_VARIANT_STEPS)

@@ -1,0 +1,99 @@
+"""Canonical joint-angle postures for each of the 22 poses.
+
+These are the keyframes the motion choreographer interpolates between.
+The two "standing & hand overlap with body" poses (before-jumping pose 0
+and landing pose 21) are deliberately near-identical — the paper stresses
+that only the stage flag separates them.
+"""
+
+from __future__ import annotations
+
+from repro.core.poses import Pose
+from repro.errors import ConfigurationError
+from repro.synth.body import JointAngles
+
+_POSTURES: "dict[Pose, JointAngles]" = {
+    # --- before jumping ---
+    Pose.STANDING_HANDS_OVERLAP: JointAngles(
+        trunk=2, shoulder=-10, elbow=4, hip=2, knee=4
+    ),
+    Pose.STANDING_HANDS_RAISED_FORWARD: JointAngles(
+        trunk=3, shoulder=90, elbow=5, hip=2, knee=4
+    ),
+    Pose.STANDING_HANDS_SWUNG_FORWARD: JointAngles(
+        trunk=5, shoulder=130, elbow=10, hip=3, knee=6
+    ),
+    Pose.STANDING_HANDS_SWUNG_UP: JointAngles(
+        trunk=2, shoulder=160, elbow=5, hip=2, knee=4
+    ),
+    Pose.STANDING_HANDS_SWUNG_BACKWARD: JointAngles(
+        trunk=12, shoulder=-48, elbow=8, hip=6, knee=10
+    ),
+    Pose.WAIST_BENT_HANDS_RAISED_FORWARD: JointAngles(
+        trunk=42, neck=8, shoulder=82, elbow=6, hip=30, knee=18
+    ),
+    Pose.KNEES_BENT_HANDS_BACKWARD: JointAngles(
+        trunk=28, neck=5, shoulder=-55, elbow=10, hip=48, knee=68, ankle=8
+    ),
+    Pose.KNEES_BENT_HANDS_FORWARD: JointAngles(
+        trunk=26, neck=5, shoulder=62, elbow=12, hip=46, knee=64, ankle=6
+    ),
+    # --- jumping / take-off ---
+    Pose.EXTENSION_HANDS_RAISED_FORWARD: JointAngles(
+        trunk=16, shoulder=112, elbow=8, hip=12, knee=8, ankle=32
+    ),
+    Pose.TAKEOFF_BODY_FORWARD: JointAngles(
+        trunk=32, neck=6, shoulder=132, elbow=8, hip=18, knee=6, ankle=42
+    ),
+    Pose.TAKEOFF_ARMS_UP: JointAngles(
+        trunk=12, shoulder=175, elbow=6, hip=8, knee=6, ankle=46
+    ),
+    # --- in the air ---
+    Pose.AIRBORNE_BODY_EXTENDED: JointAngles(
+        trunk=10, shoulder=148, elbow=8, hip=25, knee=75, ankle=30
+    ),
+    Pose.AIRBORNE_KNEES_TUCKED: JointAngles(
+        trunk=22, neck=6, shoulder=98, elbow=18, hip=92, knee=112, ankle=10
+    ),
+    Pose.AIRBORNE_PIKE: JointAngles(
+        trunk=44, neck=8, shoulder=88, elbow=10, hip=84, knee=32
+    ),
+    Pose.AIRBORNE_ARMS_DOWNSWING: JointAngles(
+        trunk=26, shoulder=30, elbow=5, hip=85, knee=80
+    ),
+    Pose.AIRBORNE_LEGS_FORWARD: JointAngles(
+        trunk=18, shoulder=70, elbow=5, hip=78, knee=12, ankle=-12
+    ),
+    # --- landing ---
+    Pose.TOUCHDOWN_KNEES_BENT: JointAngles(
+        trunk=30, neck=6, shoulder=65, elbow=10, hip=75, knee=92, ankle=-14
+    ),
+    Pose.LANDING_WAIST_BENT_ARMS_FORWARD: JointAngles(
+        trunk=46, neck=10, shoulder=86, elbow=8, hip=72, knee=82, ankle=-6
+    ),
+    Pose.LANDING_DEEP_SQUAT: JointAngles(
+        trunk=38, neck=8, shoulder=75, elbow=14, hip=102, knee=122, ankle=4
+    ),
+    Pose.LANDING_STANDING_UP: JointAngles(
+        trunk=16, shoulder=95, elbow=10, hip=30, knee=36, ankle=2
+    ),
+    Pose.LANDING_STANDING_HANDS_DOWN: JointAngles(
+        trunk=5, shoulder=38, elbow=6, hip=6, knee=8
+    ),
+    Pose.LANDING_STANDING_HANDS_OVERLAP: JointAngles(
+        trunk=2, shoulder=-10, elbow=4, hip=2, knee=4
+    ),
+}
+
+
+def posture_for_pose(pose: Pose) -> JointAngles:
+    """Canonical joint angles for ``pose``."""
+    try:
+        return _POSTURES[pose]
+    except KeyError:
+        raise ConfigurationError(f"no posture defined for {pose!r}") from None
+
+
+def all_postures() -> "dict[Pose, JointAngles]":
+    """A copy of the full pose → posture table."""
+    return dict(_POSTURES)

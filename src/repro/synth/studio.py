@@ -1,0 +1,89 @@
+"""The recording studio: dark background, lamp flicker, sensor noise.
+
+The paper recorded "in a studio with a black background [so] the light
+sources can be controlled and are more stable".  The simulated studio is a
+near-black backdrop with a faint vertical gradient and texture, a slightly
+lighter floor strip, and a lamp whose gain drifts a little from frame to
+frame — enough instability to exercise the extractor's threshold without
+drowning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class StudioSettings:
+    """Background and noise parameters of the simulated studio.
+
+    Attributes:
+        shape: frame shape ``(rows, cols)``.
+        ground_row: first floor row (matches the renderer's ground).
+        backdrop_level: mean brightness of the black backdrop (0–255).
+        floor_level: mean brightness of the floor strip.
+        texture_sigma: static per-pixel texture of the backdrop.
+        flicker_sigma: std-dev of the per-frame lamp gain around 1.0.
+        sensor_sigma: per-frame Gaussian sensor noise.
+    """
+
+    shape: tuple[int, int] = (240, 400)
+    ground_row: int = 216
+    backdrop_level: float = 11.0
+    floor_level: float = 26.0
+    texture_sigma: float = 2.0
+    flicker_sigma: float = 0.015
+    sensor_sigma: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.backdrop_level <= 255 and 0 <= self.floor_level <= 255):
+            raise ConfigurationError("studio brightness levels must be in [0, 255]")
+        if not (0 < self.ground_row < self.shape[0]):
+            raise ConfigurationError(
+                f"ground_row {self.ground_row} outside frame of {self.shape[0]} rows"
+            )
+
+
+def make_background(
+    settings: "StudioSettings | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Render the static studio background as a uint8 RGB frame.
+
+    The background is generated once per clip and reused for every frame —
+    the flicker and sensor noise are applied per frame on top of it, which
+    matches how the paper's extractor sees a *stable* background with
+    *noisy* object frames.
+    """
+    settings = settings or StudioSettings()
+    rng = ensure_rng(seed)
+    rows, cols = settings.shape
+    # Vertical gradient: studio lights fall off towards the top.
+    gradient = np.linspace(0.8, 1.2, rows)[:, None]
+    base = np.full((rows, cols), settings.backdrop_level) * gradient
+    base[settings.ground_row :, :] = settings.floor_level
+    if settings.texture_sigma > 0:
+        base = base + rng.normal(0.0, settings.texture_sigma, size=base.shape)
+    rgb = np.stack([base, base, base * 1.04], axis=-1)  # faintly cold studio light
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def sample_lighting_gains(
+    n_frames: int,
+    settings: "StudioSettings | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Per-frame lamp gains: a slow random walk around 1.0."""
+    settings = settings or StudioSettings()
+    rng = ensure_rng(seed)
+    if n_frames < 0:
+        raise ConfigurationError(f"n_frames must be >= 0, got {n_frames}")
+    steps = rng.normal(0.0, settings.flicker_sigma, size=n_frames)
+    walk = np.cumsum(steps) * 0.5 + steps  # drift plus instantaneous flicker
+    gains = 1.0 + walk - (walk.mean() if n_frames else 0.0)
+    return np.clip(gains, 0.85, 1.15)

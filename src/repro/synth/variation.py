@@ -1,0 +1,169 @@
+"""Inter-subject variation and fault injection.
+
+Two orthogonal sources of variety:
+
+* :class:`SubjectProfile` — anthropometry (overall scale), execution style
+  (posture jitter, flight distance/height), sampled per clip so that twelve
+  training clips are twelve *different* jumps, as in the paper.
+* :class:`Fault` — deviations from the standing-long-jump standard.  Faults
+  rewrite the *script* (replacing or removing keyframes) so the rendered
+  motion genuinely lacks the required element and the ground-truth labels
+  stay truthful; the scoring module then has real mistakes to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from enum import Enum
+
+import numpy as np
+
+from repro.core.poses import Pose
+from repro.errors import ConfigurationError
+from repro.synth.body import BodyDimensions, JointAngles
+from repro.synth.motion import ScriptStep
+from repro.utils.rng import ensure_rng
+
+
+class Fault(Enum):
+    """Standard violations the scoring module must detect (§1's "incorrect
+    movements ... different from the standing long jump standards")."""
+
+    NO_ARM_SWING = "no preparatory arm swing"
+    NO_CROUCH = "knees not bent before take-off"
+    NO_EXTENSION = "no full extension at take-off"
+    NO_TUCK = "legs not tucked or extended during flight"
+    STIFF_LANDING = "knees not bent at landing"
+
+
+#: Keyframe rewrites per fault: pose → replacement (None removes the step).
+_FAULT_REWRITES: "dict[Fault, dict[Pose, Pose | None]]" = {
+    Fault.NO_ARM_SWING: {
+        Pose.STANDING_HANDS_SWUNG_FORWARD: Pose.STANDING_HANDS_OVERLAP,
+        Pose.STANDING_HANDS_SWUNG_UP: Pose.STANDING_HANDS_OVERLAP,
+        Pose.STANDING_HANDS_SWUNG_BACKWARD: Pose.STANDING_HANDS_OVERLAP,
+        Pose.STANDING_HANDS_RAISED_FORWARD: Pose.STANDING_HANDS_OVERLAP,
+    },
+    Fault.NO_CROUCH: {
+        Pose.KNEES_BENT_HANDS_BACKWARD: Pose.STANDING_HANDS_SWUNG_BACKWARD,
+        Pose.KNEES_BENT_HANDS_FORWARD: Pose.STANDING_HANDS_SWUNG_FORWARD,
+    },
+    Fault.NO_EXTENSION: {
+        Pose.EXTENSION_HANDS_RAISED_FORWARD: None,
+        Pose.TAKEOFF_BODY_FORWARD: Pose.TAKEOFF_ARMS_UP,
+    },
+    Fault.NO_TUCK: {
+        Pose.AIRBORNE_KNEES_TUCKED: Pose.AIRBORNE_BODY_EXTENDED,
+        Pose.AIRBORNE_PIKE: Pose.AIRBORNE_BODY_EXTENDED,
+        Pose.AIRBORNE_LEGS_FORWARD: Pose.AIRBORNE_BODY_EXTENDED,
+    },
+    Fault.STIFF_LANDING: {
+        Pose.TOUCHDOWN_KNEES_BENT: Pose.LANDING_STANDING_UP,
+        Pose.LANDING_DEEP_SQUAT: Pose.LANDING_STANDING_UP,
+        Pose.LANDING_WAIST_BENT_ARMS_FORWARD: Pose.LANDING_STANDING_UP,
+    },
+}
+
+
+def apply_faults(
+    steps: "tuple[ScriptStep, ...]", faults: "tuple[Fault, ...]"
+) -> "tuple[ScriptStep, ...]":
+    """Rewrite a keyframe script so it exhibits ``faults``.
+
+    Consecutive duplicate keyframes produced by a rewrite are merged
+    (holds added) so the motion stays smooth and the frame budget stays
+    roughly constant.
+    """
+    rewritten: list[ScriptStep] = []
+    for step in steps:
+        pose: "Pose | None" = step.pose
+        for fault in faults:
+            if pose is None:
+                break
+            pose = _FAULT_REWRITES.get(fault, {}).get(pose, pose)
+        if pose is None:
+            continue
+        if rewritten and rewritten[-1].pose == pose:
+            previous = rewritten.pop()
+            rewritten.append(
+                ScriptStep(
+                    pose,
+                    hold=previous.hold + step.hold,
+                    transition=step.transition,
+                )
+            )
+        else:
+            rewritten.append(ScriptStep(pose, hold=step.hold, transition=step.transition))
+    if not rewritten:
+        raise ConfigurationError("fault rewrites removed every keyframe")
+    return tuple(rewritten)
+
+
+@dataclass(frozen=True)
+class SubjectProfile:
+    """One jumper's anthropometry and execution style for a single clip."""
+
+    scale: float = 1.0
+    angle_jitter_deg: float = 3.0
+    flight_span: float = 170.0
+    flight_apex: float = 18.0
+    start_x: float = 80.0
+    faults: "tuple[Fault, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if not (0.5 <= self.scale <= 2.0):
+            raise ConfigurationError(f"scale must be in [0.5, 2], got {self.scale}")
+        if self.angle_jitter_deg < 0:
+            raise ConfigurationError(
+                f"angle_jitter_deg must be >= 0, got {self.angle_jitter_deg}"
+            )
+
+    def body_dimensions(self) -> BodyDimensions:
+        """Dimensions scaled to this subject."""
+        return BodyDimensions().scaled(self.scale)
+
+
+def sample_profile(
+    seed: "int | np.random.Generator | None" = None,
+    faults: "tuple[Fault, ...]" = (),
+) -> SubjectProfile:
+    """Draw a subject profile with realistic spread."""
+    rng = ensure_rng(seed)
+    scale = float(np.clip(rng.normal(1.0, 0.05), 0.88, 1.12))
+    span = float(rng.normal(170.0, 14.0))
+    apex = float(rng.normal(18.0, 2.5))
+    start_x = float(rng.normal(80.0, 5.0))
+    return SubjectProfile(
+        scale=scale,
+        angle_jitter_deg=float(np.clip(rng.normal(2.2, 0.6), 0.5, 5.0)),
+        flight_span=float(np.clip(span, 120.0, 210.0)),
+        flight_apex=float(np.clip(apex, 10.0, 26.0)),
+        start_x=float(np.clip(start_x, 60.0, 100.0)),
+        faults=faults,
+    )
+
+
+def jitter_postures(
+    postures: "dict[Pose, JointAngles]",
+    sigma_deg: float,
+    seed: "int | np.random.Generator | None" = None,
+) -> "dict[Pose, JointAngles]":
+    """Add independent Gaussian jitter to every joint of every posture.
+
+    This models execution-style differences between subjects; the jitter is
+    drawn once per clip so a sloppy jumper is *consistently* sloppy within
+    the clip.
+    """
+    rng = ensure_rng(seed)
+    if sigma_deg < 0:
+        raise ConfigurationError(f"sigma_deg must be >= 0, got {sigma_deg}")
+    if sigma_deg == 0:
+        return dict(postures)
+    jittered: dict[Pose, JointAngles] = {}
+    angle_fields = [f.name for f in fields(JointAngles)]
+    for pose, angles in postures.items():
+        offsets = {
+            name: float(rng.normal(0.0, sigma_deg)) for name in angle_fields
+        }
+        jittered[pose] = angles.with_offsets(**offsets)
+    return jittered

@@ -1,0 +1,24 @@
+"""Skeletonisation by iterative thinning.
+
+:func:`zhang_suen_thin` is the paper's "Z-S algorithm" [6]: a two-subpass
+peeling scheme that is fast and avoids broken lines.  :func:`guo_hall_thin`
+is a closely related alternative kept for ablation benchmarks.
+"""
+
+from repro.thinning.neighborhood import (
+    crossing_number,
+    neighbor_count,
+    neighbor_stack,
+    transition_count,
+)
+from repro.thinning.zhangsuen import zhang_suen_thin
+from repro.thinning.guohall import guo_hall_thin
+
+__all__ = [
+    "crossing_number",
+    "neighbor_count",
+    "neighbor_stack",
+    "transition_count",
+    "zhang_suen_thin",
+    "guo_hall_thin",
+]

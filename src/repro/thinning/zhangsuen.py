@@ -1,0 +1,73 @@
+"""Zhang–Suen thinning — the paper's "Z-S algorithm" [6].
+
+Peels boundary pixels in two alternating sub-iterations until stable.  A
+pixel P1 is deleted in sub-iteration 1 when all of the following hold:
+
+    (a) 2 <= B(P1) <= 6
+    (b) A(P1) == 1
+    (c) P2 * P4 * P6 == 0
+    (d) P4 * P6 * P8 == 0
+
+Sub-iteration 2 swaps (c)/(d) for ``P2 * P4 * P8 == 0`` and
+``P2 * P6 * P8 == 0``.  Conditions (a)–(b) preserve connectivity and
+endpoints; the asymmetric (c)/(d) pairs peel north-west then south-east so
+the skeleton stays centred.  The result is an 8-connected, one-pixel-wide
+skeleton — rough, as the paper notes, with loops/corners/short spurs that
+:mod:`repro.skeleton` cleans up afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import ensure_binary
+from repro.thinning.neighborhood import neighbor_stack
+
+# Indices into the neighbour stack (P2 is plane 0).
+_P2, _P3, _P4, _P5, _P6, _P7, _P8, _P9 = range(8)
+
+
+def _subiteration(mask: np.ndarray, first: bool) -> np.ndarray:
+    """Return the mask with one sub-iteration's deletable pixels removed."""
+    stack = neighbor_stack(mask)
+    b = stack.sum(axis=0)
+    rolled = np.roll(stack, -1, axis=0)
+    a = np.logical_and(~stack, rolled).sum(axis=0)
+    if first:
+        cond_c = ~(stack[_P2] & stack[_P4] & stack[_P6])
+        cond_d = ~(stack[_P4] & stack[_P6] & stack[_P8])
+    else:
+        cond_c = ~(stack[_P2] & stack[_P4] & stack[_P8])
+        cond_d = ~(stack[_P2] & stack[_P6] & stack[_P8])
+    deletable = mask & (b >= 2) & (b <= 6) & (a == 1) & cond_c & cond_d
+    return mask & ~deletable
+
+
+def zhang_suen_thin(mask: np.ndarray, max_iterations: int = 0) -> np.ndarray:
+    """Thin a silhouette to a one-pixel-wide skeleton.
+
+    Args:
+        mask: binary silhouette.
+        max_iterations: safety bound on full (two-subpass) iterations;
+            0 means iterate until convergence.  The loop always converges
+            because every iteration strictly shrinks the foreground.
+
+    Returns:
+        Boolean skeleton image of the same shape.
+    """
+    binary = ensure_binary(mask).copy()
+    if binary.ndim != 2:
+        raise ImageError(f"expected a 2-D mask, got shape {binary.shape}")
+    iterations = 0
+    while True:
+        after_first = _subiteration(binary, first=True)
+        after_second = _subiteration(after_first, first=False)
+        changed = bool(np.any(after_second != binary))
+        binary = after_second
+        iterations += 1
+        if not changed:
+            break
+        if max_iterations and iterations >= max_iterations:
+            break
+    return binary

@@ -1,0 +1,18 @@
+"""Small shared utilities: seeded RNG plumbing, validation, ASCII rendering."""
+
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,104 @@
+"""ASCII rendering of binary images, skeletons, and key points.
+
+The paper's figures are photographs and skeleton overlays; in a headless
+reproduction the equivalent artefact is a deterministic text rendering.
+Every figure-regeneration benchmark uses these helpers so the "figures" can
+be eyeballed in a terminal or diffed in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+
+def render_binary(image: np.ndarray, on: str = "#", off: str = ".") -> str:
+    """Render a 2-D binary array as text, one character per pixel.
+
+    Rows map top-to-bottom to text lines; this matches image coordinates
+    (row 0 at the top) so renderings line up with the paper's figures.
+    """
+    if image.ndim != 2:
+        raise ImageError(f"expected a 2-D array, got shape {image.shape}")
+    mask = image.astype(bool)
+    return "\n".join("".join(on if v else off for v in row) for row in mask)
+
+
+def render_layers(
+    shape: tuple[int, int],
+    layers: "list[tuple[np.ndarray, str]]",
+    off: str = ".",
+) -> str:
+    """Render several binary layers onto one canvas.
+
+    ``layers`` is a list of ``(mask, char)`` pairs painted in order, so later
+    layers (e.g. key points) overwrite earlier ones (e.g. the skeleton).
+    """
+    canvas = np.full(shape, off, dtype="<U1")
+    for mask, char in layers:
+        if mask.shape != shape:
+            raise ImageError(
+                f"layer shape {mask.shape} does not match canvas shape {shape}"
+            )
+        canvas[mask.astype(bool)] = char
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_points(
+    shape: tuple[int, int],
+    points: "dict[str, tuple[int, int]]",
+    base: "np.ndarray | None" = None,
+) -> str:
+    """Render labelled points (first letter of each label) over ``base``.
+
+    ``points`` maps a label (e.g. ``"Head"``) to an ``(row, col)`` pixel.
+    Points outside the canvas are ignored rather than raising, because the
+    torso-midpoint arithmetic can land half a pixel outside a tight crop.
+    """
+    canvas = np.full(shape, ".", dtype="<U1")
+    if base is not None:
+        if base.shape != shape:
+            raise ImageError(
+                f"base shape {base.shape} does not match canvas shape {shape}"
+            )
+        canvas[base.astype(bool)] = "+"
+    for label, (row, col) in points.items():
+        r, c = int(round(row)), int(round(col))
+        if 0 <= r < shape[0] and 0 <= c < shape[1]:
+            canvas[r, c] = (label or "?")[0].upper()
+    return "\n".join("".join(row) for row in canvas)
+
+
+def downsample_for_display(image: np.ndarray, max_width: int = 78) -> np.ndarray:
+    """Shrink a binary image by integer block-max pooling to fit a terminal.
+
+    Max pooling (any pixel on → block on) keeps one-pixel-wide skeletons
+    visible, which mean pooling would wash out.
+    """
+    if image.ndim != 2:
+        raise ImageError(f"expected a 2-D array, got shape {image.shape}")
+    if max_width < 1:
+        raise ImageError(f"max_width must be >= 1, got {max_width}")
+    height, width = image.shape
+    factor = max(1, int(np.ceil(width / max_width)))
+    pad_h = (-height) % factor
+    pad_w = (-width) % factor
+    padded = np.pad(image.astype(bool), ((0, pad_h), (0, pad_w)))
+    blocks = padded.reshape(
+        padded.shape[0] // factor, factor, padded.shape[1] // factor, factor
+    )
+    return blocks.any(axis=(1, 3))
+
+
+def histogram_bar(counts: "dict[str, float]", width: int = 40) -> str:
+    """Render a labelled horizontal bar chart (used in benchmark reports)."""
+    if not counts:
+        return "(empty)"
+    peak = max(counts.values())
+    label_width = max(len(k) for k in counts)
+    lines = []
+    for key, value in counts.items():
+        bar = "" if peak <= 0 else "#" * int(round(width * value / peak))
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Argument validators shared across the package.
+
+These raise :class:`~repro.errors.ConfigurationError` with a message that
+names the offending parameter, so configuration mistakes fail fast at the
+public API boundary instead of deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise ConfigurationError(
+            f"{name} must be of type {names}, got {type(value).__name__}"
+        )
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Raise unless ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, inclusive: bool = True
+) -> None:
+    """Raise unless ``low <= value <= high`` (or strict inequalities)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ConfigurationError(f"{name} must be in ({low}, {high}), got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise unless ``value`` is a valid probability."""
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_odd(name: str, value: int) -> None:
+    """Raise unless ``value`` is an odd integer (window sizes, kernels)."""
+    check_type(name, value, int)
+    if value % 2 != 1:
+        raise ConfigurationError(f"{name} must be odd, got {value}")

@@ -1,0 +1,59 @@
+"""Shared fixtures: one pilot corpus and one trained system per session.
+
+Training the full system is the expensive step (tens of seconds), so the
+pilot protocol (4 train / 2 test clips) is trained once and shared by
+every test that needs a working analyzer.  Tests that mutate nothing may
+use these session fixtures freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import VisionFrontEnd
+from repro.experiments.protocol import pilot_dataset, trained_pilot_analyzer
+from repro.skeleton.pipeline import SkeletonExtractor
+from repro.synth.dataset import make_clip
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The pilot corpus (4 train / 2 test clips)."""
+    return pilot_dataset(0)
+
+
+@pytest.fixture(scope="session")
+def analyzer(dataset):
+    """The full system trained on the pilot corpus."""
+    return trained_pilot_analyzer(0)
+
+
+@pytest.fixture(scope="session")
+def sample_clip():
+    """One standalone clip with ground truth."""
+    return make_clip("fixture-clip", seed=11, variant=0, target_frames=40)
+
+
+@pytest.fixture(scope="session")
+def sample_silhouette(sample_clip):
+    """A clean ground-truth silhouette mid-jump."""
+    return sample_clip.silhouettes[12]
+
+
+@pytest.fixture(scope="session")
+def sample_skeleton(sample_silhouette):
+    """The §3 skeleton of the sample silhouette."""
+    return SkeletonExtractor().extract(sample_silhouette)
+
+
+@pytest.fixture(scope="session")
+def front_end():
+    """A default vision front-end."""
+    return VisionFrontEnd()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

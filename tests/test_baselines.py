@@ -1,0 +1,147 @@
+"""GA stick fitter, static BN, stage-free HMM, nearest centroid."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.genetic import GAConfig, GeneticSkeletonFitter
+from repro.baselines.hmm import PoseHMMClassifier
+from repro.baselines.nearest import NearestCentroidClassifier
+from repro.baselines.static_bn import StaticBNClassifier
+from repro.core.poses import Pose
+from repro.errors import ConfigurationError, LearningError, ModelError
+
+
+def test_ga_config_validation():
+    with pytest.raises(ConfigurationError):
+        GAConfig(population_size=2)
+    with pytest.raises(ConfigurationError):
+        GAConfig(generations=0)
+    with pytest.raises(ConfigurationError):
+        GAConfig(elitism=40, population_size=40)
+
+
+def test_ga_fits_a_standing_silhouette(sample_silhouette):
+    config = GAConfig(population_size=20, generations=10)
+    fitter = GeneticSkeletonFitter(config=config)
+    result = fitter.fit(sample_silhouette, seed=0)
+    assert result.fitness > 0.3, "GA should find substantial overlap"
+    assert result.evaluations == 20 * 11
+    assert len(result.fitness_history) == 11
+
+
+def test_ga_fitness_monotone_history(sample_silhouette):
+    config = GAConfig(population_size=16, generations=8, elitism=2)
+    result = GeneticSkeletonFitter(config=config).fit(sample_silhouette, seed=1)
+    history = result.fitness_history
+    assert all(b >= a - 1e-12 for a, b in zip(history[:-1], history[1:])), \
+        "elitism makes best fitness non-decreasing"
+
+
+def test_ga_deterministic_per_seed(sample_silhouette):
+    config = GAConfig(population_size=12, generations=4)
+    a = GeneticSkeletonFitter(config=config).fit(sample_silhouette, seed=5)
+    b = GeneticSkeletonFitter(config=config).fit(sample_silhouette, seed=5)
+    assert a.fitness == b.fitness
+    assert a.pelvis_row == b.pelvis_row
+
+
+def test_ga_rejects_empty_silhouette():
+    with pytest.raises(ConfigurationError):
+        GeneticSkeletonFitter().fit(np.zeros((50, 50), dtype=bool))
+
+
+def test_ga_much_slower_than_thinning(sample_silhouette):
+    """The §1 claim: GA skeletonisation is far more expensive."""
+    import time
+
+    from repro.thinning.zhangsuen import zhang_suen_thin
+
+    start = time.perf_counter()
+    zhang_suen_thin(sample_silhouette)
+    thinning_seconds = time.perf_counter() - start
+
+    # Even a GA far smaller than the realistic configuration (40x30)
+    # costs a multiple of thinning.
+    config = GAConfig(population_size=24, generations=12)
+    start = time.perf_counter()
+    GeneticSkeletonFitter(config=config).fit(sample_silhouette, seed=0)
+    ga_seconds = time.perf_counter() - start
+    assert ga_seconds > 3 * thinning_seconds
+
+
+def test_static_bn_requires_fitted_observation():
+    from repro.core.posebank import PoseObservationModel
+
+    with pytest.raises(ModelError):
+        StaticBNClassifier(PoseObservationModel())
+
+
+def test_static_bn_classifies_frames(analyzer, dataset):
+    static = StaticBNClassifier(
+        analyzer.models.observation, analyzer.models.report.pose_counts
+    )
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+    predictions = static.classify(candidates)
+    assert len(predictions) == len(clip)
+    assert all(p.pose is not None for p in predictions)
+
+
+def test_static_bn_empty_candidates_fall_back_to_prior(analyzer):
+    static = StaticBNClassifier(
+        analyzer.models.observation, analyzer.models.report.pose_counts
+    )
+    predictions = static.classify([[]])
+    assert predictions[0].pose is not None
+
+
+def test_hmm_requires_fit(analyzer):
+    hmm = PoseHMMClassifier(analyzer.models.observation)
+    with pytest.raises(ModelError):
+        hmm.classify([[]])
+    with pytest.raises(LearningError):
+        hmm.fit_transitions([])
+
+
+def test_hmm_classifies_and_underperforms_full_dbn(analyzer, dataset):
+    """Without the stage flag the twins collapse — accuracy must not beat
+    the full model (Figure 7's point)."""
+    hmm = PoseHMMClassifier(analyzer.models.observation).fit_transitions(
+        [list(clip.labels) for clip in dataset.train]
+    )
+    from repro.experiments.ablations import _evaluate_custom_classifier
+
+    hmm_result = _evaluate_custom_classifier(analyzer, dataset, hmm)
+    full_result = analyzer.evaluate(dataset.test)
+    assert hmm_result.overall_accuracy <= full_result.overall_accuracy + 0.02
+
+
+def test_nearest_centroid_fits_and_classifies(analyzer, dataset):
+    samples = []
+    for clip in dataset.train[:2]:
+        for index, feature in analyzer.front_end.supervised_features(clip):
+            samples.append((clip.labels[index], feature))
+    baseline = NearestCentroidClassifier().fit(samples)
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+    predictions = baseline.classify(candidates)
+    assert len(predictions) == len(clip)
+
+
+def test_nearest_centroid_requires_fit():
+    with pytest.raises(LearningError):
+        NearestCentroidClassifier().classify([[]])
+    with pytest.raises(LearningError):
+        NearestCentroidClassifier().fit([])
+
+
+def test_ga_result_body_pose_conversion(sample_silhouette):
+    from repro.synth.renderer import RenderSettings
+
+    config = GAConfig(population_size=8, generations=2)
+    result = GeneticSkeletonFitter(config=config).fit(sample_silhouette, seed=2)
+    settings = RenderSettings(
+        shape=sample_silhouette.shape, ground_row=sample_silhouette.shape[0] - 1
+    )
+    pose = result.body_pose(settings)
+    assert pose.pelvis.x == pytest.approx(result.pelvis_col)

@@ -1,0 +1,183 @@
+"""Two-slice DBN: filtering, smoothing, Viterbi — vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.dbn import TwoSliceDBN, previous_slice
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.errors import InferenceError, ModelError
+
+S = Variable.binary("s")
+
+
+def _sticky_dbn(stay=0.9):
+    prior = Factor((S,), np.array([0.5, 0.5]))
+    table = np.array([[stay, 1 - stay], [1 - stay, stay]])
+    cpd = TabularCPD(S, (previous_slice(S),), table)
+    return TwoSliceDBN((S,), prior, [cpd])
+
+
+def _random_dbn(seed, cards=(2, 3)):
+    """Two state variables; the second depends on the first intra-slice."""
+    rng = np.random.default_rng(seed)
+    x = Variable.categorical("x", cards[0])
+    y = Variable.categorical("y", cards[1])
+    prior_raw = rng.uniform(0.1, 1.0, (cards[0], cards[1]))
+    prior = Factor((x, y), prior_raw / prior_raw.sum())
+    raw_x = rng.uniform(0.1, 1.0, (cards[0], cards[0]))
+    cpd_x = TabularCPD(x, (previous_slice(x),), raw_x / raw_x.sum(axis=0))
+    raw_y = rng.uniform(0.1, 1.0, (cards[1], cards[1], cards[0]))
+    cpd_y = TabularCPD(
+        y, (previous_slice(y), x), raw_y / raw_y.sum(axis=0)
+    )
+    return TwoSliceDBN((x, y), prior, [cpd_x, cpd_y]), rng
+
+
+def _brute_force_filter(dbn, likelihoods):
+    """Enumerate all joint trajectories (tiny models only)."""
+    n_states = dbn.joint_cardinality
+    t_steps = len(likelihoods)
+    transition = dbn.transition_matrix
+    prior = dbn.prior_vector
+    # alpha recursion done naively with explicit loops.
+    alpha = prior * likelihoods[0]
+    alphas = [alpha / alpha.sum()]
+    for t in range(1, t_steps):
+        alpha = (transition.T @ alphas[-1]) * likelihoods[t]
+        alphas.append(alpha / alpha.sum())
+    return np.stack(alphas)
+
+
+def test_transition_matrix_rows_sum_to_one():
+    dbn = _sticky_dbn()
+    assert np.allclose(dbn.transition_matrix.sum(axis=1), 1.0)
+
+
+def test_joint_index_round_trip():
+    dbn, _ = _random_dbn(0)
+    for index in range(dbn.joint_cardinality):
+        assignment = dbn.assignment_of(index)
+        assert dbn.joint_index(assignment) == index
+    with pytest.raises(ModelError):
+        dbn.assignment_of(dbn.joint_cardinality)
+
+
+def test_filter_matches_reference_sticky():
+    dbn = _sticky_dbn()
+    liks = [np.array([0.9, 0.1]), np.array([0.5, 0.5]), np.array([0.1, 0.9])]
+    filtered = dbn.filter(liks)
+    reference = _brute_force_filter(dbn, liks)
+    assert np.allclose(filtered, reference)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_filter_matches_reference_random(seed):
+    dbn, rng = _random_dbn(seed)
+    liks = [rng.uniform(0.05, 1.0, dbn.joint_cardinality) for _ in range(5)]
+    assert np.allclose(dbn.filter(liks), _brute_force_filter(dbn, liks))
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_smooth_matches_trajectory_enumeration(seed):
+    """Forward-backward equals explicit sum over all trajectories."""
+    dbn, rng = _random_dbn(seed)
+    n = dbn.joint_cardinality
+    t_steps = 3
+    liks = [rng.uniform(0.05, 1.0, n) for _ in range(t_steps)]
+    smoothed = dbn.smooth(liks)
+
+    transition = dbn.transition_matrix
+    prior = dbn.prior_vector
+    posterior = np.zeros((t_steps, n))
+    total = 0.0
+    for s0 in range(n):
+        for s1 in range(n):
+            for s2 in range(n):
+                weight = (
+                    prior[s0] * liks[0][s0]
+                    * transition[s0, s1] * liks[1][s1]
+                    * transition[s1, s2] * liks[2][s2]
+                )
+                total += weight
+                posterior[0, s0] += weight
+                posterior[1, s1] += weight
+                posterior[2, s2] += weight
+    posterior /= total
+    assert np.allclose(smoothed, posterior, atol=1e-10)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_viterbi_matches_trajectory_enumeration(seed):
+    dbn, rng = _random_dbn(seed)
+    n = dbn.joint_cardinality
+    liks = [rng.uniform(0.05, 1.0, n) for _ in range(3)]
+    path = dbn.viterbi(liks)
+
+    transition = dbn.transition_matrix
+    prior = dbn.prior_vector
+    best_score, best_path = -1.0, None
+    for s0 in range(n):
+        for s1 in range(n):
+            for s2 in range(n):
+                score = (
+                    prior[s0] * liks[0][s0]
+                    * transition[s0, s1] * liks[1][s1]
+                    * transition[s1, s2] * liks[2][s2]
+                )
+                if score > best_score:
+                    best_score, best_path = score, [s0, s1, s2]
+    enumerated = (
+        prior[path[0]] * liks[0][path[0]]
+        * transition[path[0], path[1]] * liks[1][path[1]]
+        * transition[path[1], path[2]] * liks[2][path[2]]
+    )
+    assert enumerated == pytest.approx(best_score)
+
+
+def test_zero_likelihood_recovery():
+    """An impossible observation must not kill the filter (§5 behaviour)."""
+    dbn = _sticky_dbn()
+    liks = [np.array([1.0, 0.0]), np.array([0.0, 0.0]), np.array([0.5, 0.5])]
+    filtered = dbn.filter(liks)
+    assert np.all(np.isfinite(filtered))
+    assert np.allclose(filtered.sum(axis=1), 1.0)
+
+
+def test_filter_rejects_wrong_length():
+    dbn = _sticky_dbn()
+    with pytest.raises(InferenceError):
+        dbn.filter([np.ones(3)])
+
+
+def test_viterbi_empty_sequence():
+    assert _sticky_dbn().viterbi([]) == []
+
+
+def test_dbn_validates_construction():
+    prior = Factor((S,), np.array([0.5, 0.5]))
+    bad_parent = Variable("t_prev", ("no", "yes"))
+    cpd = TabularCPD(S, (bad_parent,), np.array([[0.9, 0.2], [0.1, 0.8]]))
+    with pytest.raises(ModelError, match="outside"):
+        TwoSliceDBN((S,), prior, [cpd])
+
+
+def test_dbn_requires_cpd_per_state_var():
+    prior = Factor((S,), np.array([0.5, 0.5]))
+    with pytest.raises(ModelError):
+        TwoSliceDBN((S,), prior, [])
+
+
+def test_intra_slice_cycle_detected():
+    x = Variable.binary("x")
+    y = Variable.binary("y")
+    prior = Factor((x, y), np.full((2, 2), 0.25))
+    cpd_x = TabularCPD(x, (y,), np.full((2, 2), 0.5))
+    cpd_y = TabularCPD(y, (x,), np.full((2, 2), 0.5))
+    with pytest.raises(ModelError, match="cycle"):
+        TwoSliceDBN((x, y), prior, [cpd_x, cpd_y])

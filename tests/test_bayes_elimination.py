@@ -1,0 +1,121 @@
+"""Variable elimination vs brute-force joint inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.elimination import VariableElimination
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.variables import Variable
+from repro.errors import InferenceError, ModelError
+
+
+def _random_network(seed, n_nodes=5, max_card=3):
+    """A random DAG over n_nodes with random CPDs (edges i->j for i<j)."""
+    rng = np.random.default_rng(seed)
+    variables = [
+        Variable.categorical(f"v{i}", int(rng.integers(2, max_card + 1)))
+        for i in range(n_nodes)
+    ]
+    network = BayesianNetwork()
+    for j, child in enumerate(variables):
+        parent_pool = list(range(j))
+        rng.shuffle(parent_pool)
+        parents = tuple(variables[i] for i in sorted(parent_pool[: rng.integers(0, min(3, j) + 1)]))
+        shape = (child.cardinality,) + tuple(p.cardinality for p in parents)
+        raw = rng.uniform(0.1, 1.0, shape)
+        table = raw / raw.sum(axis=0, keepdims=True)
+        network.add_cpd(TabularCPD(child, parents, table))
+    network.validate()
+    return network, variables
+
+
+def _brute_posterior(network, target, evidence):
+    joint = network.joint()
+    reduced = joint.reduce(evidence)
+    others = [n for n in reduced.scope_names if n != target]
+    return reduced.marginalize(others).normalized() if others else reduced.normalized()
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_ve_matches_brute_force_no_evidence(seed):
+    network, variables = _random_network(seed)
+    ve = VariableElimination(network)
+    target = variables[seed % len(variables)].name
+    fast = ve.query(target)
+    slow = _brute_posterior(network, target, {})
+    assert np.allclose(fast.values, slow.permuted([target]).values, atol=1e-10)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_ve_matches_brute_force_with_evidence(seed):
+    network, variables = _random_network(seed)
+    ve = VariableElimination(network)
+    target = variables[0].name
+    evidence_var = variables[-1]
+    evidence = {evidence_var.name: int(seed) % evidence_var.cardinality}
+    if target in evidence:
+        return
+    fast = ve.query(target, evidence)
+    slow = _brute_posterior(network, target, evidence)
+    assert np.allclose(fast.values, slow.permuted([target]).values, atol=1e-10)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_evidence_probability_matches_joint(seed):
+    network, variables = _random_network(seed, n_nodes=4)
+    ve = VariableElimination(network)
+    evidence = {variables[1].name: 0, variables[3].name: 0}
+    fast = ve.evidence_probability(evidence)
+    joint = network.joint()
+    slow = float(
+        joint.reduce(evidence)
+        .marginalize([n for n in joint.scope_names if n not in evidence])
+        .values
+    )
+    assert fast == pytest.approx(slow, abs=1e-12)
+
+
+def test_multi_target_query():
+    network, variables = _random_network(3)
+    ve = VariableElimination(network)
+    posterior = ve.query([variables[0].name, variables[1].name])
+    assert posterior.values.sum() == pytest.approx(1.0)
+    assert posterior.scope_names == (variables[0].name, variables[1].name)
+
+
+def test_map_assignment_matches_argmax():
+    network, variables = _random_network(11)
+    ve = VariableElimination(network)
+    targets = [variables[0].name, variables[2].name]
+    assignment = ve.map_assignment(targets)
+    posterior = ve.query(targets)
+    assert assignment == posterior.argmax()
+
+
+def test_query_rejects_unknown_and_overlapping():
+    network, variables = _random_network(0)
+    ve = VariableElimination(network)
+    with pytest.raises(ModelError):
+        ve.query("nope")
+    with pytest.raises(InferenceError):
+        ve.query(variables[0].name, {variables[0].name: 0})
+
+
+def test_unnormalized_query_mass_is_evidence_probability():
+    network, variables = _random_network(5)
+    ve = VariableElimination(network)
+    evidence = {variables[-1].name: 0}
+    unnormalised = ve.query(variables[0].name, evidence, normalize=False)
+    assert unnormalised.values.sum() == pytest.approx(
+        ve.evidence_probability(evidence), abs=1e-12
+    )
+
+
+def test_empty_evidence_probability_is_one():
+    network, _ = _random_network(9)
+    assert VariableElimination(network).evidence_probability({}) == 1.0

@@ -1,0 +1,167 @@
+"""Factor algebra: product, marginalisation, reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayes.factor import Factor
+from repro.bayes.variables import Variable
+from repro.errors import InferenceError, ModelError
+
+A = Variable("a", ("a0", "a1"))
+B = Variable("b", ("b0", "b1", "b2"))
+C = Variable("c", ("c0", "c1"))
+
+
+def _random_factor(variables, rng):
+    shape = tuple(v.cardinality for v in variables)
+    return Factor(variables, rng.uniform(0.1, 1.0, shape))
+
+
+def test_shape_validation():
+    with pytest.raises(ModelError):
+        Factor([A], np.ones((3,)))
+    with pytest.raises(ModelError):
+        Factor([A, B], np.ones((2, 2)))
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ModelError):
+        Factor([A], np.array([0.5, -0.1]))
+
+
+def test_duplicate_scope_rejected():
+    with pytest.raises(ModelError):
+        Factor([A, A], np.ones((2, 2)))
+
+
+def test_values_read_only():
+    f = Factor([A], np.array([0.5, 0.5]))
+    with pytest.raises(ValueError):
+        f.values[0] = 1.0
+
+
+def test_product_disjoint_scopes_is_outer():
+    f = Factor([A], np.array([2.0, 3.0]))
+    g = Factor([B], np.array([1.0, 10.0, 100.0]))
+    product = f * g
+    assert product.scope_names == ("a", "b")
+    assert product.values[1, 2] == pytest.approx(300.0)
+
+
+def test_product_shared_scope_elementwise():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    g = Factor([B], np.array([1.0, 2.0, 3.0]))
+    product = f * g
+    assert product.values[1, 1] == pytest.approx(4 * 2)
+
+
+def test_product_conflicting_variable_definition():
+    other_a = Variable("a", ("x", "y", "z"))
+    with pytest.raises(ModelError):
+        Factor([A], np.ones(2)) * Factor([other_a], np.ones(3))
+
+
+def test_marginalize_sums_out():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    marged = f.marginalize("b")
+    assert marged.scope_names == ("a",)
+    assert marged.values.tolist() == [3.0, 12.0]
+
+
+def test_marginalize_everything_gives_scalar():
+    f = Factor([A], np.array([1.0, 2.0]))
+    scalar = f.marginalize(["a"])
+    assert scalar.values == pytest.approx(3.0)
+
+
+def test_marginalize_absent_variable():
+    with pytest.raises(ModelError):
+        Factor([A], np.ones(2)).marginalize("zzz")
+
+
+def test_reduce_by_index_and_label():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    by_index = f.reduce({"a": 1})
+    by_label = f.reduce({"a": "a1"})
+    assert np.array_equal(by_index.values, by_label.values)
+    assert by_index.scope_names == ("b",)
+
+
+def test_reduce_all_gives_scalar():
+    f = Factor([A], np.array([1.0, 5.0]))
+    assert float(f.reduce({"a": 1}).values) == 5.0
+
+
+def test_reduce_unknown_variable():
+    with pytest.raises(ModelError):
+        Factor([A], np.ones(2)).reduce({"q": 0})
+
+
+def test_normalized_sums_to_one():
+    f = Factor([A, B], np.arange(1, 7, dtype=float).reshape(2, 3))
+    assert f.normalized().values.sum() == pytest.approx(1.0)
+
+
+def test_normalize_zero_mass_raises():
+    with pytest.raises(InferenceError):
+        Factor([A], np.zeros(2)).normalized()
+
+
+def test_permuted_transposes():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    p = f.permuted(["b", "a"])
+    assert p.scope_names == ("b", "a")
+    assert np.array_equal(p.values, f.values.T)
+    with pytest.raises(ModelError):
+        f.permuted(["a"])
+
+
+def test_probability_full_assignment():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    assert f.probability({"a": 1, "b": "b2"}) == 5.0
+    with pytest.raises(ModelError):
+        f.probability({"a": 1})
+
+
+def test_argmax():
+    f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+    assert f.argmax() == {"a": 1, "b": 2}
+
+
+def test_uniform_and_unit():
+    u = Factor.uniform([A, B])
+    assert u.values.sum() == 6.0
+    assert float(Factor.unit().values) == 1.0
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_product_commutes_up_to_permutation(seed):
+    rng = np.random.default_rng(seed)
+    f = _random_factor([A, B], rng)
+    g = _random_factor([B, C], rng)
+    fg = (f * g).permuted(["a", "b", "c"])
+    gf = (g * f).permuted(["a", "b", "c"])
+    assert np.allclose(fg.values, gf.values)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_marginalization_order_does_not_matter(seed):
+    rng = np.random.default_rng(seed)
+    f = _random_factor([A, B, C], rng)
+    ab = f.marginalize("c").marginalize("b")
+    ba = f.marginalize("b").marginalize("c")
+    assert np.allclose(ab.values, ba.values)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_reduce_then_marginalize_consistency(seed):
+    """sum_b phi(a, b, c=0) == (sum_b phi)(a, c=0)."""
+    rng = np.random.default_rng(seed)
+    f = _random_factor([A, B, C], rng)
+    left = f.reduce({"c": 0}).marginalize("b")
+    right = f.marginalize("b").reduce({"c": 0})
+    assert np.allclose(left.values, right.values)

@@ -1,0 +1,94 @@
+"""Bayesian-network assembly and validation."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.variables import Variable
+from repro.errors import ModelError
+
+A = Variable.binary("a")
+B = Variable.binary("b")
+C = Variable.binary("c")
+
+
+def _chain():
+    """a -> b -> c."""
+    return BayesianNetwork([
+        TabularCPD(A, (), np.array([0.6, 0.4])),
+        TabularCPD(B, (A,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+        TabularCPD(C, (B,), np.array([[0.7, 0.3], [0.3, 0.7]])),
+    ])
+
+
+def test_nodes_and_parent_child_queries():
+    net = _chain()
+    assert net.nodes == ["a", "b", "c"]
+    assert net.parents("b") == ["a"]
+    assert net.children("a") == ["b"]
+    assert net.children("c") == []
+
+
+def test_topological_order_is_valid():
+    order = _chain().topological_order()
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_missing_parent_cpd_detected():
+    net = BayesianNetwork([
+        TabularCPD(B, (A,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+    ])
+    with pytest.raises(ModelError, match="parent"):
+        net.validate()
+
+
+def test_cycle_detected():
+    net = BayesianNetwork([
+        TabularCPD(A, (B,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+        TabularCPD(B, (A,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+    ])
+    with pytest.raises(ModelError, match="cycle"):
+        net.validate()
+
+
+def test_parent_state_disagreement_detected():
+    other_a = Variable("a", ("x", "y"))
+    net = BayesianNetwork([
+        TabularCPD(A, (), np.array([0.6, 0.4])),
+        TabularCPD(B, (other_a,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+    ])
+    with pytest.raises(ModelError, match="disagrees"):
+        net.validate()
+
+
+def test_redefining_node_with_different_states_rejected():
+    net = BayesianNetwork([TabularCPD(A, (), np.array([0.6, 0.4]))])
+    other_a = Variable("a", ("x", "y", "z"))
+    with pytest.raises(ModelError):
+        net.add_cpd(TabularCPD(other_a, (), np.array([0.2, 0.3, 0.5])))
+
+
+def test_cpd_lookup_missing():
+    with pytest.raises(ModelError):
+        _chain().cpd("zzz")
+
+
+def test_joint_sums_to_one():
+    joint = _chain().joint()
+    assert joint.values.sum() == pytest.approx(1.0)
+    assert set(joint.scope_names) == {"a", "b", "c"}
+
+
+def test_joint_matches_manual_chain_rule():
+    net = _chain()
+    joint = net.joint().permuted(["a", "b", "c"])
+    manual = np.zeros((2, 2, 2))
+    pa = net.cpd("a").table
+    pb = net.cpd("b").table
+    pc = net.cpd("c").table
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                manual[a, b, c] = pa[a] * pb[b, a] * pc[c, b]
+    assert np.allclose(joint.values, manual)

@@ -1,0 +1,91 @@
+"""Forward sampling and parameter learning close the loop."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import TabularCPD
+from repro.bayes.learning import count_table, estimate_cpd, fit_network
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import forward_sample
+from repro.bayes.variables import Variable
+from repro.errors import LearningError, ModelError
+
+A = Variable.binary("a")
+B = Variable.binary("b")
+
+
+def _network():
+    return BayesianNetwork([
+        TabularCPD(A, (), np.array([0.7, 0.3])),
+        TabularCPD(B, (A,), np.array([[0.9, 0.2], [0.1, 0.8]])),
+    ])
+
+
+def test_sample_shapes_and_ranges():
+    samples = forward_sample(_network(), 500, seed=0)
+    assert set(samples) == {"a", "b"}
+    assert samples["a"].shape == (500,)
+    assert set(np.unique(samples["a"])) <= {0, 1}
+
+
+def test_sample_respects_marginal():
+    samples = forward_sample(_network(), 20000, seed=1)
+    assert samples["a"].mean() == pytest.approx(0.3, abs=0.02)
+
+
+def test_sample_respects_conditional():
+    samples = forward_sample(_network(), 20000, seed=2)
+    b_given_a1 = samples["b"][samples["a"] == 1].mean()
+    assert b_given_a1 == pytest.approx(0.8, abs=0.03)
+
+
+def test_sample_zero_and_negative():
+    samples = forward_sample(_network(), 0, seed=0)
+    assert samples["a"].shape == (0,)
+    with pytest.raises(ModelError):
+        forward_sample(_network(), -1)
+
+
+def test_sampling_deterministic_per_seed():
+    a = forward_sample(_network(), 50, seed=9)
+    b = forward_sample(_network(), 50, seed=9)
+    assert np.array_equal(a["b"], b["b"])
+
+
+def test_count_table_shapes_and_totals():
+    data = {"a": np.array([0, 0, 1, 1, 1]), "b": np.array([0, 1, 1, 1, 0])}
+    counts = count_table(B, (A,), data)
+    assert counts.shape == (2, 2)
+    assert counts.sum() == 5
+    assert counts[1, 1] == 2  # b=1 with a=1 occurs twice
+
+
+def test_count_table_validates_inputs():
+    with pytest.raises(LearningError):
+        count_table(B, (A,), {"b": np.array([0, 1])})
+    with pytest.raises(LearningError):
+        count_table(B, (A,), {"b": np.array([0, 3]), "a": np.array([0, 0])})
+    with pytest.raises(LearningError):
+        count_table(B, (A,), {"b": np.array([0]), "a": np.array([0, 1])})
+
+
+def test_learning_recovers_generating_cpds():
+    truth = _network()
+    data = forward_sample(truth, 30000, seed=3)
+    fitted = fit_network([(A, ()), (B, (A,))], data, alpha=1.0)
+    assert np.allclose(fitted.cpd("a").table, truth.cpd("a").table, atol=0.02)
+    assert np.allclose(fitted.cpd("b").table, truth.cpd("b").table, atol=0.03)
+
+
+def test_estimate_cpd_smoothing_handles_unseen_configs():
+    data = {"a": np.zeros(10, dtype=int), "b": np.zeros(10, dtype=int)}
+    cpd = estimate_cpd(B, (A,), data, alpha=1.0)
+    # Column for a=1 never observed: smoothed to uniform.
+    assert cpd.table[:, 1].tolist() == [0.5, 0.5]
+    # Column for a=0: 11/12 vs 1/12 with add-one smoothing.
+    assert cpd.table[0, 0] == pytest.approx(11 / 12)
+
+
+def test_fit_network_empty_structure():
+    with pytest.raises(LearningError):
+        fit_network([], {}, alpha=1.0)

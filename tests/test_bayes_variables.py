@@ -1,0 +1,44 @@
+"""Discrete variables."""
+
+import pytest
+
+from repro.bayes.variables import Variable
+from repro.errors import ModelError
+
+
+def test_cardinality_and_index():
+    v = Variable("color", ("red", "green", "blue"))
+    assert v.cardinality == 3
+    assert v.index_of("green") == 1
+
+
+def test_index_of_unknown_state():
+    v = Variable.binary("x")
+    with pytest.raises(ModelError, match="x"):
+        v.index_of("maybe")
+
+
+def test_binary_and_categorical_helpers():
+    b = Variable.binary("flag")
+    assert b.states == ("no", "yes")
+    c = Variable.categorical("k", 4)
+    assert c.states == ("s0", "s1", "s2", "s3")
+
+
+def test_rejects_empty_name_and_states():
+    with pytest.raises(ModelError):
+        Variable("", ("a",))
+    with pytest.raises(ModelError):
+        Variable("x", ())
+    with pytest.raises(ModelError):
+        Variable("x", ("a", "a"))
+    with pytest.raises(ModelError):
+        Variable.categorical("x", 0)
+
+
+def test_equality_and_hash_by_content():
+    a = Variable("x", ("a", "b"))
+    b = Variable("x", ("a", "b"))
+    c = Variable("x", ("a", "c"))
+    assert a == b and hash(a) == hash(b)
+    assert a != c

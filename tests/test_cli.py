@@ -1,0 +1,51 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.synth.dataset import make_clip
+from repro.synth.io import save_clip
+
+
+def test_generate_writes_clips(tmp_path, capsys):
+    code = main([
+        "generate", "--out", str(tmp_path / "clips"), "--clips", "2",
+        "--seed", "5", "--frames", "36",
+    ])
+    assert code == 0
+    written = sorted((tmp_path / "clips").glob("*.npz"))
+    assert len(written) == 2
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+
+def test_generate_with_fault(tmp_path):
+    code = main([
+        "generate", "--out", str(tmp_path), "--clips", "1",
+        "--frames", "40", "--fault", "STIFF_LANDING",
+    ])
+    assert code == 0
+    from repro.synth.io import load_clip
+    from repro.synth.variation import Fault
+
+    clip = load_clip(next(tmp_path.glob("*.npz")))
+    assert clip.faults == (Fault.STIFF_LANDING,)
+
+
+@pytest.mark.slow
+def test_analyze_and_report_round_trip(tmp_path, capsys):
+    clip = make_clip("cli", seed=3, variant=0, target_frames=40)
+    path = save_clip(clip, tmp_path / "clip.npz")
+
+    code = main(["analyze", str(path), "--train-clips", "2"])
+    assert code == 0
+    assert "accuracy vs ground truth" in capsys.readouterr().out
+
+    code = main(["report", str(path), "--student", "Ming", "--train-clips", "2"])
+    assert code == 0
+    assert "Ming" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

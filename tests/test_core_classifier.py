@@ -1,0 +1,170 @@
+"""The DBN classifier: decoding modes, Th_Pose, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.dbnclassifier import (
+    ClassifierConfig,
+    DBNPoseClassifier,
+    FramePrediction,
+)
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import DOMINANT_POSE, Pose, Stage
+from repro.core.transitions import TransitionModel
+from repro.errors import ConfigurationError, ModelError
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER
+from repro.synth.motion import default_jump_script, run_script
+
+
+def _feature(code, weight=1.0):
+    return FeatureVector(areas=dict(zip(PART_ORDER, code)), n_areas=8, weight=weight)
+
+
+@pytest.fixture(scope="module")
+def toy_classifier():
+    """Observation + transitions trained from clean scripted sequences."""
+    sequences = []
+    samples = []
+    from repro.core.estimator import VisionFrontEnd  # noqa: F401 (docs)
+    from repro.synth.posture import posture_for_pose  # clean codes per pose
+
+    # Train observations from canonical codes with tiny noise.
+    rng = np.random.default_rng(0)
+    code_of = {}
+    for variant in range(3):
+        frames = run_script(default_jump_script(variant))
+        sequences.append([f.pose for f in frames])
+    # Assign each pose a synthetic distinct code.
+    for index, pose in enumerate(Pose):
+        code_of[pose] = (
+            index % 8,
+            (index // 2) % 8,
+            (index // 3) % 8,
+            (index // 4) % 8,
+            6,
+        )
+    for sequence in sequences:
+        for pose in sequence:
+            samples.append((pose, _feature(code_of[pose])))
+    observation = PoseObservationModel(alpha=0.05).fit(samples)
+    transitions = TransitionModel().fit(sequences)
+    return observation, transitions, code_of, sequences
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ClassifierConfig(decode="magic")
+    with pytest.raises(ConfigurationError):
+        ClassifierConfig(th_pose=1.5)
+    with pytest.raises(ConfigurationError):
+        ClassifierConfig(th_pose={Pose(0): 2.0})
+    with pytest.raises(ConfigurationError):
+        ClassifierConfig(accept_min=-0.1)
+
+
+def test_classifier_requires_fitted_models():
+    with pytest.raises(ModelError):
+        DBNPoseClassifier(PoseObservationModel(), TransitionModel())
+
+
+@pytest.mark.parametrize("decode", ["greedy", "filter", "smooth", "viterbi"])
+def test_clean_sequence_decodes_nearly_perfectly(toy_classifier, decode):
+    observation, transitions, code_of, sequences = toy_classifier
+    classifier = DBNPoseClassifier(
+        observation, transitions, ClassifierConfig(decode=decode)
+    )
+    truth = sequences[0]
+    frames = [[_feature(code_of[pose])] for pose in truth]
+    predictions = classifier.classify(frames)
+    accuracy = np.mean([p.pose == t for p, t in zip(predictions, truth)])
+    assert accuracy > 0.9, f"{decode} accuracy {accuracy:.2f}"
+
+
+def test_empty_candidates_carried_by_prior(toy_classifier):
+    observation, transitions, code_of, sequences = toy_classifier
+    classifier = DBNPoseClassifier(observation, transitions)
+    truth = sequences[0]
+    frames = [[_feature(code_of[pose])] for pose in truth]
+    frames[5] = []  # skeleton failure on one frame
+    predictions = classifier.classify(frames)
+    assert len(predictions) == len(truth)
+    assert predictions[5].pose is not None  # prior fills the gap
+
+
+def test_accept_min_produces_unknowns(toy_classifier):
+    observation, transitions, code_of, sequences = toy_classifier
+    classifier = DBNPoseClassifier(
+        observation, transitions,
+        ClassifierConfig(decode="greedy", accept_min=0.999999),
+    )
+    truth = sequences[0]
+    frames = [[_feature(code_of[pose])] for pose in truth]
+    predictions = classifier.classify(frames)
+    assert any(p.is_unknown for p in predictions)
+
+
+def test_unknown_fallback_keeps_last_recognized(toy_classifier):
+    """With fallback, an Unknown frame does not reset the temporal chain."""
+    observation, transitions, code_of, sequences = toy_classifier
+    truth = sequences[0]
+    frames = [[_feature(code_of[pose])] for pose in truth]
+    # Corrupt a run of frames mid-clip with nonsense features.
+    for index in range(8, 11):
+        frames[index] = [_feature((7, 7, 7, 7, 7))]
+    with_fallback = DBNPoseClassifier(
+        observation, transitions,
+        ClassifierConfig(decode="greedy", accept_min=0.5, unknown_fallback=True),
+    ).classify(frames)
+    tail_accuracy = np.mean(
+        [p.pose == t for p, t in zip(with_fallback[11:], truth[11:])]
+    )
+    assert tail_accuracy > 0.5
+
+
+def test_th_pose_override_prefers_rare_pose(toy_classifier):
+    observation, transitions, code_of, _ = toy_classifier
+    config = ClassifierConfig(decode="greedy", th_pose=0.05)
+    classifier = DBNPoseClassifier(observation, transitions, config)
+    posterior = np.full(22, 0.01)
+    posterior[DOMINANT_POSE] = 0.5
+    rare = Pose.STANDING_HANDS_SWUNG_UP
+    posterior[rare] = 0.3
+    pose, prob = classifier._select(posterior / posterior.sum())
+    assert pose == rare
+
+
+def test_th_pose_zero_is_pure_argmax(toy_classifier):
+    observation, transitions, _, _ = toy_classifier
+    classifier = DBNPoseClassifier(observation, transitions, ClassifierConfig())
+    posterior = np.full(22, 0.01)
+    posterior[DOMINANT_POSE] = 0.6
+    pose, _ = classifier._select(posterior / posterior.sum())
+    assert pose == DOMINANT_POSE
+
+
+def test_stage_flag_monotone_in_greedy(toy_classifier):
+    observation, transitions, code_of, sequences = toy_classifier
+    classifier = DBNPoseClassifier(
+        observation, transitions, ClassifierConfig(decode="greedy")
+    )
+    truth = sequences[1]
+    frames = [[_feature(code_of[pose])] for pose in truth]
+    predictions = classifier.classify(frames)
+    stages = [p.stage.value for p in predictions]
+    assert all(b >= a for a, b in zip(stages[:-1], stages[1:]))
+
+
+def test_observation_vector_uses_candidate_weight(toy_classifier):
+    observation, transitions, code_of, _ = toy_classifier
+    classifier = DBNPoseClassifier(observation, transitions)
+    pose = Pose.STANDING_HANDS_OVERLAP
+    heavy = classifier.observation_vector([_feature(code_of[pose], weight=1.0)])
+    light = classifier.observation_vector([_feature(code_of[pose], weight=0.1)])
+    assert heavy[pose] == pytest.approx(10 * light[pose])
+
+
+def test_frame_prediction_flags():
+    unknown = FramePrediction(None, 0.0, Stage.BEFORE_JUMPING)
+    known = FramePrediction(Pose(0), 0.9, Stage.BEFORE_JUMPING)
+    assert unknown.is_unknown and not known.is_unknown

@@ -1,0 +1,52 @@
+"""The vision front-end (§2+§3 → §4 features)."""
+
+import numpy as np
+
+from repro.core.estimator import VisionFrontEnd
+
+
+def test_candidates_for_clip_handles_blank_frames(dataset):
+    front_end = VisionFrontEnd()
+    clip = dataset.test[0]
+    frames = [clip.frames[0], clip.background, clip.frames[1]]
+    candidates = front_end.candidates_for_clip(frames, clip.background)
+    assert len(candidates) == 3
+    assert candidates[0], "real frame must yield candidates"
+    assert candidates[1] == [], "background-only frame yields none"
+
+
+def test_candidate_weights_in_unit_interval(dataset):
+    front_end = VisionFrontEnd()
+    clip = dataset.test[0]
+    candidates = front_end.candidates_for_clip(clip.frames[:6], clip.background)
+    for frame_candidates in candidates:
+        for feature in frame_candidates:
+            assert 0.0 < feature.weight <= 1.0
+
+
+def test_supervised_features_yield_most_frames(dataset):
+    front_end = VisionFrontEnd()
+    clip = dataset.train[0]
+    samples = front_end.supervised_features(clip)
+    assert len(samples) >= 0.8 * len(clip)
+    for index, feature in samples:
+        assert 0 <= index < len(clip)
+        assert feature.n_areas == front_end.total_areas
+
+
+def test_front_end_partition_size_propagates(dataset):
+    front_end = VisionFrontEnd(n_areas=12)
+    clip = dataset.test[0]
+    candidates = front_end.candidates_for_clip(clip.frames[:3], clip.background)
+    for frame_candidates in candidates:
+        for feature in frame_candidates:
+            assert feature.n_areas == 12
+
+
+def test_skeleton_of_frame_runs_extraction(dataset):
+    front_end = VisionFrontEnd()
+    clip = dataset.test[0]
+    subtractor = front_end.subtractor_for(clip.background)
+    skeleton = front_end.skeleton_of_frame(clip.frames[10], subtractor)
+    assert not skeleton.is_empty
+    assert skeleton.graph.cycle_rank() == 0

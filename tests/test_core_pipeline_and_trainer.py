@@ -1,0 +1,73 @@
+"""End-to-end training and evaluation of the full system (pilot scale)."""
+
+import pytest
+
+from repro.core.dbnclassifier import ClassifierConfig
+from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+from repro.core.trainer import train_models
+from repro.errors import LearningError
+
+
+def test_training_report_accounting(analyzer, dataset):
+    report = analyzer.models.report
+    assert report.total_frames == dataset.train_frames
+    assert 0 < report.used_frames <= report.total_frames
+    assert report.skipped_frames == report.total_frames - report.used_frames
+    assert 0 < report.dominant_fraction < 0.5
+
+
+def test_training_rejects_empty():
+    with pytest.raises(LearningError):
+        train_models([])
+
+
+def test_models_are_fitted(analyzer):
+    assert analyzer.models.observation.is_fitted
+    assert analyzer.models.transitions.is_fitted
+
+
+def test_predict_frames_length(analyzer, dataset):
+    clip = dataset.test[0]
+    predictions = analyzer.predict_frames(clip.frames, clip.background)
+    assert len(predictions) == len(clip)
+
+
+def test_analyze_clip_accuracy_reasonable(analyzer, dataset):
+    result = analyzer.analyze_clip(dataset.test[0])
+    assert result.clip_id == dataset.test[0].clip_id
+    assert result.accuracy > 0.5, "pilot accuracy collapsed"
+
+
+def test_evaluate_multiple_clips(analyzer, dataset):
+    result = analyzer.evaluate(dataset.test)
+    assert len(result.clips) == len(dataset.test)
+    assert 0.0 <= result.overall_accuracy <= 1.0
+
+
+def test_with_classifier_shares_models(analyzer):
+    other = analyzer.with_classifier(ClassifierConfig(decode="viterbi"))
+    assert other.models is analyzer.models
+    assert other.classifier.config.decode == "viterbi"
+    assert analyzer.classifier.config.decode == "smooth"
+
+
+def test_temporal_structure_beats_static_observation(analyzer, dataset):
+    """The DBN must outperform frame-independent classification —
+    the core claim of using a *dynamic* BN (Figure 7)."""
+    from repro.baselines.static_bn import StaticBNClassifier
+    from repro.experiments.ablations import _evaluate_custom_classifier
+
+    static = StaticBNClassifier(
+        analyzer.models.observation, analyzer.models.report.pose_counts
+    )
+    static_result = _evaluate_custom_classifier(analyzer, dataset, static)
+    dbn_result = analyzer.evaluate(dataset.test)
+    assert dbn_result.overall_accuracy > static_result.overall_accuracy
+
+
+def test_settings_are_plumbed_through():
+    settings = AnalyzerSettings(n_areas=12, th_object=30.0, min_branch_length=6)
+    front_end = settings.front_end()
+    assert front_end.n_areas == 12
+    assert front_end.th_object == 30.0
+    assert front_end.encoder.partition.n_areas == 12

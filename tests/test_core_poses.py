@@ -1,0 +1,81 @@
+"""The 22-pose / 4-stage taxonomy."""
+
+from repro.core.poses import (
+    DOMINANT_POSE,
+    INITIAL_POSE,
+    NUM_POSES,
+    NUM_STAGES,
+    POSE_LABELS,
+    POSE_STAGE,
+    STAGE_ORDER,
+    Pose,
+    Stage,
+    poses_of_stage,
+    stage_can_follow,
+)
+
+
+def test_exactly_22_poses_4_stages():
+    assert NUM_POSES == 22
+    assert NUM_STAGES == 4
+
+
+def test_pose_values_contiguous():
+    assert sorted(p.value for p in Pose) == list(range(22))
+
+
+def test_every_pose_has_stage_and_label():
+    for pose in Pose:
+        assert pose in POSE_STAGE
+        assert pose in POSE_LABELS
+        assert pose.label == POSE_LABELS[pose]
+        assert pose.stage == POSE_STAGE[pose]
+
+
+def test_paper_named_poses_present():
+    """The four poses the paper names verbatim must exist."""
+    labels = {label.lower() for label in POSE_LABELS.values()}
+    assert "standing & hand overlap with body" in labels
+    assert "standing & hand swung forward" in labels
+    assert "knee and foot extended & hand raised forward" in labels
+    assert "waist bended & hand raised forward" in labels
+
+
+def test_initial_and_dominant_poses():
+    assert INITIAL_POSE == Pose.STANDING_HANDS_OVERLAP
+    assert INITIAL_POSE.stage == Stage.BEFORE_JUMPING
+    assert DOMINANT_POSE == Pose.STANDING_HANDS_SWUNG_FORWARD
+
+
+def test_every_stage_has_poses():
+    for stage in Stage:
+        assert len(poses_of_stage(stage)) >= 3
+
+
+def test_before_and_landing_share_twin_poses():
+    """§4.1: similar poses exist in both stages (the stage flag separates
+    them); the two 'hand overlap' poses are the canonical twins."""
+    before = {POSE_LABELS[p].replace("landing & ", "") for p in
+              poses_of_stage(Stage.BEFORE_JUMPING)}
+    landing = {POSE_LABELS[p].replace("landing & ", "") for p in
+               poses_of_stage(Stage.LANDING)}
+    assert before & landing
+
+
+def test_stage_transitions_monotone():
+    assert stage_can_follow(Stage.JUMPING, Stage.BEFORE_JUMPING)
+    assert stage_can_follow(Stage.JUMPING, Stage.JUMPING)
+    assert not stage_can_follow(Stage.BEFORE_JUMPING, Stage.JUMPING)
+    assert not stage_can_follow(Stage.LANDING, Stage.JUMPING)  # skip forbidden
+    assert not stage_can_follow(Stage.BEFORE_JUMPING, Stage.LANDING)
+
+
+def test_stage_order_is_complete():
+    assert STAGE_ORDER == (
+        Stage.BEFORE_JUMPING, Stage.JUMPING, Stage.IN_THE_AIR, Stage.LANDING
+    )
+
+
+def test_stage_labels():
+    assert Stage.BEFORE_JUMPING.label == "before jumping"
+    assert Stage.IN_THE_AIR.label == "in the air"

@@ -1,0 +1,88 @@
+"""Result containers and accuracy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.poses import NUM_POSES, Pose
+from repro.core.results import ClipResult, EvaluationResult, FrameResult
+from repro.errors import ConfigurationError
+
+
+def _clip(pattern, clip_id="c"):
+    """pattern: string of 'c' (correct), 'w' (wrong), 'u' (unknown)."""
+    frames = []
+    for index, char in enumerate(pattern):
+        truth = Pose.STANDING_HANDS_OVERLAP
+        if char == "c":
+            predicted = truth
+        elif char == "w":
+            predicted = Pose.STANDING_HANDS_SWUNG_UP
+        else:
+            predicted = None
+        frames.append(FrameResult(index, truth, predicted))
+    return ClipResult(clip_id=clip_id, frames=tuple(frames))
+
+
+def test_frame_result_flags():
+    correct = FrameResult(0, Pose(0), Pose(0))
+    wrong = FrameResult(0, Pose(0), Pose(1))
+    unknown = FrameResult(0, Pose(0), None)
+    assert correct.is_correct and not correct.is_unknown
+    assert not wrong.is_correct
+    assert unknown.is_unknown and not unknown.is_correct
+
+
+def test_pose_zero_prediction_is_not_unknown():
+    """Pose value 0 is falsy as an int; the code must use `is None`."""
+    frame = FrameResult(0, Pose(0), Pose(0))
+    assert not frame.is_unknown
+    assert frame.is_correct
+
+
+def test_clip_accuracy_counts_unknown_as_wrong():
+    clip = _clip("ccwu")
+    assert clip.accuracy == pytest.approx(0.5)
+    assert clip.unknown_rate == pytest.approx(0.25)
+
+
+def test_empty_clip_rejected():
+    with pytest.raises(ConfigurationError):
+        ClipResult(clip_id="x", frames=())
+
+
+def test_error_runs():
+    clip = _clip("cwwcwcc")
+    assert clip.error_runs() == [2, 1]
+
+
+def test_consecutive_error_fraction():
+    clip = _clip("cwwcwcc")  # 3 errors, 2 in a run >= 2
+    assert clip.consecutive_error_fraction() == pytest.approx(2 / 3)
+    assert _clip("cccc").consecutive_error_fraction() == 0.0
+
+
+def test_evaluation_aggregates():
+    result = EvaluationResult(clips=(_clip("cccw", "a"), _clip("cwww", "b")))
+    assert result.overall_accuracy == pytest.approx(0.5)
+    assert result.min_accuracy == pytest.approx(0.25)
+    assert result.max_accuracy == pytest.approx(0.75)
+    assert result.per_clip_accuracy == {"a": 0.75, "b": 0.25}
+
+
+def test_confusion_matrix_shape_and_unknown_column():
+    result = EvaluationResult(clips=(_clip("cu"),))
+    matrix = result.confusion_matrix()
+    assert matrix.shape == (NUM_POSES, NUM_POSES + 1)
+    assert matrix[Pose.STANDING_HANDS_OVERLAP, NUM_POSES] == 1  # the unknown
+    assert matrix.sum() == 2
+
+
+def test_summary_mentions_every_clip():
+    result = EvaluationResult(clips=(_clip("cc", "alpha"), _clip("cw", "beta")))
+    text = result.summary()
+    assert "alpha" in text and "beta" in text and "overall" in text
+
+
+def test_empty_evaluation_rejected():
+    with pytest.raises(ConfigurationError):
+        EvaluationResult(clips=())

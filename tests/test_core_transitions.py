@@ -1,0 +1,100 @@
+"""The Fig 7(b) temporal structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.poses import NUM_POSES, NUM_STAGES, POSE_STAGE, Pose, Stage
+from repro.core.transitions import TransitionModel, pose_stage_mask, stage_mask
+from repro.errors import LearningError, ModelError
+from repro.synth.motion import default_jump_script, run_script
+
+
+def _label_sequences(n=3):
+    return [
+        [frame.pose for frame in run_script(default_jump_script(v % 3))]
+        for v in range(n)
+    ]
+
+
+def test_stage_mask_monotone():
+    mask = stage_mask()
+    assert mask[Stage.BEFORE_JUMPING, Stage.BEFORE_JUMPING]
+    assert mask[Stage.BEFORE_JUMPING, Stage.JUMPING]
+    assert not mask[Stage.BEFORE_JUMPING, Stage.IN_THE_AIR]
+    assert not mask[Stage.LANDING, Stage.BEFORE_JUMPING]
+    assert mask[Stage.LANDING, Stage.LANDING]
+
+
+def test_pose_stage_mask_partition():
+    mask = pose_stage_mask()
+    assert mask.sum() == NUM_POSES  # every pose in exactly one stage
+    for pose in Pose:
+        assert mask[POSE_STAGE[pose], pose]
+
+
+def test_fit_requires_sequences():
+    with pytest.raises(LearningError):
+        TransitionModel().fit([])
+    with pytest.raises(LearningError):
+        TransitionModel().fit([[Pose.STANDING_HANDS_OVERLAP]])
+
+
+def test_fit_rejects_non_monotone_sequences():
+    bad = [[Pose.TOUCHDOWN_KNEES_BENT, Pose.STANDING_HANDS_OVERLAP]]
+    with pytest.raises(LearningError, match="monotonicity"):
+        TransitionModel().fit(bad)
+
+
+def test_unfitted_queries_raise():
+    model = TransitionModel()
+    with pytest.raises(ModelError):
+        model.pose_distribution(Pose(0), Stage.BEFORE_JUMPING)
+
+
+def test_pose_table_is_conditional_distribution():
+    model = TransitionModel().fit(_label_sequences())
+    table = model.pose_table
+    assert table.shape == (NUM_STAGES, NUM_POSES, NUM_POSES)
+    assert np.allclose(table.sum(axis=2), 1.0)
+
+
+def test_pose_table_respects_stage_mask():
+    model = TransitionModel().fit(_label_sequences())
+    table = model.pose_table
+    for stage in Stage:
+        for pose in Pose:
+            if POSE_STAGE[pose] != stage:
+                assert np.allclose(table[stage, :, pose], 0.0)
+
+
+def test_stage_table_monotone_and_normalised():
+    model = TransitionModel().fit(_label_sequences())
+    table = model.stage_table
+    assert np.allclose(table.sum(axis=1), 1.0)
+    assert table[Stage.LANDING, Stage.BEFORE_JUMPING] == 0.0
+    assert table[Stage.BEFORE_JUMPING, Stage.IN_THE_AIR] == 0.0
+
+
+def test_observed_transition_dominates():
+    """A transition frequent in training gets high probability."""
+    model = TransitionModel(alpha=0.1).fit(_label_sequences())
+    dist = model.pose_distribution(
+        Pose.STANDING_HANDS_OVERLAP, Stage.BEFORE_JUMPING
+    )
+    # Overlap persists or moves to the next prep pose; mass concentrated.
+    assert dist.max() > 0.3
+
+
+def test_to_two_slice_dbn_shape_and_prior():
+    model = TransitionModel().fit(_label_sequences())
+    dbn = model.to_two_slice_dbn()
+    assert dbn.joint_cardinality == NUM_STAGES * NUM_POSES
+    prior = dbn.prior_vector
+    initial = dbn.joint_index({"stage": 0, "pose": 0})
+    assert prior[initial] == pytest.approx(1.0)
+
+
+def test_dbn_transition_rows_sum_to_one():
+    model = TransitionModel().fit(_label_sequences())
+    dbn = model.to_two_slice_dbn()
+    assert np.allclose(dbn.transition_matrix.sum(axis=1), 1.0)

@@ -1,0 +1,30 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "ImageError",
+        "SkeletonError",
+        "FeatureError",
+        "ModelError",
+        "InferenceError",
+        "LearningError",
+        "DatasetError",
+        "ScoringError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_errors_are_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.SkeletonError("boom")

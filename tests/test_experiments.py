@@ -1,0 +1,72 @@
+"""Experiment harness: protocol caching, figures, light ablations."""
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.accuracy import table1_rows
+from repro.experiments.protocol import pilot_dataset, trained_pilot_analyzer
+
+
+def test_protocol_caching_returns_same_objects():
+    assert pilot_dataset(0) is pilot_dataset(0)
+    assert trained_pilot_analyzer(0) is trained_pilot_analyzer(0)
+
+
+def test_table1_rows_format(analyzer, dataset):
+    result = analyzer.evaluate(dataset.test)
+    rows = table1_rows(result)
+    assert any("overall" in row for row in rows)
+    assert any("paper band" in row for row in rows)
+    assert len(rows) == len(dataset.test) + 3
+
+
+def test_figure1_smoothing_improves_silhouette():
+    clip = figures.noisy_studio_clip(seed=7)
+    result = figures.figure1(clip, frame_index=6)
+    assert result.raw_holes >= result.smoothed_holes
+    assert result.smoothed_roughness <= result.raw_roughness + 0.05
+    assert result.iou_vs_truth > 0.5
+    assert "#" in result.ascii_smoothed
+
+
+def test_figure2_rows(dataset):
+    rows = figures.figure2(dataset.test[0])
+    assert len(rows) > 3
+    assert "loops" in rows[0]
+
+
+def test_figure3_loop_cut_demo():
+    result = figures.figure3()
+    assert result.loops_before >= 1
+    assert result.loops_after == 0
+    assert len(result.cut_points) >= 1
+    assert "o" in result.ascii_after  # the green dot
+
+
+def test_figure4_one_at_a_time_saves_limb():
+    result = figures.figure4()
+    assert result.one_at_a_time_removed == 1
+    assert result.simultaneous_removed == 2
+    assert result.limb_saved
+
+
+def test_skeleton_gallery(dataset):
+    gallery = figures.skeleton_gallery(dataset.test[0], [0, 10, 20])
+    assert len(gallery) == 3
+    for index, label, art in gallery:
+        assert "#" in art
+        assert isinstance(label, str)
+
+
+def test_figure6_encoding_rows(dataset):
+    rows = figures.figure6(dataset.test[0], [0, 10, 20])
+    assert len(rows) == 4
+    assert "Head" in rows[0]
+
+
+def test_figure7_structure(analyzer):
+    network, description = figures.figure7_structure(analyzer.models.observation)
+    assert description["nodes"] == 14
+    assert description["root"] == "Pose"
+    assert len(description["hidden"]) == 5
+    assert len(description["observed"]) == 8

@@ -1,0 +1,95 @@
+"""Failure injection: the system must degrade gracefully, never crash.
+
+The paper's §5 discusses recovery from Unknown and misclassified frames;
+these tests feed the trained system deliberately broken inputs — blank
+frames, saturated frames, missing jumpers, tiny crops — and require
+well-formed (if low-confidence) outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.poses import Pose
+from repro.errors import ReproError, SkeletonError
+
+
+def test_clip_of_pure_background_decodes_from_prior(analyzer, dataset):
+    """No jumper in any frame: every frame falls back to the temporal
+    prior and decoding still yields a legal pose sequence."""
+    clip = dataset.test[0]
+    frames = [clip.background.copy() for _ in range(10)]
+    predictions = analyzer.predict_frames(frames, clip.background)
+    assert len(predictions) == 10
+    assert predictions[0].pose == Pose.STANDING_HANDS_OVERLAP
+    stages = [p.stage.value for p in predictions]
+    assert all(b >= a for a, b in zip(stages[:-1], stages[1:]))
+
+
+def test_saturated_frames_do_not_crash(analyzer, dataset):
+    clip = dataset.test[0]
+    white = np.full_like(clip.frames[0], 255)
+    frames = [clip.frames[0], white, clip.frames[2]]
+    predictions = analyzer.predict_frames(frames, clip.background)
+    assert len(predictions) == 3
+
+
+def test_single_frame_clip(analyzer, dataset):
+    clip = dataset.test[0]
+    predictions = analyzer.predict_frames([clip.frames[20]], clip.background)
+    assert len(predictions) == 1
+    assert predictions[0].pose is not None
+
+
+def test_frames_with_occluded_jumper(analyzer, dataset):
+    """Blanking the lower half of the frame (occluder in front of the
+    studio) leaves partial silhouettes; decoding must still run."""
+    clip = dataset.test[0]
+    frames = []
+    for index in range(8):
+        frame = clip.frames[index].copy()
+        frame[150:, :, :] = clip.background[150:, :, :]
+        frames.append(frame)
+    predictions = analyzer.predict_frames(frames, clip.background)
+    assert len(predictions) == 8
+
+
+def test_skeletonizer_rejects_speck_silhouette():
+    from repro.skeleton.pipeline import SkeletonExtractor
+
+    speck = np.zeros((50, 50), dtype=bool)
+    speck[25, 25] = True
+    skeleton = SkeletonExtractor().extract(speck)
+    # A single pixel yields a degenerate but valid skeleton...
+    assert len(skeleton.graph) == 1
+    # ...which the feature layer then refuses, with a typed error.
+    from repro.features.keypoints import KeypointExtractor
+    from repro.errors import FeatureError
+
+    with pytest.raises(FeatureError):
+        KeypointExtractor().enumerate_assignments(skeleton)
+
+
+def test_all_library_errors_are_typed(analyzer, dataset):
+    """Feeding garbage shapes raises ReproError subclasses, not numpy
+    shape errors from deep inside."""
+    clip = dataset.test[0]
+    with pytest.raises(ReproError):
+        analyzer.front_end.subtractor_for(np.zeros((4, 4), dtype=np.uint8))
+    subtractor = analyzer.front_end.subtractor_for(clip.background)
+    with pytest.raises(ReproError):
+        subtractor.extract(np.zeros((8, 8, 3), dtype=np.uint8))
+
+
+def test_mid_clip_dropout_recovers(analyzer, dataset):
+    """A run of blank frames mid-clip: decoding afterwards recovers to
+    sensible poses (the §5 fallback behaviour, exercised end-to-end)."""
+    clip = dataset.test[0]
+    frames = list(clip.frames)
+    for index in range(15, 19):
+        frames[index] = clip.background.copy()
+    predictions = analyzer.predict_frames(frames, clip.background)
+    tail = predictions[25:]
+    tail_accuracy = np.mean(
+        [p.pose == t for p, t in zip(tail, clip.labels[25:])]
+    )
+    assert tail_accuracy > 0.4, "decoder failed to recover after dropout"

@@ -1,0 +1,92 @@
+"""The plane partition around the waist (Figure 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, FeatureError
+from repro.features.areas import PlanePartition
+
+
+def test_default_is_eight_centred_sectors():
+    partition = PlanePartition()
+    assert partition.n_areas == 8
+    assert partition.effective_start_deg == pytest.approx(-22.5)
+
+
+def test_cardinal_directions_land_mid_sector():
+    partition = PlanePartition()
+    origin = (100.0, 100.0)
+    # Straight forward (+col) -> area 0; straight up (-row) -> area 2;
+    # backward -> area 4; straight down -> area 6.
+    assert partition.area_of((100.0, 110.0), origin) == 0
+    assert partition.area_of((90.0, 100.0), origin) == 2
+    assert partition.area_of((100.0, 90.0), origin) == 4
+    assert partition.area_of((110.0, 100.0), origin) == 6
+
+
+def test_diagonals():
+    partition = PlanePartition()
+    origin = (0.0, 0.0)
+    assert partition.area_of((-10.0, 10.0), origin) == 1  # up-forward
+    assert partition.area_of((10.0, 10.0), origin) == 7   # down-forward
+
+
+def test_origin_point_maps_to_up_sector():
+    partition = PlanePartition()
+    assert partition.area_of((5.0, 5.0), (5.0, 5.0)) == 2
+
+
+def test_custom_start_angle():
+    partition = PlanePartition(n_areas=8, start_angle_deg=0.0)
+    assert partition.area_of((0.0, 10.0), (0.0, 0.0)) == 0
+    assert partition.area_of((-1.0, 10.0), (0.0, 0.0)) == 0
+
+
+def test_rejects_fewer_than_two_areas():
+    with pytest.raises(ConfigurationError):
+        PlanePartition(n_areas=1)
+
+
+def test_roman_labels():
+    partition = PlanePartition()
+    assert partition.roman_label(0) == "I"
+    assert partition.roman_label(7) == "VIII"
+    with pytest.raises(FeatureError):
+        partition.roman_label(8)
+
+
+def test_sector_midpoint_angles():
+    partition = PlanePartition(n_areas=4)
+    assert partition.sector_midpoint_angle(0) == pytest.approx(0.0)
+    assert partition.sector_midpoint_angle(1) == pytest.approx(90.0)
+
+
+@given(
+    st.integers(2, 16),
+    st.floats(-1000, 1000, allow_nan=False),
+    st.floats(-1000, 1000, allow_nan=False),
+)
+def test_every_point_gets_a_valid_area(n_areas, d_row, d_col):
+    partition = PlanePartition(n_areas=n_areas)
+    area = partition.area_of((d_row, d_col), (0.0, 0.0))
+    assert 0 <= area < n_areas
+
+
+@given(st.integers(2, 12))
+def test_sector_midpoints_map_back_to_their_sector(n_areas):
+    partition = PlanePartition(n_areas=n_areas)
+    for index in range(n_areas):
+        angle = math.radians(partition.sector_midpoint_angle(index))
+        point = (-math.sin(angle) * 10.0, math.cos(angle) * 10.0)
+        assert partition.area_of(point, (0.0, 0.0)) == index
+
+
+def test_rotation_by_one_sector_shifts_index():
+    partition = PlanePartition(n_areas=8)
+    origin = (0.0, 0.0)
+    base = partition.area_of((0.0, 10.0), origin)
+    rotated = partition.area_of((-10.0 * math.sin(math.radians(45)),
+                                 10.0 * math.cos(math.radians(45))), origin)
+    assert rotated == (base + 1) % 8

@@ -1,0 +1,100 @@
+"""Feature vectors and the encoder."""
+
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.areas import PlanePartition
+from repro.features.encoding import FeatureEncoder, FeatureVector
+from repro.features.keypoints import BodyPart, KeyPoints
+
+
+def _feature(head=2, chest=2, hand=None, knee=6, foot=6, n_areas=8):
+    return FeatureVector(
+        areas={
+            BodyPart.HEAD: head,
+            BodyPart.CHEST: chest,
+            BodyPart.HAND: hand,
+            BodyPart.KNEE: knee,
+            BodyPart.FOOT: foot,
+        },
+        n_areas=n_areas,
+    )
+
+
+def test_as_tuple_order_is_part_order():
+    feature = _feature(head=1, chest=2, hand=3, knee=4, foot=5)
+    assert feature.as_tuple() == (1, 2, 3, 4, 5)
+
+
+def test_out_of_range_area_rejected():
+    with pytest.raises(FeatureError):
+        _feature(head=8)
+
+
+def test_observed_parts_skips_none():
+    feature = _feature(hand=None)
+    assert BodyPart.HAND not in feature.observed_parts()
+    assert len(feature.observed_parts()) == 4
+
+
+def test_occupied_areas_set():
+    feature = _feature(head=2, chest=2, hand=None, knee=6, foot=7)
+    assert feature.occupied_areas() == frozenset({2, 6, 7})
+
+
+def test_describe_uses_roman_labels():
+    text = _feature(head=0, hand=None).describe()
+    assert "Head=I" in text and "Hand=?" in text
+
+
+def test_default_weight_is_one():
+    assert _feature().weight == 1.0
+
+
+def test_encoder_encodes_relative_to_waist():
+    keypoints = KeyPoints(
+        waist=(50, 50),
+        positions={
+            BodyPart.HEAD: (20, 50),   # straight up -> area 2
+            BodyPart.CHEST: (35, 50),
+            BodyPart.HAND: (50, 80),   # forward -> area 0
+            BodyPart.KNEE: (70, 50),   # down -> area 6
+            BodyPart.FOOT: (80, 52),
+        },
+    )
+    feature = FeatureEncoder().encode(keypoints)
+    assert feature.area_of(BodyPart.HEAD) == 2
+    assert feature.area_of(BodyPart.HAND) == 0
+    assert feature.area_of(BodyPart.KNEE) == 6
+
+
+def test_encoder_respects_partition_size():
+    encoder = FeatureEncoder(partition=PlanePartition(n_areas=4))
+    keypoints = KeyPoints(
+        waist=(50, 50),
+        positions={
+            BodyPart.HEAD: (20, 50),
+            BodyPart.CHEST: (35, 50),
+            BodyPart.HAND: None,
+            BodyPart.KNEE: (70, 50),
+            BodyPart.FOOT: (80, 50),
+        },
+    )
+    feature = encoder.encode(keypoints)
+    assert feature.n_areas == 4
+    assert all(a is None or a < 4 for a in feature.as_tuple())
+
+
+def test_encoder_attaches_weight():
+    keypoints = KeyPoints(
+        waist=(50, 50),
+        positions={
+            BodyPart.HEAD: (20, 50),
+            BodyPart.CHEST: (35, 50),
+            BodyPart.HAND: None,
+            BodyPart.KNEE: (70, 50),
+            BodyPart.FOOT: (80, 50),
+        },
+    )
+    feature = FeatureEncoder().encode(keypoints, weight=0.5)
+    assert feature.weight == 0.5

@@ -1,0 +1,120 @@
+"""Key-point extraction (§4.1 supervised, §4.2 assignment search)."""
+
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.keypoints import (
+    PART_ORDER,
+    BodyPart,
+    KeypointExtractor,
+    PartAssignment,
+    derive_keypoints,
+)
+from repro.skeleton.pipeline import SkeletonExtractor
+from repro.skeleton.pixelgraph import PixelGraph
+
+
+def test_part_order_has_five_parts():
+    assert len(PART_ORDER) == 5
+    assert PART_ORDER[0] == BodyPart.HEAD and PART_ORDER[-1] == BodyPart.FOOT
+
+
+def test_lowest_endpoint_is_foot(sample_skeleton):
+    extractor = KeypointExtractor()
+    foot = extractor.lowest_endpoint(sample_skeleton)
+    rows = [p[0] for p in sample_skeleton.graph.endpoints()]
+    assert foot[0] == max(rows)
+
+
+def test_derive_keypoints_places_waist_mid_torso():
+    graph = PixelGraph({(r, 10) for r in range(41)})
+    keypoints = derive_keypoints(
+        graph, PartAssignment(head=(0, 10), foot=(40, 10), hand=None)
+    )
+    assert keypoints.waist == (20, 10)
+    assert keypoints.positions[BodyPart.CHEST] == (10, 10)
+    assert keypoints.positions[BodyPart.KNEE] == (30, 10)
+    assert keypoints.positions[BodyPart.HAND] is None
+
+
+def test_derive_keypoints_rejects_tiny_torso():
+    graph = PixelGraph({(0, 0), (0, 1)})
+    with pytest.raises(FeatureError):
+        derive_keypoints(graph, PartAssignment((0, 0), (0, 1), None))
+
+
+def test_enumerate_assignments_pins_foot(sample_skeleton):
+    extractor = KeypointExtractor()
+    foot = extractor.lowest_endpoint(sample_skeleton)
+    for assignment in extractor.enumerate_assignments(sample_skeleton):
+        assert assignment.foot == foot
+
+
+def test_enumerate_assignments_offers_hand_none_and_hand_head(sample_skeleton):
+    extractor = KeypointExtractor()
+    assignments = extractor.enumerate_assignments(sample_skeleton)
+    assert any(a.hand is None for a in assignments)
+    assert any(a.hand == a.head for a in assignments)
+
+
+def test_extract_candidates_nonempty(sample_skeleton):
+    extractor = KeypointExtractor()
+    candidates = extractor.extract_candidates(sample_skeleton)
+    assert len(candidates) >= 1
+    for keypoints in candidates:
+        assert keypoints.positions[BodyPart.FOOT] is not None
+        assert keypoints.positions[BodyPart.HEAD] is not None
+
+
+def test_observed_parts_listing():
+    graph = PixelGraph({(r, 10) for r in range(41)})
+    keypoints = derive_keypoints(
+        graph, PartAssignment(head=(0, 10), foot=(40, 10), hand=None)
+    )
+    observed = keypoints.observed_parts()
+    assert BodyPart.HAND not in observed
+    assert BodyPart.HEAD in observed and BodyPart.KNEE in observed
+
+
+def test_supervised_mapping_matches_truth(sample_clip, front_end):
+    """GT-anchored key points land near the true joints."""
+    subtractor = front_end.subtractor_for(sample_clip.background)
+    index = 5
+    skeleton = front_end.skeleton_of_frame(sample_clip.frames[index], subtractor)
+    refs = sample_clip.joints[index]
+    keypoints = front_end.keypoints.extract_with_reference(
+        skeleton, refs["head_top"], refs["fingertip"], refs["toe"]
+    )
+    head = keypoints.positions[BodyPart.HEAD]
+    foot = keypoints.positions[BodyPart.FOOT]
+    assert abs(head[0] - refs["head_top"][0]) < 25
+    assert abs(foot[0] - refs["toe"][0]) < 25
+
+
+def test_supervised_choice_is_among_candidates(sample_clip, front_end):
+    """§4.1 training features come from the §4.2 candidate set."""
+    subtractor = front_end.subtractor_for(sample_clip.background)
+    index = 8
+    skeleton = front_end.skeleton_of_frame(sample_clip.frames[index], subtractor)
+    refs = sample_clip.joints[index]
+    chosen = front_end.keypoints.extract_with_reference(
+        skeleton, refs["head_top"], refs["fingertip"], refs["toe"]
+    )
+    candidate_tuples = {
+        front_end.encoder.encode(k).as_tuple()
+        for k in front_end.keypoints.extract_candidates(skeleton)
+    }
+    assert front_end.encoder.encode(chosen).as_tuple() in candidate_tuples
+
+
+def test_single_endpoint_skeleton_rejected():
+    extractor = KeypointExtractor()
+
+    class FakeSkeleton:
+        class graph:
+            @staticmethod
+            def endpoints():
+                return [(5, 5)]
+
+    with pytest.raises(FeatureError):
+        extractor.enumerate_assignments(FakeSkeleton())

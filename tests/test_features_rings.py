@@ -1,0 +1,89 @@
+"""Ring partitions — the conclusion's 'more partitions' extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FeatureError
+from repro.features.areas import PlanePartition
+from repro.features.encoding import FeatureEncoder
+from repro.features.keypoints import BodyPart, KeyPoints
+
+
+def test_ring_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        PlanePartition(n_rings=0)
+    with pytest.raises(ConfigurationError):
+        PlanePartition(ring_boundary=0)
+
+
+def test_total_areas():
+    assert PlanePartition(n_areas=8, n_rings=1).total_areas == 8
+    assert PlanePartition(n_areas=8, n_rings=2).total_areas == 16
+    assert PlanePartition(n_areas=6, n_rings=3).total_areas == 18
+
+
+def test_single_ring_matches_sector_of():
+    partition = PlanePartition(n_areas=8)
+    origin = (50.0, 50.0)
+    point = (40.0, 60.0)
+    assert partition.area_of(point, origin) == partition.sector_of(point, origin)
+
+
+def test_ring_partition_requires_reference():
+    partition = PlanePartition(n_areas=8, n_rings=2)
+    with pytest.raises(FeatureError):
+        partition.area_of((0.0, 10.0), (0.0, 0.0))
+
+
+def test_near_and_far_points_get_different_codes():
+    partition = PlanePartition(n_areas=8, n_rings=2, ring_boundary=1.0)
+    origin = (0.0, 0.0)
+    near = partition.area_of((0.0, 5.0), origin, reference_length=10.0)
+    far = partition.area_of((0.0, 25.0), origin, reference_length=10.0)
+    assert near % 8 == far % 8  # same sector
+    assert far == near + 8      # outer ring
+
+
+def test_outermost_ring_absorbs_beyond():
+    partition = PlanePartition(n_areas=4, n_rings=2, ring_boundary=1.0)
+    code = partition.area_of((0.0, 500.0), (0.0, 0.0), reference_length=1.0)
+    assert code == 0 + 4  # sector 0, last ring
+
+
+def test_roman_labels_with_rings():
+    partition = PlanePartition(n_areas=8, n_rings=2)
+    assert partition.roman_label(1) == "II"
+    assert partition.roman_label(9) == "II'"
+    with pytest.raises(FeatureError):
+        partition.roman_label(16)
+
+
+def test_encoder_scales_rings_by_torso():
+    encoder = FeatureEncoder(
+        partition=PlanePartition(n_areas=8, n_rings=2, ring_boundary=1.5)
+    )
+    keypoints = KeyPoints(
+        waist=(50, 50),
+        positions={
+            BodyPart.HEAD: (30, 50),    # reference length 20
+            BodyPart.CHEST: (40, 50),   # within 1.5*20 -> inner ring
+            BodyPart.HAND: (50, 95),    # 45 away -> outer ring
+            BodyPart.KNEE: (70, 50),
+            BodyPart.FOOT: (90, 50),    # 40 away -> outer ring
+        },
+    )
+    feature = encoder.encode(keypoints)
+    assert feature.n_areas == 16
+    assert feature.area_of(BodyPart.CHEST) < 8      # inner
+    assert feature.area_of(BodyPart.HAND) >= 8      # outer
+    assert feature.area_of(BodyPart.FOOT) >= 8      # outer
+
+
+def test_ring_system_trains_end_to_end(dataset):
+    """A 8x2 system trains and evaluates without errors."""
+    from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+
+    settings = AnalyzerSettings(n_areas=8, n_rings=2)
+    analyzer = JumpPoseAnalyzer.train(dataset.train[:2], settings)
+    result = analyzer.analyze_clip(dataset.test[0])
+    assert 0.0 <= result.accuracy <= 1.0
+    assert analyzer.models.observation.n_areas == 16

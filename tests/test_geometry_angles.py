@@ -1,0 +1,72 @@
+"""Angle arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import (
+    angle_between,
+    degrees_to_radians,
+    lerp_angle,
+    normalize_angle,
+    radians_to_degrees,
+    rotate,
+)
+from repro.geometry.points import Point
+
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+def test_degree_radian_round_trip():
+    assert radians_to_degrees(degrees_to_radians(123.4)) == pytest.approx(123.4)
+
+
+def test_normalize_angle_range():
+    assert normalize_angle(3 * math.pi) == pytest.approx(math.pi)
+    assert normalize_angle(-3 * math.pi) == pytest.approx(math.pi)
+    assert normalize_angle(0.0) == pytest.approx(0.0)
+
+
+@given(angles)
+def test_normalize_angle_is_idempotent(a):
+    once = normalize_angle(a)
+    assert normalize_angle(once) == pytest.approx(once)
+    assert -math.pi < once <= math.pi
+
+
+def test_angle_between_quarter_turn():
+    assert angle_between(Point(1, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+    assert angle_between(Point(0, 1), Point(1, 0)) == pytest.approx(-math.pi / 2)
+
+
+def test_rotate_quarter_turn_about_origin():
+    rotated = rotate(Point(1.0, 0.0), math.pi / 2)
+    assert rotated.x == pytest.approx(0.0, abs=1e-12)
+    assert rotated.y == pytest.approx(1.0)
+
+
+def test_rotate_about_pivot():
+    rotated = rotate(Point(2.0, 1.0), math.pi, origin=Point(1.0, 1.0))
+    assert rotated.x == pytest.approx(0.0, abs=1e-12)
+    assert rotated.y == pytest.approx(1.0)
+
+
+@given(angles, angles)
+def test_rotate_preserves_distance_from_origin(x, a):
+    point = Point(x, 1.0)
+    assert rotate(point, a).norm() == pytest.approx(point.norm(), rel=1e-9)
+
+
+def test_lerp_angle_shorter_arc():
+    # 170 deg to -170 deg should cross pi, not zero.
+    a = degrees_to_radians(170)
+    b = degrees_to_radians(-170)
+    mid = lerp_angle(a, b, 0.5)
+    assert abs(radians_to_degrees(mid)) == pytest.approx(180.0)
+
+
+@given(angles, angles)
+def test_lerp_angle_endpoints(a, b):
+    assert lerp_angle(a, b, 0.0) == pytest.approx(normalize_angle(a))
+    assert lerp_angle(a, b, 1.0) == pytest.approx(normalize_angle(b))

@@ -1,0 +1,114 @@
+"""Rasterisation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.lines import (
+    bresenham_line,
+    rasterize_capsule,
+    rasterize_disk,
+    rasterize_polyline,
+)
+
+coords = st.integers(min_value=0, max_value=40)
+
+
+def test_bresenham_endpoints_included():
+    pixels = bresenham_line(0, 0, 5, 3)
+    assert pixels[0] == (0, 0)
+    assert pixels[-1] == (5, 3)
+
+
+def test_bresenham_horizontal_vertical_diagonal():
+    assert bresenham_line(0, 0, 0, 3) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+    assert bresenham_line(0, 0, 3, 0) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+    assert bresenham_line(0, 0, 3, 3) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+
+def test_bresenham_single_pixel():
+    assert bresenham_line(2, 2, 2, 2) == [(2, 2)]
+
+
+@given(coords, coords, coords, coords)
+def test_bresenham_consecutive_pixels_are_8_adjacent(r0, c0, r1, c1):
+    pixels = bresenham_line(r0, c0, r1, c1)
+    for (ra, ca), (rb, cb) in zip(pixels[:-1], pixels[1:]):
+        assert max(abs(ra - rb), abs(ca - cb)) == 1
+
+
+@given(coords, coords, coords, coords)
+def test_bresenham_pixel_count(r0, c0, r1, c1):
+    # The classic algorithm visits exactly max(|dr|, |dc|) + 1 pixels.
+    pixels = bresenham_line(r0, c0, r1, c1)
+    assert len(pixels) == max(abs(r1 - r0), abs(c1 - c0)) + 1
+    assert len(set(pixels)) == len(pixels)
+
+
+def test_disk_radius_zero_single_pixel():
+    canvas = np.zeros((9, 9), dtype=bool)
+    rasterize_disk(canvas, 4, 4, 0.0)
+    assert canvas.sum() == 1 and canvas[4, 4]
+
+
+def test_disk_is_symmetric():
+    canvas = np.zeros((21, 21), dtype=bool)
+    rasterize_disk(canvas, 10, 10, 5.0)
+    assert np.array_equal(canvas, canvas[::-1, :])
+    assert np.array_equal(canvas, canvas[:, ::-1])
+
+
+def test_disk_clipped_at_border():
+    canvas = np.zeros((5, 5), dtype=bool)
+    rasterize_disk(canvas, 0, 0, 3.0)
+    assert canvas[0, 0] and not canvas[4, 4]
+
+
+def test_disk_rejects_negative_radius():
+    with pytest.raises(ConfigurationError):
+        rasterize_disk(np.zeros((3, 3), dtype=bool), 1, 1, -1.0)
+
+
+def test_capsule_covers_line_and_respects_radius():
+    canvas = np.zeros((20, 40), dtype=bool)
+    rasterize_capsule(canvas, 10, 5, 10, 30, 2.0)
+    assert canvas[10, 5] and canvas[10, 30] and canvas[10, 17]
+    assert canvas[8, 17] and not canvas[6, 17]
+
+
+def test_capsule_degenerate_is_disk():
+    a = np.zeros((15, 15), dtype=bool)
+    b = np.zeros((15, 15), dtype=bool)
+    rasterize_capsule(a, 7, 7, 7, 7, 3.0)
+    rasterize_disk(b, 7, 7, 3.0)
+    assert np.array_equal(a, b)
+
+
+def test_capsule_requires_bool_canvas():
+    with pytest.raises(ConfigurationError):
+        rasterize_capsule(np.zeros((5, 5)), 0, 0, 1, 1, 1.0)
+
+
+def test_capsule_off_canvas_is_noop():
+    canvas = np.zeros((5, 5), dtype=bool)
+    rasterize_capsule(canvas, 50, 50, 60, 60, 2.0)
+    assert not canvas.any()
+
+
+def test_polyline_draws_all_segments():
+    canvas = np.zeros((30, 30), dtype=bool)
+    rasterize_polyline(canvas, [(5.0, 5.0), (5.0, 20.0), (20.0, 20.0)], 1.5)
+    assert canvas[5, 12] and canvas[12, 20]
+
+
+def test_polyline_single_point_is_disk():
+    canvas = np.zeros((10, 10), dtype=bool)
+    rasterize_polyline(canvas, [(5.0, 5.0)], 2.0)
+    assert canvas[5, 5]
+
+
+def test_polyline_empty_is_noop():
+    canvas = np.zeros((4, 4), dtype=bool)
+    rasterize_polyline(canvas, [], 2.0)
+    assert not canvas.any()

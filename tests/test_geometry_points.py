@@ -1,0 +1,91 @@
+"""Point and bounding-box arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import BoundingBox, Point
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_point_arithmetic():
+    a = Point(1.0, 2.0)
+    b = Point(3.0, -1.0)
+    assert a + b == Point(4.0, 1.0)
+    assert a - b == Point(-2.0, 3.0)
+    assert a * 2 == Point(2.0, 4.0)
+    assert 2 * a == a * 2
+    assert -a == Point(-1.0, -2.0)
+
+
+def test_point_norm_and_distance():
+    assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+    assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+
+def test_point_angle():
+    assert Point(1.0, 0.0).angle() == pytest.approx(0.0)
+    assert Point(0.0, 1.0).angle() == pytest.approx(math.pi / 2)
+
+
+def test_point_lerp_endpoints_and_middle():
+    a, b = Point(0.0, 0.0), Point(10.0, -4.0)
+    assert a.lerp(b, 0.0) == a
+    assert a.lerp(b, 1.0) == b
+    assert a.lerp(b, 0.5) == Point(5.0, -2.0)
+
+
+def test_point_dot():
+    assert Point(1.0, 2.0).dot(Point(3.0, 4.0)) == pytest.approx(11.0)
+
+
+@given(finite, finite, finite, finite)
+def test_distance_symmetry(x0, y0, x1, y1):
+    a, b = Point(x0, y0), Point(x1, y1)
+    assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+@given(finite, finite, finite, finite, st.floats(0, 1))
+def test_lerp_stays_within_box(x0, y0, x1, y1, t):
+    a, b = Point(x0, y0), Point(x1, y1)
+    mid = a.lerp(b, t)
+    assert min(a.x, b.x) - 1e-6 <= mid.x <= max(a.x, b.x) + 1e-6
+    assert min(a.y, b.y) - 1e-6 <= mid.y <= max(a.y, b.y) + 1e-6
+
+
+def test_bbox_rejects_degenerate():
+    with pytest.raises(ConfigurationError):
+        BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+
+def test_bbox_dimensions_and_center():
+    box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+    assert box.width == 4.0
+    assert box.height == 2.0
+    assert box.center == Point(2.0, 1.0)
+
+
+def test_bbox_contains_boundary():
+    box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    assert box.contains(Point(0.0, 0.0))
+    assert box.contains(Point(1.0, 1.0))
+    assert not box.contains(Point(1.01, 0.5))
+
+
+def test_bbox_expanded_and_union():
+    box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    grown = box.expanded(1.0)
+    assert grown.min_x == -1.0 and grown.max_y == 2.0
+    other = BoundingBox(5.0, 5.0, 6.0, 6.0)
+    union = box.union(other)
+    assert union.contains(Point(0.5, 0.5)) and union.contains(Point(5.5, 5.5))
+
+
+def test_bbox_around_points():
+    box = BoundingBox.around([Point(1.0, 2.0), Point(-1.0, 5.0)])
+    assert box.min_x == -1.0 and box.max_y == 5.0
+    with pytest.raises(ConfigurationError):
+        BoundingBox.around([])

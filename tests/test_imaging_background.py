@@ -1,0 +1,114 @@
+"""The §2 object extractor, step by step."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ImageError
+from repro.imaging.background import DEFAULT_TH_OBJECT, BackgroundSubtractor
+
+
+def _studio_pair(level=10, object_level=200, shape=(40, 50)):
+    """A dark background and a frame with a bright square object."""
+    background = np.full(shape + (3,), level, dtype=np.uint8)
+    frame = background.copy()
+    frame[10:25, 15:30, :] = object_level
+    return background, frame
+
+
+def test_default_threshold_matches_paper():
+    assert DEFAULT_TH_OBJECT == 20.0
+    assert BackgroundSubtractor().threshold == 20.0
+
+
+def test_extract_requires_fitted_background():
+    _, frame = _studio_pair()
+    with pytest.raises(ImageError, match="background"):
+        BackgroundSubtractor().extract(frame)
+
+
+def test_extracts_bright_object():
+    background, frame = _studio_pair()
+    result = BackgroundSubtractor().fit_background(background).extract(frame)
+    assert result.mask[17, 22]
+    assert not result.mask[5, 5]
+    # The mask should roughly cover the 15x15 square.
+    assert 0.5 * 225 <= result.mask.sum() <= 2.0 * 225
+
+
+def test_difference_image_peaks_at_255():
+    background, frame = _studio_pair()
+    diff = BackgroundSubtractor().fit_background(background).difference_image(frame)
+    assert diff.max() == pytest.approx(255.0)
+    assert diff.min() >= 0.0
+
+
+def test_identical_frame_yields_empty_mask():
+    background, _ = _studio_pair()
+    result = BackgroundSubtractor().fit_background(background).extract(background)
+    assert not result.mask.any()
+
+
+def test_shape_mismatch_rejected():
+    background, _ = _studio_pair()
+    sub = BackgroundSubtractor().fit_background(background)
+    with pytest.raises(ImageError, match="shape"):
+        sub.extract(np.zeros((10, 10, 3), dtype=np.uint8))
+
+
+def test_keep_largest_component_drops_speck():
+    background, frame = _studio_pair()
+    frame = frame.copy()
+    frame[35:38, 45:48, :] = 200  # small second blob
+    with_largest = BackgroundSubtractor(keep_largest_component=True)
+    without = BackgroundSubtractor(keep_largest_component=False, median_window=1)
+    mask_l = with_largest.fit_background(background).extract(frame).mask
+    mask_a = without.fit_background(background).extract(frame).mask
+    assert not mask_l[36, 46]
+    assert mask_a[36, 46]
+
+
+def test_higher_threshold_shrinks_mask():
+    background, frame = _studio_pair(object_level=90)
+    low = BackgroundSubtractor(threshold=10).fit_background(background)
+    high = BackgroundSubtractor(threshold=120).fit_background(background)
+    assert low.extract(frame).mask.sum() >= high.extract(frame).mask.sum()
+
+
+def test_extract_clip_runs_every_frame():
+    background, frame = _studio_pair()
+    sub = BackgroundSubtractor().fit_background(background)
+    results = sub.extract_clip([frame, background, frame])
+    assert len(results) == 3
+    assert results[0].mask.any() and not results[1].mask.any()
+
+
+def test_foreground_fraction():
+    background, frame = _studio_pair()
+    result = BackgroundSubtractor().fit_background(background).extract(frame)
+    assert 0.0 < result.foreground_fraction < 0.5
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"threshold": -1}, {"threshold": 300},
+    {"window": 2}, {"median_window": 0},
+])
+def test_invalid_configuration_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        BackgroundSubtractor(**kwargs)
+
+
+def test_is_fitted_flag():
+    background, _ = _studio_pair()
+    sub = BackgroundSubtractor()
+    assert not sub.is_fitted
+    sub.fit_background(background)
+    assert sub.is_fitted
+
+
+def test_extraction_on_real_studio_clip(sample_clip):
+    sub = BackgroundSubtractor().fit_background(sample_clip.background)
+    result = sub.extract(sample_clip.frames[10])
+    from repro.imaging.metrics import intersection_over_union
+
+    iou = intersection_over_union(result.mask, sample_clip.silhouettes[10])
+    assert iou > 0.6, f"extraction quality collapsed: IoU {iou:.2f}"

@@ -1,0 +1,116 @@
+"""Connected-component labelling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.imaging.components import (
+    component_sizes,
+    connected_components,
+    largest_component,
+)
+
+masks = arrays(
+    dtype=bool, shape=st.tuples(st.integers(1, 12), st.integers(1, 12))
+)
+
+
+def test_empty_mask_has_no_components():
+    labels, count = connected_components(np.zeros((4, 4), dtype=bool))
+    assert count == 0 and not labels.any()
+
+
+def test_single_blob():
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[1:4, 1:4] = True
+    labels, count = connected_components(mask)
+    assert count == 1
+    assert (labels[mask] == 1).all()
+
+
+def test_two_blobs_4_vs_8_connectivity():
+    mask = np.array([[1, 0], [0, 1]], dtype=bool)
+    _, count8 = connected_components(mask, connectivity=8)
+    _, count4 = connected_components(mask, connectivity=4)
+    assert count8 == 1
+    assert count4 == 2
+
+
+def test_u_shape_is_single_component():
+    # A 'U' forces label equivalences to merge in the second pass.
+    mask = np.array(
+        [
+            [1, 0, 1],
+            [1, 0, 1],
+            [1, 1, 1],
+        ],
+        dtype=bool,
+    )
+    _, count = connected_components(mask)
+    assert count == 1
+
+
+def test_component_sizes():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[0, 0] = True
+    mask[3:6, 3:6] = True
+    labels, count = connected_components(mask)
+    sizes = component_sizes(labels, count)
+    assert sorted(sizes[1:].tolist()) == [1, 9]
+
+
+def test_largest_component_picks_biggest():
+    mask = np.zeros((6, 10), dtype=bool)
+    mask[0, 0] = True
+    mask[2:5, 2:8] = True
+    largest = largest_component(mask)
+    assert largest[3, 4] and not largest[0, 0]
+
+
+def test_largest_component_of_empty_mask():
+    out = largest_component(np.zeros((3, 3), dtype=bool))
+    assert not out.any()
+
+
+def test_invalid_connectivity():
+    with pytest.raises(ConfigurationError):
+        connected_components(np.zeros((2, 2), dtype=bool), connectivity=6)
+
+
+@given(masks)
+@settings(max_examples=40, deadline=None)
+def test_labels_partition_the_foreground(mask):
+    labels, count = connected_components(mask)
+    assert (labels > 0).sum() == mask.sum()
+    assert labels.max() == count if mask.any() else count == 0
+
+
+@given(masks)
+@settings(max_examples=40, deadline=None)
+def test_component_count_matches_bfs_reference(mask):
+    """Union-find labelling agrees with a straightforward BFS count."""
+    _, count = connected_components(mask, connectivity=8)
+    seen = np.zeros_like(mask)
+    reference = 0
+    for r in range(mask.shape[0]):
+        for c in range(mask.shape[1]):
+            if mask[r, c] and not seen[r, c]:
+                reference += 1
+                stack = [(r, c)]
+                seen[r, c] = True
+                while stack:
+                    cr, cc = stack.pop()
+                    for dr in (-1, 0, 1):
+                        for dc in (-1, 0, 1):
+                            nr, nc = cr + dr, cc + dc
+                            if (
+                                0 <= nr < mask.shape[0]
+                                and 0 <= nc < mask.shape[1]
+                                and mask[nr, nc]
+                                and not seen[nr, nc]
+                            ):
+                                seen[nr, nc] = True
+                                stack.append((nr, nc))
+    assert count == reference

@@ -1,0 +1,87 @@
+"""Moving-window filters (§2 steps i-ii and the median smoother)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.imaging.filters import box_filter, median_filter, subtract_images
+
+small_images = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 12), st.integers(3, 12)),
+    elements=st.floats(0, 255, allow_nan=False),
+)
+
+
+def test_box_filter_window_one_is_identity():
+    image = np.arange(12, dtype=float).reshape(3, 4)
+    assert np.array_equal(box_filter(image, 1), image)
+
+
+def test_box_filter_constant_image_unchanged():
+    image = np.full((6, 6), 7.0)
+    assert np.allclose(box_filter(image, 3), 7.0)
+
+
+def test_box_filter_matches_naive_mean_interior():
+    rng = np.random.default_rng(0)
+    image = rng.uniform(0, 255, (9, 9))
+    out = box_filter(image, 3)
+    naive = image[3:6, 3:6].mean()
+    assert out[4, 4] == pytest.approx(naive)
+
+
+@given(small_images)
+@settings(max_examples=30, deadline=None)
+def test_box_filter_preserves_value_range(image):
+    out = box_filter(image, 3)
+    assert out.min() >= image.min() - 1e-9
+    assert out.max() <= image.max() + 1e-9
+
+
+def test_box_filter_rejects_even_window():
+    with pytest.raises(ConfigurationError):
+        box_filter(np.zeros((4, 4)), 2)
+
+
+def test_median_filter_removes_salt_noise():
+    image = np.zeros((7, 7))
+    image[3, 3] = 255.0  # isolated speck
+    out = median_filter(image, 3)
+    assert out[3, 3] == 0.0
+
+
+def test_median_filter_preserves_step_edge():
+    image = np.zeros((6, 8))
+    image[:, 4:] = 10.0
+    out = median_filter(image, 3)
+    assert np.array_equal(out, image)
+
+
+def test_median_filter_binary_majority_vote():
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[2, 2] = True
+    out = median_filter(mask, 3)
+    assert out.dtype == bool
+    assert not out[2, 2]
+
+
+def test_median_filter_fills_single_hole():
+    mask = np.ones((5, 5), dtype=bool)
+    mask[2, 2] = False
+    assert median_filter(mask, 3)[2, 2]
+
+
+def test_median_filter_rejects_even_window_and_3d():
+    with pytest.raises(ConfigurationError):
+        median_filter(np.zeros((4, 4)), 4)
+    with pytest.raises(ConfigurationError):
+        median_filter(np.zeros((4, 4, 3)), 3)
+
+
+def test_subtract_images_is_elementwise():
+    a = np.full((2, 2), 9.0)
+    b = np.full((2, 2), 4.0)
+    assert np.array_equal(subtract_images(a, b), np.full((2, 2), 5.0))

@@ -1,0 +1,68 @@
+"""Image validation and conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import (
+    clip_to_uint8,
+    ensure_binary,
+    ensure_gray,
+    ensure_rgb,
+    rgb_to_gray,
+)
+
+
+def test_ensure_rgb_accepts_valid():
+    frame = np.zeros((4, 5, 3), dtype=np.uint8)
+    assert ensure_rgb(frame) is frame
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        np.zeros((4, 5), dtype=np.uint8),
+        np.zeros((4, 5, 4), dtype=np.uint8),
+        np.zeros((4, 5, 3), dtype=np.float64),
+        "not an array",
+    ],
+)
+def test_ensure_rgb_rejects(bad):
+    with pytest.raises(ImageError):
+        ensure_rgb(bad)
+
+
+def test_ensure_gray_casts_to_float():
+    out = ensure_gray(np.ones((3, 3), dtype=np.uint8))
+    assert out.dtype == np.float64
+
+
+def test_ensure_gray_rejects_3d():
+    with pytest.raises(ImageError):
+        ensure_gray(np.zeros((2, 2, 3)))
+
+
+def test_ensure_binary_accepts_bool_and_01_int():
+    mask = np.array([[True, False]])
+    assert ensure_binary(mask) is mask
+    out = ensure_binary(np.array([[0, 1]], dtype=np.int32))
+    assert out.dtype == bool and out[0, 1]
+
+
+def test_ensure_binary_rejects_other_ints_and_floats():
+    with pytest.raises(ImageError):
+        ensure_binary(np.array([[0, 2]]))
+    with pytest.raises(ImageError):
+        ensure_binary(np.array([[0.0, 1.0]]))
+
+
+def test_rgb_to_gray_weights():
+    pure_green = np.zeros((1, 1, 3), dtype=np.uint8)
+    pure_green[..., 1] = 255
+    assert rgb_to_gray(pure_green)[0, 0] == pytest.approx(0.587 * 255)
+
+
+def test_clip_to_uint8_rounds_and_clips():
+    out = clip_to_uint8(np.array([[-5.0, 12.6, 300.0]]))
+    assert out.tolist() == [[0, 13, 255]]
+    assert out.dtype == np.uint8

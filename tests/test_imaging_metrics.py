@@ -1,0 +1,87 @@
+"""Mask-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ImageError
+from repro.imaging.metrics import (
+    boundary_length,
+    boundary_roughness,
+    intersection_over_union,
+    pixel_error_rate,
+)
+
+masks = arrays(dtype=bool, shape=st.just((8, 8)))
+
+
+def test_iou_identical_masks():
+    mask = np.eye(5, dtype=bool)
+    assert intersection_over_union(mask, mask) == 1.0
+
+
+def test_iou_disjoint_masks():
+    a = np.zeros((4, 4), dtype=bool)
+    b = np.zeros((4, 4), dtype=bool)
+    a[0, 0] = True
+    b[3, 3] = True
+    assert intersection_over_union(a, b) == 0.0
+
+
+def test_iou_both_empty_is_one():
+    empty = np.zeros((3, 3), dtype=bool)
+    assert intersection_over_union(empty, empty) == 1.0
+
+
+def test_iou_shape_mismatch():
+    with pytest.raises(ImageError):
+        intersection_over_union(
+            np.zeros((2, 2), dtype=bool), np.zeros((3, 3), dtype=bool)
+        )
+
+
+@given(masks, masks)
+@settings(max_examples=40, deadline=None)
+def test_iou_symmetry_and_range(a, b):
+    iou = intersection_over_union(a, b)
+    assert 0.0 <= iou <= 1.0
+    assert iou == pytest.approx(intersection_over_union(b, a))
+
+
+def test_pixel_error_rate():
+    a = np.zeros((2, 2), dtype=bool)
+    b = a.copy()
+    b[0, 0] = True
+    assert pixel_error_rate(a, b) == pytest.approx(0.25)
+
+
+def test_boundary_length_of_block():
+    mask = np.zeros((6, 6), dtype=bool)
+    mask[1:5, 1:5] = True  # 4x4 block: 12 boundary pixels
+    assert boundary_length(mask) == 12
+
+
+def test_boundary_roughness_disk_near_one():
+    from repro.geometry.lines import rasterize_disk
+
+    mask = np.zeros((60, 60), dtype=bool)
+    rasterize_disk(mask, 30, 30, 20.0)
+    assert 0.7 <= boundary_roughness(mask) <= 1.3
+
+
+def test_boundary_roughness_ragged_higher_than_smooth():
+    from repro.geometry.lines import rasterize_disk
+
+    smooth = np.zeros((60, 60), dtype=bool)
+    rasterize_disk(smooth, 30, 30, 15.0)
+    ragged = smooth.copy()
+    rng = np.random.default_rng(0)
+    rows, cols = np.nonzero(smooth)
+    for r, c in zip(rows[::7], cols[::7]):
+        ragged[r, c] = rng.random() > 0.5
+    assert boundary_roughness(ragged) > boundary_roughness(smooth)
+
+
+def test_boundary_roughness_empty_is_zero():
+    assert boundary_roughness(np.zeros((4, 4), dtype=bool)) == 0.0

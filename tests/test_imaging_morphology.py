@@ -1,0 +1,112 @@
+"""Binary morphology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.imaging.morphology import (
+    binary_closing,
+    binary_dilation,
+    binary_erosion,
+    binary_opening,
+    count_holes,
+    fill_holes,
+)
+
+masks = arrays(dtype=bool, shape=st.tuples(st.integers(2, 10), st.integers(2, 10)))
+
+
+def _ring(size=7):
+    mask = np.zeros((size, size), dtype=bool)
+    mask[1:-1, 1:-1] = True
+    mask[size // 2, size // 2] = False
+    return mask
+
+
+def test_dilation_grows_single_pixel_to_square():
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[2, 2] = True
+    out = binary_dilation(mask, 3)
+    assert out.sum() == 9 and out[1, 1] and out[3, 3]
+
+
+def test_erosion_removes_thin_line():
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[2, :] = True
+    assert not binary_erosion(mask, 3).any()
+
+
+def test_erosion_keeps_core_of_block():
+    mask = np.zeros((7, 7), dtype=bool)
+    mask[1:6, 1:6] = True
+    out = binary_erosion(mask, 3)
+    assert out[3, 3] and not out[1, 1]
+
+
+def test_opening_removes_speck_keeps_block():
+    mask = np.zeros((10, 10), dtype=bool)
+    mask[1, 1] = True
+    mask[4:9, 4:9] = True
+    out = binary_opening(mask, 3)
+    assert not out[1, 1] and out[6, 6]
+
+
+def test_closing_fills_small_gap():
+    mask = np.zeros((5, 9), dtype=bool)
+    mask[2, 1:4] = True
+    mask[2, 5:8] = True
+    out = binary_closing(mask, 3)
+    assert out[2, 4]
+
+
+@given(masks)
+@settings(max_examples=40, deadline=None)
+def test_dilation_is_extensive_erosion_antiextensive(mask):
+    assert (binary_dilation(mask, 3) | mask).sum() == binary_dilation(mask, 3).sum()
+    assert (binary_erosion(mask, 3) & mask).sum() == binary_erosion(mask, 3).sum()
+
+
+@given(masks)
+@settings(max_examples=40, deadline=None)
+def test_opening_closing_duality_bounds(mask):
+    opened = binary_opening(mask, 3)
+    closed = binary_closing(mask, 3)
+    assert not (opened & ~mask).any()  # opening subset of mask
+    assert not (mask & ~closed).any()  # mask subset of closing
+
+
+def test_structuring_element_must_be_odd():
+    with pytest.raises(ConfigurationError):
+        binary_dilation(np.zeros((3, 3), dtype=bool), 2)
+
+
+def test_count_holes_ring():
+    assert count_holes(_ring()) == 1
+
+
+def test_count_holes_open_shape_is_zero():
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[2, :] = True
+    assert count_holes(mask) == 0
+
+
+def test_count_holes_two_holes():
+    mask = np.ones((5, 9), dtype=bool)
+    mask[2, 2] = False
+    mask[2, 6] = False
+    assert count_holes(mask) == 2
+
+
+def test_fill_holes_fills_enclosed_only():
+    ring = _ring()
+    filled = fill_holes(ring)
+    assert filled[3, 3]
+    assert not filled[0, 0]  # border background untouched
+    assert count_holes(filled) == 0
+
+
+def test_fill_holes_idempotent():
+    filled = fill_holes(_ring())
+    assert np.array_equal(filled, fill_holes(filled))

@@ -1,0 +1,68 @@
+"""Whole-system integration: the paper's pipeline end to end."""
+
+import numpy as np
+
+from repro import (
+    ClassifierConfig,
+    Fault,
+    JumpEvaluator,
+    JumpPoseAnalyzer,
+    Pose,
+    render_report,
+)
+from repro.core.poses import Stage
+
+
+def test_full_pipeline_accuracy_band(analyzer, dataset):
+    """Pilot-scale reproduction of the §5 experiment: high-but-imperfect
+    accuracy with errors concentrated in consecutive frames."""
+    result = analyzer.evaluate(dataset.test)
+    assert result.overall_accuracy > 0.6
+    assert result.overall_accuracy < 1.0, "a perfect score would be suspicious"
+
+
+def test_decoded_stages_follow_jump_order(analyzer, dataset):
+    clip = dataset.test[0]
+    predictions = analyzer.predict_frames(clip.frames, clip.background)
+    stages = [p.stage.value for p in predictions]
+    # Smoothed decoding may hesitate locally but overall must progress.
+    assert stages[0] == Stage.BEFORE_JUMPING
+    assert stages[-1] == Stage.LANDING
+    assert max(stages) == Stage.LANDING
+
+
+def test_first_frame_resets_to_initial_pose(analyzer, dataset):
+    """§4.1: frame 1 is 'standing & hand overlap with body'."""
+    clip = dataset.test[0]
+    predictions = analyzer.predict_frames(clip.frames, clip.background)
+    assert predictions[0].pose == Pose.STANDING_HANDS_OVERLAP
+
+
+def test_good_jump_gets_clean_report(analyzer, dataset):
+    clip = dataset.test[0]
+    predictions = analyzer.predict_frames(clip.frames, clip.background)
+    evaluation = JumpEvaluator().evaluate([p.pose for p in predictions])
+    assert evaluation.score >= 0.8
+    text = render_report(evaluation)
+    assert "Standing long jump evaluation" in text
+
+
+def test_analyzer_is_reusable_across_clips(analyzer, dataset):
+    """One trained system, many clips — no hidden per-clip state."""
+    first = analyzer.analyze_clip(dataset.test[0])
+    second = analyzer.analyze_clip(dataset.test[1])
+    first_again = analyzer.analyze_clip(dataset.test[0])
+    assert first.accuracy == first_again.accuracy
+    assert first.clip_id != second.clip_id
+
+
+def test_decoder_configs_work_on_same_models(analyzer, dataset):
+    clip = dataset.test[0]
+    accuracies = {}
+    for decode in ("greedy", "filter", "smooth", "viterbi"):
+        configured = analyzer.with_classifier(ClassifierConfig(decode=decode))
+        accuracies[decode] = configured.analyze_clip(clip).accuracy
+    assert all(0.0 <= a <= 1.0 for a in accuracies.values())
+    # Offline smoothing should not lose to causal filtering on average;
+    # allow slack for a single pilot clip.
+    assert accuracies["smooth"] >= accuracies["filter"] - 0.1

@@ -1,0 +1,78 @@
+"""Calibration guard: canonical postures must stay separable.
+
+The classifier's discriminative power rests on the 22 canonical postures
+producing distinct 8-area feature codes *within each stage* when rendered
+cleanly (no jitter, no noise).  This test re-runs that calibration; if a
+posture edit ever collapses two same-stage codes, it fails here rather
+than as a mysterious accuracy regression.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.estimator import VisionFrontEnd
+from repro.core.poses import POSE_STAGE, Pose
+from repro.geometry.points import Point
+from repro.synth.body import BodyDimensions, BodyPose, lowest_point_offset
+from repro.synth.posture import all_postures, posture_for_pose
+from repro.synth.renderer import RenderSettings, joints_in_image, render_silhouette
+
+
+@pytest.fixture(scope="module")
+def canonical_codes():
+    front_end = VisionFrontEnd()
+    dims = BodyDimensions()
+    settings = RenderSettings()
+    codes = {}
+    for pose in Pose:
+        angles = posture_for_pose(pose)
+        y = -lowest_point_offset(angles, dims)
+        airborne_lift = 20 if POSE_STAGE[pose].name == "IN_THE_AIR" else 0
+        body = BodyPose(angles=angles, pelvis=Point(150.0, y + airborne_lift))
+        silhouette = render_silhouette(body, dims, settings)
+        skeleton = front_end.skeletonize(silhouette)
+        refs = joints_in_image(body, dims, settings)
+        keypoints = front_end.keypoints.extract_with_reference(
+            skeleton, refs["head_top"], refs["fingertip"], refs["toe"]
+        )
+        codes[pose] = front_end.encoder.encode(keypoints).as_tuple()
+    return codes
+
+
+def test_every_posture_renders_and_encodes(canonical_codes):
+    assert len(canonical_codes) == 22
+
+
+def test_codes_unique_within_each_stage(canonical_codes):
+    by_stage = defaultdict(dict)
+    for pose, code in canonical_codes.items():
+        stage = POSE_STAGE[pose]
+        clash = by_stage[stage].get(code)
+        assert clash is None, (
+            f"{pose.name} and {clash} share code {code} within {stage.name}; "
+            "the stage flag cannot separate them"
+        )
+        by_stage[stage][code] = pose.name
+
+
+def test_twin_poses_share_codes_across_stages(canonical_codes):
+    """The before/landing 'hand overlap' twins SHOULD look identical —
+    only the stage flag tells them apart (§4.1)."""
+    before = canonical_codes[Pose.STANDING_HANDS_OVERLAP]
+    landing = canonical_codes[Pose.LANDING_STANDING_HANDS_OVERLAP]
+    matches = sum(1 for a, b in zip(before, landing) if a == b)
+    assert matches >= 4, "the twins should agree on most parts"
+
+
+def test_foot_always_in_lower_half_plane(canonical_codes):
+    """The §4.2 anchor: the foot area code must point downward (areas V-VIII
+    span the lower half-plane with the default centred partition)."""
+    lower = {4, 5, 6, 7, 0}  # allow down-forward boundary for leg-forward poses
+    for pose, code in canonical_codes.items():
+        foot = code[-1]
+        assert foot in lower, f"{pose.name}: foot landed in area {foot}"
+
+
+def test_all_postures_table_complete():
+    assert set(all_postures()) == set(Pose)

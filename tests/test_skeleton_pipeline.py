@@ -1,0 +1,79 @@
+"""The full §3 skeleton extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SkeletonError
+from repro.skeleton.pipeline import SkeletonExtractor
+
+
+def test_extract_produces_clean_tree(sample_silhouette):
+    skeleton = SkeletonExtractor().extract(sample_silhouette)
+    assert not skeleton.is_empty
+    assert skeleton.graph.cycle_rank() == 0, "loops must be cut"
+    stats = skeleton.stats()
+    assert stats.short_branches == 0, "short branches must be pruned"
+    assert len(skeleton.endpoints) >= 2
+
+
+def test_raw_mask_is_kept_for_figures(sample_silhouette):
+    skeleton = SkeletonExtractor().extract(sample_silhouette)
+    assert skeleton.raw_mask.any()
+    raw_stats = skeleton.raw_stats()
+    assert raw_stats.pixels >= skeleton.stats().pixels - len(skeleton.cut_points)
+
+
+def test_to_mask_round_trip(sample_silhouette):
+    skeleton = SkeletonExtractor().extract(sample_silhouette)
+    mask = skeleton.to_mask()
+    assert mask.shape == sample_silhouette.shape
+    assert mask.sum() == len(skeleton.graph)
+
+
+def test_empty_silhouette_raises():
+    with pytest.raises(SkeletonError):
+        SkeletonExtractor().extract(np.zeros((10, 10), dtype=bool))
+
+
+def test_unknown_thinner_rejected():
+    with pytest.raises(ConfigurationError):
+        SkeletonExtractor(thinner="magic")
+
+
+def test_invalid_branch_length_rejected():
+    with pytest.raises(ConfigurationError):
+        SkeletonExtractor(min_branch_length=0)
+
+
+def test_guohall_variant_runs(sample_silhouette):
+    skeleton = SkeletonExtractor(thinner="guohall").extract(sample_silhouette)
+    assert not skeleton.is_empty
+    assert skeleton.graph.cycle_rank() == 0
+
+
+def test_higher_prune_threshold_removes_more(sample_silhouette):
+    gentle = SkeletonExtractor(min_branch_length=3).extract(sample_silhouette)
+    aggressive = SkeletonExtractor(min_branch_length=18).extract(sample_silhouette)
+    assert len(aggressive.graph) <= len(gentle.graph)
+
+
+def test_endpoints_and_junctions_consistent(sample_silhouette):
+    skeleton = SkeletonExtractor().extract(sample_silhouette)
+    for endpoint in skeleton.endpoints:
+        assert skeleton.graph.degree(endpoint) == 1
+    for junction in skeleton.junctions:
+        assert skeleton.graph.degree(junction) >= 3
+
+
+def test_segments_cover_graph(sample_silhouette):
+    skeleton = SkeletonExtractor().extract(sample_silhouette)
+    covered = set()
+    for segment in skeleton.segments():
+        covered.update(segment.pixels)
+    assert covered == skeleton.graph.pixels
+
+
+def test_extraction_deterministic(sample_silhouette):
+    a = SkeletonExtractor().extract(sample_silhouette)
+    b = SkeletonExtractor().extract(sample_silhouette)
+    assert a.graph.pixels == b.graph.pixels

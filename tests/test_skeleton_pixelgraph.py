@@ -1,0 +1,105 @@
+"""The pixel graph over skeleton pixels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SkeletonError
+from repro.skeleton.pixelgraph import PixelGraph
+
+
+def _line(n=10):
+    return PixelGraph({(0, c) for c in range(n)})
+
+
+def test_line_degrees_and_endpoints():
+    graph = _line(5)
+    assert graph.endpoints() == [(0, 0), (0, 4)]
+    assert graph.degree((0, 2)) == 2
+    assert graph.junctions() == []
+
+
+def test_t_junction():
+    pixels = {(0, c) for c in range(5)} | {(r, 2) for r in range(1, 4)}
+    graph = PixelGraph(pixels)
+    assert (0, 2) in graph.junctions()
+    assert len(graph.endpoints()) == 3
+
+
+def test_redundant_diagonal_edges_removed():
+    # An L-step: diagonal (0,0)-(1,1) is redundant through (0,1).
+    graph = PixelGraph({(0, 0), (0, 1), (1, 1)})
+    assert (1, 1) not in graph.neighbors((0, 0))
+    assert graph.cycle_rank() == 0
+
+
+def test_pure_diagonal_edges_kept():
+    graph = PixelGraph({(0, 0), (1, 1), (2, 2)})
+    assert (1, 1) in graph.neighbors((0, 0))
+    assert graph.endpoints() == [(0, 0), (2, 2)]
+
+
+def test_cycle_rank_of_ring():
+    ring = {(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 1), (2, 0), (1, 0)}
+    graph = PixelGraph(ring)
+    assert graph.cycle_rank() == 1
+    assert graph.endpoints() == []
+
+
+def test_connected_components_ordering():
+    pixels = {(0, c) for c in range(8)} | {(5, 0), (5, 1)}
+    components = PixelGraph(pixels).connected_components()
+    assert len(components) == 2
+    assert len(components[0]) == 8  # largest first
+
+
+def test_largest_component():
+    pixels = {(0, c) for c in range(8)} | {(5, 0)}
+    largest = PixelGraph(pixels).largest_component()
+    assert len(largest) == 8
+    assert (5, 0) not in largest
+
+
+def test_without_and_subgraph():
+    graph = _line(6)
+    smaller = graph.without({(0, 3)})
+    assert len(smaller.connected_components()) == 2
+    sub = graph.subgraph({(0, 0), (0, 1)})
+    assert len(sub) == 2
+    with pytest.raises(SkeletonError):
+        graph.subgraph({(9, 9)})
+
+
+def test_to_mask_round_trip():
+    mask = np.zeros((4, 7), dtype=bool)
+    mask[1, 2:5] = True
+    graph = PixelGraph.from_mask(mask)
+    assert np.array_equal(graph.to_mask((4, 7)), mask)
+
+
+def test_to_mask_out_of_shape_raises():
+    graph = _line(5)
+    with pytest.raises(SkeletonError):
+        graph.to_mask((1, 2))
+
+
+def test_neighbors_of_missing_pixel_raises():
+    with pytest.raises(SkeletonError):
+        _line().neighbors((9, 9))
+
+
+def test_empty_graph_properties():
+    graph = PixelGraph(set())
+    assert len(graph) == 0
+    assert graph.cycle_rank() == 0
+    assert graph.bounding_shape() == (0, 0)
+    assert graph.connected_components() == []
+
+
+def test_edge_count_line():
+    assert _line(10).edge_count() == 9
+
+
+def test_contains():
+    graph = _line(3)
+    assert (0, 1) in graph
+    assert (5, 5) not in graph

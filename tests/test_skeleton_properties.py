@@ -1,0 +1,76 @@
+"""Property-based tests of the whole §3 pipeline on random bodies.
+
+Hypothesis generates random capsule arrangements (random 'bodies'); the
+pipeline must always produce an acyclic, pruned, connected skeleton that
+stays inside the silhouette.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.lines import rasterize_capsule
+from repro.skeleton.analysis import artifact_stats
+from repro.skeleton.pipeline import SkeletonExtractor
+from repro.imaging.morphology import binary_dilation
+
+coords = st.floats(min_value=8, max_value=72, allow_nan=False)
+radii = st.floats(min_value=2.0, max_value=6.0, allow_nan=False)
+
+capsules = st.lists(
+    st.tuples(coords, coords, coords, coords, radii), min_size=1, max_size=5
+)
+
+
+def _render(shapes):
+    mask = np.zeros((80, 80), dtype=bool)
+    r0, c0, *_ = shapes[0]
+    previous = (r0, c0)
+    for r_start, c_start, r_end, c_end, radius in shapes:
+        # Chain the capsules so the silhouette is connected, like a body.
+        rasterize_capsule(mask, previous[0], previous[1], r_start, c_start, 2.5)
+        rasterize_capsule(mask, r_start, c_start, r_end, c_end, radius)
+        previous = (r_end, c_end)
+    return mask
+
+
+@given(capsules)
+@settings(max_examples=30, deadline=None)
+def test_pipeline_output_is_clean_tree(shapes):
+    mask = _render(shapes)
+    skeleton = SkeletonExtractor().extract(mask)
+    stats = skeleton.stats()
+    assert stats.loops == 0, "loops must always be cut"
+    assert stats.short_branches == 0, "short branches must always be pruned"
+    assert len(skeleton.graph.connected_components()) <= 1 or skeleton.is_empty
+
+
+@given(capsules)
+@settings(max_examples=30, deadline=None)
+def test_skeleton_stays_near_silhouette(shapes):
+    """Skeleton pixels lie within the (slightly dilated) silhouette —
+    the repairs may bridge a pixel outside the thinned set but never far."""
+    mask = _render(shapes)
+    skeleton = SkeletonExtractor().extract(mask)
+    allowed = binary_dilation(mask, 3)
+    outside = skeleton.to_mask() & ~allowed
+    assert not outside.any()
+
+
+@given(capsules)
+@settings(max_examples=20, deadline=None)
+def test_pipeline_deterministic(shapes):
+    mask = _render(shapes)
+    a = SkeletonExtractor().extract(mask)
+    b = SkeletonExtractor().extract(mask)
+    assert a.graph.pixels == b.graph.pixels
+
+
+@given(capsules, st.integers(3, 20))
+@settings(max_examples=20, deadline=None)
+def test_pruning_threshold_monotone(shapes, threshold):
+    """A stricter pruning threshold never keeps more pixels."""
+    mask = _render(shapes)
+    loose = SkeletonExtractor(min_branch_length=3).extract(mask)
+    strict = SkeletonExtractor(min_branch_length=threshold).extract(mask)
+    assert len(strict.graph) <= len(loose.graph)

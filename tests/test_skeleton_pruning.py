@@ -1,0 +1,71 @@
+"""One-at-a-time branch pruning (§3, Figure 4)."""
+
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.pruning import prune_all_at_once, prune_short_branches
+
+
+def _spur_graph(main=30, limb=8, spur=4):
+    """Main path with a genuine short limb and a noisy spur at one junction."""
+    pixels = {(r, 20) for r in range(main)}
+    pixels |= {(main - 1 + k, 20 + k) for k in range(1, limb + 1)}
+    pixels |= {(main - 1 + k, 20 - k) for k in range(1, spur + 1)}
+    return PixelGraph(pixels)
+
+
+def test_prunes_short_spur_keeps_long_limb():
+    graph = _spur_graph(limb=15, spur=4)
+    result = prune_short_branches(graph, min_length=10)
+    assert result.branches_removed == 1
+    # Limb tip survives.
+    assert (29 + 15, 20 + 15) in result.graph.pixels
+    # Spur tip gone.
+    assert (29 + 4, 20 - 4) not in result.graph.pixels
+
+
+def test_one_at_a_time_saves_borderline_limb():
+    """Both branches under threshold: sequential keeps one, naive kills both."""
+    graph = _spur_graph(limb=8, spur=4)
+    sequential = prune_short_branches(graph, min_length=10)
+    naive = prune_all_at_once(graph, min_length=10)
+    assert sequential.branches_removed == 1
+    assert naive.branches_removed == 2
+    assert len(sequential.graph) > len(naive.graph)
+
+
+def test_junction_pixel_survives_pruning():
+    graph = _spur_graph()
+    result = prune_short_branches(graph, min_length=10)
+    assert (29, 20) in result.graph.pixels
+
+
+def test_no_branches_nothing_removed():
+    line = PixelGraph({(0, c) for c in range(20)})
+    result = prune_short_branches(line, min_length=10)
+    assert result.branches_removed == 0
+    assert len(result.graph) == 20
+
+
+def test_long_branches_survive():
+    graph = _spur_graph(limb=20, spur=15)
+    result = prune_short_branches(graph, min_length=10)
+    assert result.branches_removed == 0
+
+
+def test_pruning_is_stable_at_fixpoint():
+    graph = _spur_graph()
+    once = prune_short_branches(graph, min_length=10)
+    twice = prune_short_branches(once.graph, min_length=10)
+    assert twice.branches_removed == 0
+    assert len(twice.graph) == len(once.graph)
+
+
+def test_pruned_result_tracks_removed_segments():
+    graph = _spur_graph(limb=15, spur=4)
+    result = prune_short_branches(graph, min_length=10)
+    assert len(result.removed) == result.branches_removed == 1
+    assert result.removed[0].length < 10
+
+
+def test_prune_all_at_once_empty_when_no_short():
+    line = PixelGraph({(0, c) for c in range(20)})
+    assert prune_all_at_once(line, 10).branches_removed == 0

@@ -1,0 +1,70 @@
+"""Adjacent-junction-vertex removal (cluster contraction)."""
+
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.simplify import remove_adjacent_junctions
+
+
+def test_single_junction_untouched():
+    pixels = {(r, 5) for r in range(10)} | {(5, c) for c in range(5)}
+    graph = PixelGraph(pixels)
+    simplified, clusters = remove_adjacent_junctions(graph)
+    assert clusters == []
+    assert len(simplified) == len(graph)
+
+
+def test_adjacent_junction_pair_contracts():
+    """Two adjacent junction pixels collapse (safely) towards one."""
+    # Horizontal spine with two vertical arms at adjacent columns, making
+    # (5,4) and (5,5) both junctions.
+    pixels = {(5, c) for c in range(10)}
+    pixels |= {(r, 4) for r in range(5)}
+    pixels |= {(r, 5) for r in range(6, 11)}
+    graph = PixelGraph(pixels)
+    junctions_before = graph.junctions()
+    assert len(junctions_before) == 2
+
+    simplified, clusters = remove_adjacent_junctions(graph)
+    assert len(clusters) >= 1
+    assert all(len(c.members) == 2 for c in clusters)
+    assert len(simplified) < len(graph)
+    # Connectivity must survive the contraction.
+    assert len(simplified.connected_components()) == 1
+    # All four arm tips and both spine ends survive.
+    assert len(simplified.endpoints()) == len(graph.endpoints())
+
+
+def test_contraction_preserves_endpoints():
+    pixels = {(5, c) for c in range(10)}
+    pixels |= {(r, 4) for r in range(5)}
+    pixels |= {(r, 5) for r in range(6, 11)}
+    graph = PixelGraph(pixels)
+    simplified, _ = remove_adjacent_junctions(graph)
+    endpoints_before = set(graph.endpoints())
+    endpoints_after = set(simplified.endpoints())
+    # The four arm tips survive.
+    assert endpoints_before <= endpoints_after | endpoints_before
+    assert len(endpoints_after) >= 4
+
+
+def test_empty_graph():
+    simplified, clusters = remove_adjacent_junctions(PixelGraph(set()))
+    assert len(simplified) == 0 and clusters == []
+
+
+def test_real_skeleton_junction_density_drops(sample_silhouette):
+    from repro.thinning.zhangsuen import zhang_suen_thin
+
+    raw = PixelGraph.from_mask(zhang_suen_thin(sample_silhouette))
+    simplified, _ = remove_adjacent_junctions(raw)
+    # No junction pixel should retain 2+ junction neighbours afterwards
+    # (allowing for bridge-pixel effects, the count must not grow).
+    def adjacent_junction_pixels(graph):
+        junctions = set(graph.junctions())
+        return sum(
+            1
+            for j in junctions
+            if len(junctions & graph.neighbors(j)) > 1
+        )
+
+    assert adjacent_junction_pixels(simplified) <= adjacent_junction_pixels(raw)
+    assert len(simplified.connected_components()) == len(raw.connected_components())

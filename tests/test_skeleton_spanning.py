@@ -1,0 +1,98 @@
+"""Maximum-spanning-tree loop cutting (§3, Figure 3)."""
+
+import numpy as np
+
+from repro.skeleton.analysis import Segment, find_segments
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.spanning import cut_loops, maximum_spanning_segments
+
+
+def _ring_with_tail():
+    """A rectangle ring plus a tail — one loop, one branch."""
+    ring = set()
+    for c in range(0, 8):
+        ring.add((0, c))
+        ring.add((6, c))
+    for r in range(1, 6):
+        ring.add((r, 0))
+        ring.add((r, 7))
+    tail = {(r, 10) for r in range(7, 15)}
+    bridge = {(6, 8), (6, 9), (6, 10)}
+    return PixelGraph(ring | tail | bridge)
+
+
+def test_maximum_spanning_keeps_longest():
+    # Two parallel segments between the same junctions: the detour is the
+    # geometrically longer one and must win the spanning-tree competition.
+    straight = Segment((0, 0), (0, 9), tuple((0, c) for c in range(10)))
+    detour_pixels = tuple([(0, 0)] + [(1, c) for c in range(1, 9)] + [(0, 9)])
+    detour = Segment((0, 0), (0, 9), detour_pixels)
+    assert detour.euclidean_length > straight.euclidean_length
+    kept, cut = maximum_spanning_segments([straight, detour])
+    assert kept == [detour]
+    assert cut == [straight]
+
+
+def test_self_loops_always_cut():
+    loop = Segment((0, 0), (0, 0), ((0, 0), (0, 1), (1, 1), (1, 0), (0, 0)), True)
+    kept, cut = maximum_spanning_segments([loop])
+    assert kept == [] and cut == [loop]
+
+
+def test_cut_loops_removes_all_cycles():
+    graph = _ring_with_tail()
+    assert graph.cycle_rank() >= 1
+    result = cut_loops(graph)
+    assert result.graph.cycle_rank() == 0
+    assert result.loops_cut >= 1
+    assert len(result.cut_points) >= 1
+
+
+def test_cut_points_come_from_the_graph():
+    graph = _ring_with_tail()
+    result = cut_loops(graph)
+    for point in result.cut_points:
+        assert point in graph.pixels
+        assert point not in result.graph.pixels
+
+
+def test_cut_preserves_connectivity_count():
+    graph = _ring_with_tail()
+    before = len(graph.connected_components())
+    result = cut_loops(graph)
+    # Cutting a loop at one pixel never disconnects the skeleton.
+    assert len(result.graph.connected_components()) == before
+
+
+def test_acyclic_graph_is_untouched():
+    line = PixelGraph({(0, c) for c in range(12)})
+    result = cut_loops(line)
+    assert result.cut_points == ()
+    assert len(result.graph) == 12
+
+
+def test_figure_eight_cut_twice():
+    """Two stacked rings sharing an edge need two cuts."""
+    pixels = set()
+    for c in range(0, 7):
+        pixels.add((0, c)); pixels.add((5, c)); pixels.add((10, c))
+    for r in range(1, 5):
+        pixels.add((r, 0)); pixels.add((r, 6))
+    for r in range(6, 10):
+        pixels.add((r, 0)); pixels.add((r, 6))
+    graph = PixelGraph(pixels)
+    assert graph.cycle_rank() == 2
+    result = cut_loops(graph)
+    assert result.graph.cycle_rank() == 0
+    assert len(result.cut_points) >= 2
+
+
+def test_loop_cut_on_real_loopy_silhouette():
+    from repro.experiments.figures import loop_demo_mask
+    from repro.thinning.zhangsuen import zhang_suen_thin
+
+    raw = zhang_suen_thin(loop_demo_mask())
+    graph = PixelGraph.from_mask(raw)
+    assert graph.cycle_rank() >= 1
+    result = cut_loops(graph)
+    assert result.graph.cycle_rank() == 0

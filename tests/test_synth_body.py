@@ -1,0 +1,113 @@
+"""The articulated body model and its forward kinematics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import Point
+from repro.synth.body import (
+    BodyDimensions,
+    BodyPose,
+    JointAngles,
+    compute_joints,
+    lowest_point_offset,
+)
+
+small_angles = st.floats(min_value=-60, max_value=60, allow_nan=False)
+
+
+def test_dimensions_validate_positive():
+    with pytest.raises(ConfigurationError):
+        BodyDimensions(trunk_length=-1)
+
+
+def test_dimensions_scaling():
+    dims = BodyDimensions().scaled(1.5)
+    assert dims.trunk_length == pytest.approx(BodyDimensions().trunk_length * 1.5)
+    with pytest.raises(ConfigurationError):
+        BodyDimensions().scaled(0)
+
+
+def test_standing_height_composition():
+    dims = BodyDimensions()
+    expected = (
+        dims.thigh_length + dims.shin_length + dims.trunk_length
+        + dims.neck_length + 2 * dims.head_radius
+    )
+    assert dims.standing_height == pytest.approx(expected)
+
+
+def test_standing_joints_are_vertically_ordered():
+    pose = BodyPose(angles=JointAngles(), pelvis=Point(0.0, 58.0))
+    joints = compute_joints(pose)
+    assert joints["head_top"].y > joints["neck"].y > joints["pelvis"].y
+    assert joints["pelvis"].y > joints["knee"].y > joints["ankle"].y
+
+
+def test_standing_foot_points_forward():
+    pose = BodyPose(angles=JointAngles(), pelvis=Point(0.0, 58.0))
+    joints = compute_joints(pose)
+    assert joints["toe"].x > joints["ankle"].x
+    assert joints["toe"].y == pytest.approx(joints["ankle"].y, abs=1e-9)
+
+
+def test_trunk_lean_moves_head_forward():
+    upright = compute_joints(BodyPose(JointAngles(trunk=0), Point(0, 58)))
+    leaning = compute_joints(BodyPose(JointAngles(trunk=30), Point(0, 58)))
+    assert leaning["head_top"].x > upright["head_top"].x
+    assert leaning["head_top"].y < upright["head_top"].y
+
+
+def test_shoulder_swing_forward_raises_hand():
+    hanging = compute_joints(BodyPose(JointAngles(shoulder=0), Point(0, 58)))
+    forward = compute_joints(BodyPose(JointAngles(shoulder=90), Point(0, 58)))
+    overhead = compute_joints(BodyPose(JointAngles(shoulder=180), Point(0, 58)))
+    assert hanging["hand"].y < hanging["neck"].y
+    assert forward["hand"].x > hanging["hand"].x
+    assert overhead["hand"].y > forward["hand"].y
+
+
+def test_knee_flexion_pulls_heel_back():
+    straight = compute_joints(BodyPose(JointAngles(knee=0), Point(0, 58)))
+    bent = compute_joints(BodyPose(JointAngles(knee=90), Point(0, 58)))
+    assert bent["ankle"].x < straight["ankle"].x
+    assert bent["ankle"].y > straight["ankle"].y
+
+
+@given(small_angles, small_angles, small_angles)
+@settings(max_examples=40, deadline=None)
+def test_segment_lengths_preserved(trunk, shoulder, knee):
+    """Forward kinematics never stretches a segment."""
+    dims = BodyDimensions()
+    angles = JointAngles(trunk=trunk, shoulder=shoulder, knee=knee)
+    joints = compute_joints(BodyPose(angles, Point(0, 58)), dims)
+    assert joints["pelvis"].distance_to(joints["neck"]) == pytest.approx(
+        dims.trunk_length
+    )
+    assert joints["shoulder"].distance_to(joints["elbow"]) == pytest.approx(
+        dims.upper_arm_length
+    )
+    assert joints["knee"].distance_to(joints["ankle"]) == pytest.approx(
+        dims.shin_length
+    )
+
+
+def test_lowest_point_offset_standing_is_ankle_depth():
+    dims = BodyDimensions()
+    offset = lowest_point_offset(JointAngles(), dims)
+    assert offset == pytest.approx(-dims.leg_length, abs=1.0)
+
+
+def test_angles_blend_midpoint():
+    a = JointAngles(trunk=0, shoulder=0)
+    b = JointAngles(trunk=40, shoulder=90)
+    mid = a.blended(b, 0.5)
+    assert mid.trunk == pytest.approx(20)
+    assert mid.shoulder == pytest.approx(45)
+
+
+def test_with_offsets_validates_names():
+    with pytest.raises(ConfigurationError):
+        JointAngles().with_offsets(wing=10)
+    shifted = JointAngles(trunk=5).with_offsets(trunk=10)
+    assert shifted.trunk == 15

@@ -1,0 +1,54 @@
+"""Clip save/load round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.synth.dataset import make_clip
+from repro.synth.io import load_clip, save_clip
+from repro.synth.variation import Fault
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    clip = make_clip("rt", seed=4, variant=1, target_frames=40,
+                     faults=(Fault.NO_TUCK,))
+    path = save_clip(clip, tmp_path / "clip")
+    assert path.suffix == ".npz"
+    loaded = load_clip(path)
+
+    assert loaded.clip_id == clip.clip_id
+    assert len(loaded) == len(clip)
+    assert loaded.labels == clip.labels
+    assert loaded.stages == clip.stages
+    assert np.array_equal(loaded.background, clip.background)
+    for a, b in zip(loaded.frames, clip.frames):
+        assert np.array_equal(a, b)
+    for a, b in zip(loaded.silhouettes, clip.silhouettes):
+        assert np.array_equal(a, b)
+    assert loaded.profile.faults == (Fault.NO_TUCK,)
+    assert loaded.profile.scale == pytest.approx(clip.profile.scale)
+
+
+def test_round_trip_joints_and_motion(tmp_path):
+    clip = make_clip("rt2", seed=6, variant=0, target_frames=38)
+    loaded = load_clip(save_clip(clip, tmp_path / "c2.npz"))
+    for a, b in zip(loaded.joints, clip.joints):
+        assert set(a) == set(b)
+        for name in a:
+            assert a[name][0] == pytest.approx(b[name][0])
+    for ma, mb in zip(loaded.motion, clip.motion):
+        assert ma.pose == mb.pose
+        assert ma.pelvis.x == pytest.approx(mb.pelvis.x)
+        assert ma.angles.trunk == pytest.approx(mb.angles.trunk)
+
+
+def test_loaded_clip_works_in_pipeline(tmp_path, analyzer):
+    clip = make_clip("rt3", seed=8, variant=0, target_frames=36)
+    loaded = load_clip(save_clip(clip, tmp_path / "c3"))
+    result = analyzer.analyze_clip(loaded)
+    assert len(result.frames) == len(loaded)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(DatasetError):
+        load_clip(tmp_path / "nope.npz")

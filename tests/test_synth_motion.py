@@ -1,0 +1,102 @@
+"""Jump choreography and motion synthesis."""
+
+import pytest
+
+from repro.core.poses import Pose, Stage, stage_can_follow
+from repro.errors import ConfigurationError
+from repro.synth.motion import (
+    JumpScript,
+    ScriptStep,
+    default_jump_script,
+    num_script_variants,
+    run_script,
+)
+
+
+def test_script_step_validation():
+    with pytest.raises(ConfigurationError):
+        ScriptStep(Pose.STANDING_HANDS_OVERLAP, hold=0)
+    with pytest.raises(ConfigurationError):
+        ScriptStep(Pose.STANDING_HANDS_OVERLAP, transition=-1)
+
+
+def test_total_frames_drops_last_transition():
+    script = JumpScript(steps=(
+        ScriptStep(Pose.STANDING_HANDS_OVERLAP, hold=2, transition=3),
+        ScriptStep(Pose.STANDING_HANDS_RAISED_FORWARD, hold=2, transition=9),
+    ))
+    assert script.total_frames == 2 + 3 + 2
+
+
+def test_default_scripts_exist_and_are_realistic():
+    assert num_script_variants() >= 3
+    for variant in range(num_script_variants()):
+        script = default_jump_script(variant)
+        assert 35 <= script.total_frames <= 55
+    with pytest.raises(ConfigurationError):
+        default_jump_script(99)
+
+
+def test_all_22_poses_covered_across_variants():
+    covered = set()
+    for variant in range(num_script_variants()):
+        covered.update(default_jump_script(variant).poses_used())
+    assert covered == set(Pose)
+
+
+def test_scripts_visit_stages_monotonically():
+    for variant in range(num_script_variants()):
+        poses = default_jump_script(variant).poses_used()
+        for a, b in zip(poses[:-1], poses[1:]):
+            assert stage_can_follow(b.stage, a.stage), f"{a} -> {b}"
+
+
+def test_run_script_frame_count_and_labels():
+    script = default_jump_script(0)
+    frames = run_script(script)
+    assert len(frames) == script.total_frames
+    assert frames[0].pose == Pose.STANDING_HANDS_OVERLAP
+    assert frames[-1].pose == Pose.LANDING_STANDING_HANDS_OVERLAP
+
+
+def test_run_script_stages_monotone_per_frame():
+    frames = run_script(default_jump_script(1))
+    for a, b in zip(frames[:-1], frames[1:]):
+        assert b.stage.value >= a.stage.value
+
+
+def test_airborne_frames_rise_above_ground_height():
+    frames = run_script(default_jump_script(0))
+    grounded = [f.pelvis.y for f in frames if f.stage == Stage.BEFORE_JUMPING]
+    airborne = [f.pelvis.y for f in frames if f.airborne]
+    assert airborne, "script must contain airborne frames"
+    assert max(airborne) > max(grounded)
+
+
+def test_pelvis_moves_forward_during_flight():
+    frames = run_script(default_jump_script(0))
+    air = [f for f in frames if f.airborne]
+    assert air[-1].pelvis.x - air[0].pelvis.x > 50
+
+
+def test_landing_sticks_horizontally():
+    frames = run_script(default_jump_script(0))
+    landing = [f for f in frames if f.stage == Stage.LANDING]
+    xs = [f.pelvis.x for f in landing]
+    assert max(xs) - min(xs) < 1e-6
+
+
+def test_ground_frames_keep_feet_planted():
+    from repro.synth.body import BodyDimensions, lowest_point_offset
+
+    dims = BodyDimensions()
+    frames = run_script(default_jump_script(0), dims)
+    for frame in frames:
+        if not frame.airborne:
+            lowest = frame.pelvis.y + lowest_point_offset(frame.angles, dims)
+            assert lowest == pytest.approx(0.0, abs=1e-6)
+
+
+def test_empty_script_rejected():
+    with pytest.raises(ConfigurationError):
+        JumpScript(steps=())

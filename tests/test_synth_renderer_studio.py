@@ -1,0 +1,131 @@
+"""Rasterisation and the studio scene."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import Point
+from repro.synth.body import BodyDimensions, BodyPose, JointAngles
+from repro.synth.renderer import (
+    RenderSettings,
+    joints_in_image,
+    render_body_masks,
+    render_rgb_frame,
+    render_silhouette,
+)
+from repro.synth.studio import StudioSettings, make_background, sample_lighting_gains
+
+
+def _standing_pose():
+    return BodyPose(angles=JointAngles(), pelvis=Point(150.0, 58.0))
+
+
+def test_settings_validation():
+    with pytest.raises(ConfigurationError):
+        RenderSettings(shape=(4, 4))
+    with pytest.raises(ConfigurationError):
+        RenderSettings(ground_row=500)
+
+
+def test_silhouette_covers_reasonable_area():
+    silhouette = render_silhouette(_standing_pose())
+    area = silhouette.sum()
+    assert 800 < area < 6000  # a person, not a speck or a wall
+
+
+def test_body_masks_partition_roughly():
+    masks = render_body_masks(_standing_pose())
+    assert masks["head"].any() and masks["upper"].any() and masks["legs"].any()
+    union = masks["head"] | masks["upper"] | masks["legs"]
+    assert np.array_equal(union, render_silhouette(_standing_pose()))
+
+
+def test_head_above_legs_in_image():
+    masks = render_body_masks(_standing_pose())
+    head_rows = np.nonzero(masks["head"].any(axis=1))[0]
+    leg_rows = np.nonzero(masks["legs"].any(axis=1))[0]
+    assert head_rows.max() < leg_rows.max()
+
+
+def test_far_limb_offset_widens_legs():
+    narrow = RenderSettings(far_leg_offset=0.0, far_arm_offset=0.0)
+    wide = RenderSettings(far_leg_offset=14.0, far_arm_offset=0.0)
+    area_narrow = render_silhouette(_standing_pose(), settings=narrow).sum()
+    area_wide = render_silhouette(_standing_pose(), settings=wide).sum()
+    assert area_wide > area_narrow
+
+
+def test_world_to_image_mapping():
+    settings = RenderSettings()
+    row, col = settings.to_image(Point(100.0, 0.0))
+    assert row == settings.ground_row and col == 100.0
+
+
+def test_rgb_frame_paints_body_bright():
+    settings = RenderSettings()
+    studio = StudioSettings(shape=settings.shape, ground_row=settings.ground_row)
+    background = make_background(studio, seed=0)
+    frame = render_rgb_frame(_standing_pose(), background, settings=settings,
+                             noise_sigma=0.0)
+    silhouette = render_silhouette(_standing_pose(), settings=settings)
+    body_mean = frame[silhouette].mean()
+    backdrop_mean = frame[~silhouette].mean()
+    assert body_mean > backdrop_mean + 50
+
+
+def test_rgb_frame_shape_mismatch():
+    background = np.zeros((10, 10, 3), dtype=np.uint8)
+    with pytest.raises(ConfigurationError):
+        render_rgb_frame(_standing_pose(), background)
+
+
+def test_rgb_frame_does_not_mutate_background():
+    settings = RenderSettings()
+    studio = StudioSettings(shape=settings.shape, ground_row=settings.ground_row)
+    background = make_background(studio, seed=0)
+    copy = background.copy()
+    render_rgb_frame(_standing_pose(), background, settings=settings)
+    assert np.array_equal(background, copy)
+
+
+def test_joints_in_image_within_frame():
+    joints = joints_in_image(_standing_pose())
+    settings = RenderSettings()
+    for name, (row, col) in joints.items():
+        assert 0 <= row <= settings.shape[0], name
+        assert 0 <= col <= settings.shape[1], name
+
+
+def test_background_is_dark_and_deterministic():
+    studio = StudioSettings()
+    a = make_background(studio, seed=5)
+    b = make_background(studio, seed=5)
+    assert np.array_equal(a, b)
+    assert a.mean() < 40  # the paper's black studio
+    assert a.dtype == np.uint8
+
+
+def test_background_floor_strip_brighter():
+    studio = StudioSettings()
+    background = make_background(studio, seed=1)
+    floor = background[studio.ground_row:, :, 0].mean()
+    backdrop = background[: studio.ground_row, :, 0].mean()
+    assert floor > backdrop
+
+
+def test_lighting_gains_bounded_and_sized():
+    gains = sample_lighting_gains(100, seed=3)
+    assert gains.shape == (100,)
+    assert gains.min() >= 0.85 and gains.max() <= 1.15
+
+
+def test_lighting_gains_validation():
+    with pytest.raises(ConfigurationError):
+        sample_lighting_gains(-1)
+
+
+def test_studio_settings_validation():
+    with pytest.raises(ConfigurationError):
+        StudioSettings(backdrop_level=300)
+    with pytest.raises(ConfigurationError):
+        StudioSettings(ground_row=0)

@@ -1,0 +1,140 @@
+"""Subject variation, fault injection, and dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.poses import Pose, Stage
+from repro.errors import ConfigurationError, DatasetError
+from repro.synth.dataset import (
+    PAPER_TEST_LENGTHS,
+    PAPER_TRAIN_LENGTHS,
+    fit_script_length,
+    make_clip,
+    make_paper_protocol_dataset,
+)
+from repro.synth.motion import default_jump_script
+from repro.synth.posture import all_postures
+from repro.synth.variation import (
+    Fault,
+    SubjectProfile,
+    apply_faults,
+    jitter_postures,
+    sample_profile,
+)
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        SubjectProfile(scale=0.1)
+    with pytest.raises(ConfigurationError):
+        SubjectProfile(angle_jitter_deg=-1)
+
+
+def test_sample_profile_within_bounds():
+    for seed in range(20):
+        profile = sample_profile(seed)
+        assert 0.88 <= profile.scale <= 1.12
+        assert 120 <= profile.flight_span <= 210
+
+
+def test_jitter_postures_zero_sigma_identity():
+    postures = all_postures()
+    assert jitter_postures(postures, 0.0) == postures
+
+
+def test_jitter_postures_changes_angles():
+    postures = all_postures()
+    jittered = jitter_postures(postures, 3.0, seed=1)
+    assert jittered[Pose.STANDING_HANDS_OVERLAP] != postures[Pose.STANDING_HANDS_OVERLAP]
+
+
+def test_apply_faults_removes_evidence_poses():
+    steps = default_jump_script(0).steps
+    rewritten = apply_faults(steps, (Fault.NO_CROUCH,))
+    poses = {s.pose for s in rewritten}
+    assert Pose.KNEES_BENT_HANDS_BACKWARD not in poses
+    assert Pose.KNEES_BENT_HANDS_FORWARD not in poses
+
+
+def test_apply_faults_merges_duplicates():
+    steps = default_jump_script(0).steps
+    rewritten = apply_faults(steps, (Fault.NO_ARM_SWING,))
+    for a, b in zip(rewritten[:-1], rewritten[1:]):
+        assert a.pose != b.pose, "consecutive duplicate keyframes must merge"
+
+
+def test_apply_faults_keeps_stage_monotonicity():
+    from repro.core.poses import stage_can_follow
+
+    steps = default_jump_script(0).steps
+    for fault in Fault:
+        rewritten = apply_faults(steps, (fault,))
+        poses = [s.pose for s in rewritten]
+        for a, b in zip(poses[:-1], poses[1:]):
+            assert stage_can_follow(b.stage, a.stage)
+
+
+def test_fit_script_length_exact():
+    script = default_jump_script(0)
+    for target in (40, 44, 52):
+        fitted = fit_script_length(script, target)
+        assert fitted.total_frames == target
+
+
+def test_fit_script_length_too_small():
+    script = default_jump_script(0)
+    with pytest.raises(DatasetError):
+        fit_script_length(script, 5)
+
+
+def test_make_clip_ground_truth_consistency():
+    clip = make_clip("t", seed=3, variant=0, target_frames=42)
+    assert len(clip.frames) == len(clip.labels) == len(clip.silhouettes) == 42
+    assert clip.frames[0].dtype == np.uint8
+    for label, stage in zip(clip.labels, clip.stages):
+        assert label.stage == stage
+    assert clip.labels[0] == Pose.STANDING_HANDS_OVERLAP
+
+
+def test_make_clip_deterministic_per_seed():
+    a = make_clip("a", seed=9, variant=1, target_frames=40)
+    b = make_clip("b", seed=9, variant=1, target_frames=40)
+    assert np.array_equal(a.frames[5], b.frames[5])
+    assert a.labels == b.labels
+
+
+def test_make_clip_different_seeds_differ():
+    a = make_clip("a", seed=1, variant=0, target_frames=40)
+    b = make_clip("b", seed=2, variant=0, target_frames=40)
+    assert not np.array_equal(a.frames[5], b.frames[5])
+
+
+def test_make_clip_fault_conflict_with_profile():
+    profile = sample_profile(0)
+    with pytest.raises(DatasetError):
+        make_clip("x", profile=profile, faults=(Fault.NO_CROUCH,))
+
+
+def test_paper_protocol_counts():
+    assert sum(PAPER_TRAIN_LENGTHS) == 522
+    assert sum(PAPER_TEST_LENGTHS) == 135
+
+
+def test_paper_protocol_dataset_shapes(dataset):
+    # The pilot fixture shares the generator; check its accounting too.
+    assert dataset.train_frames == sum(len(c) for c in dataset.train)
+    assert dataset.test_frames == sum(len(c) for c in dataset.test)
+    ids = [c.clip_id for c in dataset.train + dataset.test]
+    assert len(set(ids)) == len(ids)
+
+
+def test_faulty_clip_really_lacks_the_element():
+    clip = make_clip("f", seed=5, variant=0, target_frames=44,
+                     faults=(Fault.STIFF_LANDING,))
+    landing_poses = {
+        Pose.TOUCHDOWN_KNEES_BENT,
+        Pose.LANDING_DEEP_SQUAT,
+        Pose.LANDING_WAIST_BENT_ARMS_FORWARD,
+    }
+    assert not landing_poses & set(clip.labels)
+    assert Stage.LANDING in set(clip.stages)

@@ -1,0 +1,134 @@
+"""Thinning algorithms: Zhang-Suen (the paper's Z-S) and Guo-Hall."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.lines import rasterize_capsule
+from repro.imaging.components import connected_components
+from repro.thinning.guohall import guo_hall_thin
+from repro.thinning.neighborhood import (
+    neighbor_count,
+    neighbor_stack,
+    transition_count,
+)
+from repro.thinning.zhangsuen import zhang_suen_thin
+
+THINNERS = [zhang_suen_thin, guo_hall_thin]
+
+random_masks = arrays(
+    dtype=bool, shape=st.tuples(st.integers(4, 16), st.integers(4, 16))
+)
+
+
+def _thick_bar(horizontal=True, length=30, width=7):
+    mask = np.zeros((40, 40), dtype=bool)
+    if horizontal:
+        rasterize_capsule(mask, 20.0, 5.0, 20.0, 5.0 + length, width / 2)
+    else:
+        rasterize_capsule(mask, 5.0, 20.0, 5.0 + length, 20.0, width / 2)
+    return mask
+
+
+def test_neighbor_stack_shape_and_values():
+    mask = np.zeros((3, 3), dtype=bool)
+    mask[1, 1] = True
+    stack = neighbor_stack(mask)
+    assert stack.shape == (8, 3, 3)
+    # Centre pixel's neighbours are all off; pixel north of centre sees it
+    # as its south neighbour (P6, plane index 4).
+    assert stack[4, 0, 1]
+
+
+def test_neighbor_count_plus_pattern():
+    mask = np.array(
+        [[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool
+    )
+    assert neighbor_count(mask)[1, 1] == 4
+
+
+def test_transition_count_single_run():
+    mask = np.array(
+        [[0, 1, 0], [0, 1, 1], [0, 0, 0]], dtype=bool
+    )
+    # Centre pixel (1,1): neighbours P2 (north) and P4 (east) are on,
+    # and they are not cyclically adjacent, so A = 2.
+    assert transition_count(mask)[1, 1] == 2
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_thin_bar_becomes_one_pixel_wide(thin):
+    skeleton = thin(_thick_bar(horizontal=True))
+    # Every column in the bar's interior span should hold exactly 1 pixel.
+    interior = skeleton[:, 10:30]
+    per_column = interior.sum(axis=0)
+    assert (per_column[per_column > 0] <= 2).all()
+    assert per_column.max() >= 1
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_thinning_is_subset_of_input(thin):
+    mask = _thick_bar(horizontal=False)
+    skeleton = thin(mask)
+    assert not (skeleton & ~mask).any()
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_thinning_preserves_connectivity(thin):
+    mask = _thick_bar()
+    skeleton = thin(mask)
+    _, count_before = connected_components(mask)
+    _, count_after = connected_components(skeleton)
+    assert count_before == count_after == 1
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_thinning_keeps_some_pixels(thin):
+    mask = _thick_bar()
+    skeleton = thin(mask)
+    assert skeleton.any()
+    assert skeleton.sum() < mask.sum()
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_empty_and_single_pixel_inputs(thin):
+    empty = np.zeros((5, 5), dtype=bool)
+    assert not thin(empty).any()
+    single = empty.copy()
+    single[2, 2] = True
+    assert thin(single)[2, 2]
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+@given(random_masks)
+@settings(max_examples=25, deadline=None)
+def test_thinning_invariants_on_random_masks(thin, mask):
+    """Subset property and component preservation on arbitrary noise."""
+    skeleton = thin(mask)
+    assert not (skeleton & ~mask).any()
+    _, before = connected_components(mask)
+    _, after = connected_components(skeleton)
+    assert after == before
+
+
+def test_max_iterations_caps_work():
+    mask = _thick_bar(width=11)
+    partial = zhang_suen_thin(mask, max_iterations=1)
+    full = zhang_suen_thin(mask)
+    assert partial.sum() > full.sum()
+
+
+def test_zs_cross_shape_keeps_four_arms():
+    mask = np.zeros((41, 41), dtype=bool)
+    rasterize_capsule(mask, 20.0, 2.0, 20.0, 38.0, 3.0)
+    rasterize_capsule(mask, 2.0, 20.0, 38.0, 20.0, 3.0)
+    skeleton = zhang_suen_thin(mask)
+    # All four arm tips should still be reachable skeleton pixels.
+    assert skeleton[20, 4:8].any() and skeleton[20, 33:37].any()
+    assert skeleton[4:8, 20].any() and skeleton[33:37, 20].any()
+
+
+def test_thinning_on_real_silhouette(sample_silhouette):
+    skeleton = zhang_suen_thin(sample_silhouette)
+    assert 0 < skeleton.sum() < 0.1 * sample_silhouette.sum()

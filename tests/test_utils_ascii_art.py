@@ -1,0 +1,79 @@
+"""ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.utils.ascii_art import (
+    downsample_for_display,
+    histogram_bar,
+    render_binary,
+    render_layers,
+    render_points,
+)
+
+
+def test_render_binary_basic():
+    mask = np.array([[1, 0], [0, 1]], dtype=bool)
+    assert render_binary(mask) == "#.\n.#"
+
+
+def test_render_binary_custom_chars():
+    mask = np.array([[1, 0]], dtype=bool)
+    assert render_binary(mask, on="X", off="_") == "X_"
+
+
+def test_render_binary_rejects_3d():
+    with pytest.raises(ImageError):
+        render_binary(np.zeros((2, 2, 3), dtype=bool))
+
+
+def test_render_layers_later_layers_win():
+    base = np.array([[1, 1], [0, 0]], dtype=bool)
+    top = np.array([[1, 0], [0, 0]], dtype=bool)
+    out = render_layers((2, 2), [(base, "#"), (top, "o")])
+    assert out == "o#\n.."
+
+
+def test_render_layers_shape_mismatch():
+    with pytest.raises(ImageError):
+        render_layers((2, 2), [(np.zeros((3, 3), dtype=bool), "#")])
+
+
+def test_render_points_labels_and_ignores_outside():
+    out = render_points((3, 3), {"Head": (0, 1), "Far": (9, 9)})
+    assert out.splitlines()[0] == ".H."
+
+
+def test_render_points_over_base():
+    base = np.ones((1, 3), dtype=bool)
+    out = render_points((1, 3), {"x": (0, 0)}, base=base)
+    assert out == "X++"
+
+
+def test_downsample_keeps_thin_lines():
+    mask = np.zeros((10, 100), dtype=bool)
+    mask[5, :] = True  # a one-pixel line must survive pooling
+    small = downsample_for_display(mask, max_width=25)
+    assert small.any()
+    assert small.shape[1] <= 25
+
+
+def test_downsample_identity_when_small():
+    mask = np.eye(4, dtype=bool)
+    assert np.array_equal(downsample_for_display(mask, max_width=10), mask)
+
+
+def test_downsample_rejects_bad_width():
+    with pytest.raises(ImageError):
+        downsample_for_display(np.zeros((2, 2), dtype=bool), max_width=0)
+
+
+def test_histogram_bar_renders_all_keys():
+    out = histogram_bar({"a": 2.0, "bb": 1.0})
+    assert "a " in out and "bb" in out
+    assert out.count("\n") == 1
+
+
+def test_histogram_bar_empty():
+    assert histogram_bar({}) == "(empty)"

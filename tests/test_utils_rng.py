@@ -1,0 +1,50 @@
+"""Seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng, ensure_rng
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).integers(0, 1000, 5)
+    b = ensure_rng(42).integers(0, 1000, 5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_none_defaults_to_seed_zero():
+    assert np.array_equal(
+        ensure_rng(None).integers(0, 1000, 5), ensure_rng(0).integers(0, 1000, 5)
+    )
+
+
+def test_ensure_rng_passes_generator_through():
+    generator = np.random.default_rng(7)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_rejects_bad_types():
+    with pytest.raises(ConfigurationError):
+        ensure_rng("not a seed")
+
+
+def test_derive_rng_streams_are_independent():
+    parent = ensure_rng(5)
+    child0 = derive_rng(parent, 0)
+    parent2 = ensure_rng(5)
+    child1 = derive_rng(parent2, 1)
+    assert not np.array_equal(
+        child0.integers(0, 10**9, 8), child1.integers(0, 10**9, 8)
+    )
+
+
+def test_derive_rng_is_reproducible_per_stream():
+    a = derive_rng(ensure_rng(5), 3).integers(0, 10**9, 4)
+    b = derive_rng(ensure_rng(5), 3).integers(0, 10**9, 4)
+    assert np.array_equal(a, b)
+
+
+def test_derive_rng_rejects_negative_stream():
+    with pytest.raises(ConfigurationError):
+        derive_rng(ensure_rng(0), -1)

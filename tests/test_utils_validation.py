@@ -1,0 +1,54 @@
+"""Argument validators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_odd,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+def test_check_type_accepts_and_rejects():
+    check_type("x", 3, int)
+    check_type("x", 3, (int, float))
+    with pytest.raises(ConfigurationError, match="x"):
+        check_type("x", "3", int)
+
+
+def test_check_positive_strict_and_non_strict():
+    check_positive("x", 0.1)
+    check_positive("x", 0.0, strict=False)
+    with pytest.raises(ConfigurationError):
+        check_positive("x", 0.0)
+    with pytest.raises(ConfigurationError):
+        check_positive("x", -1.0, strict=False)
+
+
+def test_check_in_range_inclusive_bounds():
+    check_in_range("x", 0.0, 0.0, 1.0)
+    check_in_range("x", 1.0, 0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        check_in_range("x", 1.01, 0.0, 1.0)
+
+
+def test_check_in_range_exclusive_bounds():
+    with pytest.raises(ConfigurationError):
+        check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+
+def test_check_probability():
+    check_probability("p", 0.5)
+    with pytest.raises(ConfigurationError):
+        check_probability("p", 1.5)
+
+
+def test_check_odd():
+    check_odd("w", 3)
+    with pytest.raises(ConfigurationError):
+        check_odd("w", 4)
+    with pytest.raises(ConfigurationError):
+        check_odd("w", 3.0)
