@@ -17,6 +17,10 @@ from repro.experiments.protocol import (
     trained_pilot_analyzer,
 )
 
+# The --perf opt-in gate for perf-marked benchmarks lives in the repo
+# root conftest.py, next to the flag registration, so it applies
+# repo-wide rather than only to this directory.
+
 
 @pytest.fixture(scope="session")
 def full_dataset():

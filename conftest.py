@@ -1,0 +1,43 @@
+"""Repo-level pytest configuration.
+
+Registers the ``--perf`` opt-in flag (full-scale perf benchmarks are
+skipped without it, keeping tier-1 ``pytest -x -q`` fast) and the custom
+markers so ``--strict-markers`` runs stay clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="run the full-scale perf benchmarks (writes BENCH_*.json)",
+    )
+
+
+def pytest_configure(config: "pytest.Config") -> None:
+    config.addinivalue_line(
+        "markers", "perf: full-scale perf benchmark, opt-in via --perf"
+    )
+    config.addinivalue_line("markers", "slow: long-running test")
+
+
+def pytest_collection_modifyitems(
+    config: "pytest.Config", items: "list[pytest.Item]"
+) -> None:
+    """Skip ``perf``-marked tests unless ``--perf`` was given.
+
+    Lives at the repo root so the gate applies wherever the marker is
+    legal, keeping tier-1 ``pytest -x -q`` fast; the perf benchmarks'
+    tiny smoke variants always run and keep the harness itself covered.
+    """
+    if config.getoption("--perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="needs --perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)

@@ -106,13 +106,18 @@ class VariableElimination:
             raise InferenceError(
                 f"variables cannot be both target and evidence: {sorted(overlap)}"
             )
-        reduced = [f.reduce({k: v for k, v in evidence.items() if k in f.scope_names})
-                   for f in self._network.to_factors()]
-        scoped = [f for f in reduced if f.variables]
+        # Single pass: reduce each factor and route it to the scoped list
+        # or fold it into the scalar evidence likelihood immediately.
+        scoped: "list[Factor]" = []
         scalar = 1.0
-        for factor in reduced:
-            if not factor.variables:
-                scalar *= float(factor.values)
+        for factor in self._network.to_factors():
+            reduced = factor.reduce(
+                {k: v for k, v in evidence.items() if k in factor.scope_names}
+            )
+            if reduced.variables:
+                scoped.append(reduced)
+            else:
+                scalar *= float(reduced.values)
         hidden = known - set(targets) - set(evidence)
         order = _elimination_order(scoped, hidden)
         remaining = eliminate_variables(scoped, order)
@@ -142,15 +147,18 @@ class VariableElimination:
         """Marginal likelihood ``P(evidence)``."""
         if not evidence:
             return 1.0
-        factors = [f.reduce({k: v for k, v in evidence.items() if k in f.scope_names})
-                   for f in self._network.to_factors()]
-        scoped = [f for f in factors if f.variables]
-        scalars = [f for f in factors if not f.variables]
+        scoped: "list[Factor]" = []
+        total = 1.0
+        for factor in self._network.to_factors():
+            reduced = factor.reduce(
+                {k: v for k, v in evidence.items() if k in factor.scope_names}
+            )
+            if reduced.variables:
+                scoped.append(reduced)
+            else:
+                total *= float(reduced.values)
         hidden = set(self._network.nodes) - set(evidence)
         remaining = eliminate_variables(scoped, _elimination_order(scoped, hidden))
-        total = 1.0
-        for factor in scalars:
-            total *= float(factor.values)
         for factor in remaining:
             total *= float(factor.marginalize(list(factor.scope_names)).values)
         return total

@@ -97,15 +97,23 @@ class Factor:
         """Sum out the named variables."""
         if isinstance(names, str):
             names = (names,)
-        missing = set(names) - set(self.scope_names)
-        if missing:
-            raise ModelError(f"cannot marginalize absent variables: {sorted(missing)}")
-        axes = tuple(i for i, v in enumerate(self._variables) if v.name in set(names))
-        keep = tuple(v for v in self._variables if v.name not in set(names))
-        values = self._values.sum(axis=axes) if axes else self._values
+        # Single scope pass: split axes/keep while consuming the drop set,
+        # so leftovers are exactly the absent names.
+        drop = set(names)
+        axes: "list[int]" = []
+        keep: "list[Variable]" = []
+        for index, variable in enumerate(self._variables):
+            if variable.name in drop:
+                axes.append(index)
+                drop.discard(variable.name)
+            else:
+                keep.append(variable)
+        if drop:
+            raise ModelError(f"cannot marginalize absent variables: {sorted(drop)}")
+        values = self._values.sum(axis=tuple(axes)) if axes else self._values
         if not keep:
             return Factor((), np.asarray(values, dtype=np.float64).reshape(()))
-        return Factor(keep, values)
+        return Factor(tuple(keep), values)
 
     def reduce(self, evidence: "dict[str, int | str]") -> "Factor":
         """Condition on evidence, dropping the observed variables.

@@ -21,6 +21,8 @@ from pathlib import Path
 
 from repro.core.dbnclassifier import DECODE_MODES, ClassifierConfig
 from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
+from repro.errors import ConfigurationError
+from repro.perf.timing import ProfileReport, Timer
 from repro.scoring.evaluator import JumpEvaluator
 from repro.scoring.report import render_report
 from repro.synth.dataset import make_clip, make_paper_protocol_dataset
@@ -57,6 +59,10 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--decode", choices=DECODE_MODES, default="smooth")
     evaluate.add_argument("--pilot", action="store_true",
                           help="4 train / 2 test clips instead of 12 / 3")
+    evaluate.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for batch clip analysis")
+    evaluate.add_argument("--profile", action="store_true",
+                          help="print a per-stage wall-clock table")
 
     report = commands.add_parser("report", help="coaching report for a clip")
     report.add_argument("clip", type=Path)
@@ -106,6 +112,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
     if args.pilot:
         dataset = make_paper_protocol_dataset(
             seed=args.seed, train_lengths=(44, 43, 44, 43), test_lengths=(45, 45)
@@ -113,9 +121,15 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     else:
         dataset = make_paper_protocol_dataset(seed=args.seed)
     settings = AnalyzerSettings(classifier=ClassifierConfig(decode=args.decode))
-    analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
-    result = analyzer.evaluate(dataset.test)
+    profile = ProfileReport() if args.profile else None
+    with Timer() as train_timer:
+        analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
+    result = analyzer.evaluate(dataset.test, jobs=args.jobs, profile=profile)
     print(result.summary())
+    if profile is not None:
+        profile.add("train", train_timer.elapsed)
+        print()
+        print(profile.render())
     return 0
 
 

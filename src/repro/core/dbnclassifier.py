@@ -129,10 +129,55 @@ class DBNPoseClassifier:
         self.observation = observation
         self.transitions = transitions
         self.config = config or ClassifierConfig()
+        self._score_cache: "dict[tuple, np.ndarray]" = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Observation scoring
     # ------------------------------------------------------------------
+    #: Memo bound; the reachable feature space is tiny (area codes ^ parts
+    #: actually observed), so this is a safety valve, not a tuning knob.
+    _CACHE_LIMIT = 65536
+
+    def clear_cache(self) -> None:
+        """Drop memoised candidate scores (and reset the hit counters)."""
+        self._score_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _candidate_scores(self, feature: FeatureVector) -> np.ndarray:
+        """Weighted per-pose likelihood of one candidate, memoised.
+
+        Candidates recur heavily across frames (the assignment search
+        enumerates the same few hypotheses whenever the skeleton shape
+        repeats).  The cache holds the weight-independent likelihood
+        vector keyed by the feature's discrete identity — the candidate's
+        plausibility weight is applied at lookup, so memoised scoring is
+        bit-exact and identical-area candidates share one entry.
+        """
+        key = (feature.as_tuple(), self.config.use_occupancy)
+        vector = self._score_cache.get(key)
+        if vector is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            if self.config.use_occupancy:
+                occupied = feature.occupied_areas()
+                vector = np.array(
+                    [
+                        self.observation.occupancy_likelihood(occupied, pose)
+                        for pose in Pose
+                    ]
+                )
+            else:
+                vector = self.observation.part_likelihood_vector(feature)
+            vector.setflags(write=False)
+            if len(self._score_cache) >= self._CACHE_LIMIT:
+                self._score_cache.clear()
+            self._score_cache[key] = vector
+        return vector * feature.weight
+
     def observation_vector(
         self, candidates: "list[FeatureVector]"
     ) -> np.ndarray:
@@ -147,17 +192,7 @@ class DBNPoseClassifier:
             return np.ones(NUM_POSES)
         scores = np.zeros(NUM_POSES)
         for feature in candidates:
-            if self.config.use_occupancy:
-                occupied = feature.occupied_areas()
-                vector = np.array(
-                    [
-                        self.observation.occupancy_likelihood(occupied, pose)
-                        for pose in Pose
-                    ]
-                )
-            else:
-                vector = self.observation.part_likelihood_vector(feature)
-            scores = np.maximum(scores, vector * feature.weight)
+            scores = np.maximum(scores, self._candidate_scores(feature))
         return scores
 
     # ------------------------------------------------------------------

@@ -4,6 +4,15 @@ Used by the extractor to isolate the jumper blob and by the morphology
 module to count/fill background holes.  8-connectivity is the default
 because silhouettes are 8-connected objects in this pipeline (and the Z-S
 skeleton preserves 8-connectivity).
+
+The default ``fast`` method is run-based: foreground pixels are grouped
+into horizontal runs (a vectorised scan), adjacent runs between
+consecutive rows are found with sorted searches, and the resulting
+run-adjacency edges are resolved by an array union-find.  Work scales
+with the number of *runs* rather than pixels, which is orders of
+magnitude fewer for silhouettes.  The original per-pixel scan is kept as
+``method="naive"`` and the equivalence tests assert the two label rasters
+are identical.
 """
 
 from __future__ import annotations
@@ -40,22 +49,102 @@ class _UnionFind:
         self.size[ra] += self.size[rb]
 
 
-def connected_components(
-    mask: np.ndarray, connectivity: int = 8
-) -> tuple[np.ndarray, int]:
-    """Label connected components of a binary mask.
+def _row_runs(binary: np.ndarray) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Horizontal foreground runs as ``(row, start, end)`` in raster order.
 
-    Returns ``(labels, count)`` where ``labels`` is int32 with 0 for
-    background and 1..count for components, numbered in raster order of
-    their first pixel.
+    One transition scan over a zero-flanked flattening: padding every row
+    on both sides keeps runs from spanning rows, and the sorted transition
+    indices alternate start, end, start, end, ...
     """
-    if connectivity not in (4, 8):
-        raise ConfigurationError(f"connectivity must be 4 or 8, got {connectivity}")
-    binary = ensure_binary(mask)
+    height, width = binary.shape
+    flanked = np.zeros((height, width + 2), dtype=bool)
+    flanked[:, 1:-1] = binary
+    flat = flanked.ravel()
+    transitions = np.flatnonzero(flat[1:] != flat[:-1])
+    rises = transitions[0::2]
+    falls = transitions[1::2]
+    run_row = rises // (width + 2)
+    run_start = rises % (width + 2)  # transition precedes the first pixel
+    run_end = falls % (width + 2) - 1
+    return run_row, run_start, run_end
+
+
+def _connected_components_fast(
+    binary: np.ndarray, connectivity: int
+) -> "tuple[np.ndarray, int]":
     height, width = binary.shape
     labels = np.zeros((height, width), dtype=np.int32)
-    if not binary.any():
+    run_row, run_start, run_end = _row_runs(binary)
+    n_runs = run_row.size
+    if n_runs == 0:
         return labels, 0
+
+    # Runs in consecutive rows touch when their column spans overlap,
+    # widened by 1 for diagonal contact under 8-connectivity.  Because
+    # runs are raster-ordered, a composite (row, column) key is globally
+    # sorted, so each run's window of touching runs in the previous row
+    # is one sorted search per side.
+    reach = 1 if connectivity == 8 else 0
+    stride = np.int64(width + 2)
+    row64 = run_row.astype(np.int64)
+    start_key = row64 * stride + run_start
+    end_key = row64 * stride + run_end
+    lo = np.searchsorted(end_key, (row64 - 1) * stride + run_start - reach, "left")
+    hi = np.searchsorted(start_key, (row64 - 1) * stride + run_end + reach, "right")
+    counts = hi - lo
+
+    # Union-find over run-adjacency edges.  Plain Python lists beat numpy
+    # here: the edge count is O(runs) and list indexing avoids the numpy
+    # scalar boxing that dominates at this size.
+    parent = list(range(n_runs))
+    total = int(counts.sum())
+    if total:
+        current = np.repeat(np.arange(n_runs), counts)
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        previous = np.repeat(lo, counts) + offsets
+        for a, b in zip(current.tolist(), previous.tolist()):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            while parent[b] != b:
+                parent[b] = parent[parent[b]]
+                b = parent[b]
+            if a != b:
+                # Point the later run at the earlier one so every root is
+                # its component's first (raster-order) run.
+                if a < b:
+                    parent[b] = a
+                else:
+                    parent[a] = b
+
+    roots = np.array(parent, dtype=np.int64)
+    while True:
+        grand = roots[roots]
+        if np.array_equal(grand, roots):
+            break
+        roots = grand
+    # Every root is its component's earliest run (unions point at the
+    # smaller index), so sorted unique roots are already in raster order
+    # of each component's first pixel — dense labels fall out directly.
+    unique_roots, inverse = np.unique(roots, return_inverse=True)
+    count = unique_roots.size
+    run_labels = (inverse + 1).astype(np.int32)
+
+    lengths = run_end - run_start + 1
+    flat_starts = row64 * width + run_start
+    pixel_offsets = np.arange(int(lengths.sum())) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    positions = np.repeat(flat_starts, lengths) + pixel_offsets
+    labels.ravel()[positions] = np.repeat(run_labels, lengths)
+    return labels, count
+
+
+def _connected_components_naive(
+    binary: np.ndarray, connectivity: int
+) -> "tuple[np.ndarray, int]":
+    height, width = binary.shape
+    labels = np.zeros((height, width), dtype=np.int32)
 
     # First pass: provisional labels + equivalences via union-find.
     uf = _UnionFind(height * width // 2 + 2)
@@ -92,6 +181,29 @@ def connected_components(
             remap[root] = count
         labels[r, c] = remap[root]
     return labels, count
+
+
+def connected_components(
+    mask: np.ndarray, connectivity: int = 8, method: str = "fast"
+) -> tuple[np.ndarray, int]:
+    """Label connected components of a binary mask.
+
+    Returns ``(labels, count)`` where ``labels`` is int32 with 0 for
+    background and 1..count for components, numbered in raster order of
+    their first pixel.  ``method`` selects the run-based vectorised
+    labeller (``"fast"``, default) or the per-pixel reference scan
+    (``"naive"``); both produce identical rasters.
+    """
+    if connectivity not in (4, 8):
+        raise ConfigurationError(f"connectivity must be 4 or 8, got {connectivity}")
+    if method not in ("fast", "naive"):
+        raise ConfigurationError(f"method must be 'fast' or 'naive', got {method!r}")
+    binary = ensure_binary(mask)
+    if not binary.any():
+        return np.zeros(binary.shape, dtype=np.int32), 0
+    if method == "fast":
+        return _connected_components_fast(binary, connectivity)
+    return _connected_components_naive(binary, connectivity)
 
 
 def component_sizes(labels: np.ndarray, count: int) -> np.ndarray:

@@ -1,0 +1,26 @@
+"""Performance instrumentation: timers, stage profiles, bench artifacts.
+
+The perf harness has three pieces:
+
+* :class:`Timer` — a tiny ``perf_counter`` context manager;
+* :class:`ProfileReport` — named-stage accumulation with a text table and
+  a machine-readable dict, used by ``JumpPoseAnalyzer.analyze_clips`` and
+  the CLI's ``--profile`` flag;
+* :func:`write_bench_json` — the ``BENCH_*.json`` artifact format emitted
+  by ``benchmarks/test_perf_frontend.py`` so the naive-vs-fast timing
+  trajectory is tracked PR over PR.
+"""
+
+from repro.perf.timing import (
+    ProfileReport,
+    Timer,
+    best_of,
+    write_bench_json,
+)
+
+__all__ = [
+    "ProfileReport",
+    "Timer",
+    "best_of",
+    "write_bench_json",
+]

@@ -1,0 +1,136 @@
+"""Timers, stage profiles, and the ``BENCH_*.json`` artifact writer."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+class Timer:
+    """A ``perf_counter`` stopwatch usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._start: "float | None" = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock for one named stage."""
+
+    total: float = 0.0
+    calls: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Named-stage wall-clock accumulation for a batch run.
+
+    Stages are recorded with :meth:`stage` (a context manager) or
+    :meth:`add`; :meth:`render` gives a human-readable table and
+    :meth:`as_dict` the machine-readable form.
+    """
+
+    stages: "dict[str, StageStats]" = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        stats = self.stages.setdefault(name, StageStats())
+        stats.total += seconds
+        stats.calls += 1
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    @property
+    def total(self) -> float:
+        return sum(s.total for s in self.stages.values())
+
+    def as_dict(self) -> "dict[str, dict[str, float]]":
+        return {
+            name: {"total_s": s.total, "calls": s.calls, "mean_s": s.mean}
+            for name, s in self.stages.items()
+        }
+
+    def render(self) -> str:
+        """Fixed-width table, one row per stage plus a total row."""
+        if not self.stages:
+            return "(no stages recorded)"
+        width = max(len(name) for name in self.stages)
+        lines = [f"{'stage':<{width}}  {'total':>9}  {'calls':>5}  {'mean':>9}"]
+        for name, s in self.stages.items():
+            lines.append(
+                f"{name:<{width}}  {s.total:>8.3f}s  {s.calls:>5d}  {s.mean:>8.4f}s"
+            )
+        lines.append(f"{'TOTAL':<{width}}  {self.total:>8.3f}s")
+        return "\n".join(lines)
+
+
+class _StageContext:
+    def __init__(self, report: ProfileReport, name: str) -> None:
+        self._report = report
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> Timer:
+        return self._timer.__enter__()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.__exit__(*exc_info)
+        self._report.add(self._name, self._timer.elapsed)
+
+
+def best_of(fn: "callable", repeats: int = 5) -> float:
+    """Minimum wall-clock of ``repeats`` calls — the standard noise-robust
+    point estimate for micro-benchmarks."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        best = min(best, timer.elapsed)
+    return best
+
+
+def write_bench_json(
+    path: "str | Path",
+    benchmarks: "dict[str, dict[str, float]]",
+    context: "dict[str, object] | None" = None,
+) -> Path:
+    """Write a ``BENCH_*.json`` timing artifact.
+
+    ``benchmarks`` maps a benchmark name to its measurements (seconds,
+    speedup ratios, sizes — any scalar payload).  ``context`` carries
+    run metadata (input shape, repeat count, ...).  The format is flat
+    and append-friendly so successive PRs can be diffed or plotted.
+    """
+    payload = {
+        "schema": "repro.perf/bench.v1",
+        "context": context or {},
+        "benchmarks": benchmarks,
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

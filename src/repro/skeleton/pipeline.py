@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -19,6 +20,10 @@ from repro.thinning.zhangsuen import zhang_suen_thin
 _THINNERS = {
     "zhangsuen": zhang_suen_thin,
     "guohall": guo_hall_thin,
+    # Reference full-frame implementations, kept selectable so any LUT
+    # regression can be bisected from the AnalyzerSettings level.
+    "zhangsuen-naive": partial(zhang_suen_thin, method="naive"),
+    "guohall-naive": partial(guo_hall_thin, method="naive"),
 }
 
 

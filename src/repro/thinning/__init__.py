@@ -2,13 +2,18 @@
 
 :func:`zhang_suen_thin` is the paper's "Z-S algorithm" [6]: a two-subpass
 peeling scheme that is fast and avoids broken lines.  :func:`guo_hall_thin`
-is a closely related alternative kept for ablation benchmarks.
+is a closely related alternative kept for ablation benchmarks.  Both run on
+the banded 256-entry LUT engine of :mod:`repro.thinning.lut` by default and
+keep their reference full-frame implementations behind ``method="naive"``.
 """
 
+from repro.thinning.lut import lut_thin
 from repro.thinning.neighborhood import (
     crossing_number,
+    neighbor_bit_table,
     neighbor_count,
     neighbor_stack,
+    packed_neighbors,
     transition_count,
 )
 from repro.thinning.zhangsuen import zhang_suen_thin
@@ -16,8 +21,11 @@ from repro.thinning.guohall import guo_hall_thin
 
 __all__ = [
     "crossing_number",
+    "lut_thin",
+    "neighbor_bit_table",
     "neighbor_count",
     "neighbor_stack",
+    "packed_neighbors",
     "transition_count",
     "zhang_suen_thin",
     "guo_hall_thin",

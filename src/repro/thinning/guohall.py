@@ -15,11 +15,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ImageError
+from repro.errors import ConfigurationError, ImageError
 from repro.imaging.image import ensure_binary
-from repro.thinning.neighborhood import neighbor_stack
+from repro.thinning.lut import lut_thin
+from repro.thinning.neighborhood import neighbor_bit_table, neighbor_stack
 
 _P2, _P3, _P4, _P5, _P6, _P7, _P8, _P9 = range(8)
+
+
+def _build_luts() -> "tuple[np.ndarray, np.ndarray]":
+    """256-entry deletability tables for the odd/even sub-iterations."""
+    bits = neighbor_bit_table()
+    p2, p3, p4, p5, p6, p7, p8, p9 = (bits[:, k] for k in range(8))
+    c = (
+        (~p2 & (p3 | p4)).astype(np.int8)
+        + (~p4 & (p5 | p6)).astype(np.int8)
+        + (~p6 & (p7 | p8)).astype(np.int8)
+        + (~p8 & (p9 | p2)).astype(np.int8)
+    )
+    n1 = (
+        (p9 | p2).astype(np.int8)
+        + (p3 | p4).astype(np.int8)
+        + (p5 | p6).astype(np.int8)
+        + (p7 | p8).astype(np.int8)
+    )
+    n2 = (
+        (p2 | p3).astype(np.int8)
+        + (p4 | p5).astype(np.int8)
+        + (p6 | p7).astype(np.int8)
+        + (p8 | p9).astype(np.int8)
+    )
+    n_min = np.minimum(n1, n2)
+    base = (c == 1) & (n_min >= 2) & (n_min <= 3)
+    odd = base & ~((p2 | p3 | ~p5) & p4)
+    even = base & ~((p6 | p7 | ~p9) & p8)
+    return odd, even
+
+
+_LUTS = _build_luts()
 
 
 def _subiteration(mask: np.ndarray, odd: bool) -> np.ndarray:
@@ -54,8 +87,19 @@ def _subiteration(mask: np.ndarray, odd: bool) -> np.ndarray:
     return mask & ~deletable
 
 
-def guo_hall_thin(mask: np.ndarray, max_iterations: int = 0) -> np.ndarray:
-    """Thin a silhouette with the Guo–Hall scheme (see module docstring)."""
+def guo_hall_thin(
+    mask: np.ndarray, max_iterations: int = 0, *, method: str = "lut"
+) -> np.ndarray:
+    """Thin a silhouette with the Guo–Hall scheme (see module docstring).
+
+    ``method`` selects the banded LUT engine (``"lut"``, default) or the
+    reference full-frame implementation (``"naive"``); both produce
+    bit-identical skeletons.
+    """
+    if method == "lut":
+        return lut_thin(mask, _LUTS, max_iterations)
+    if method != "naive":
+        raise ConfigurationError(f"method must be 'lut' or 'naive', got {method!r}")
     binary = ensure_binary(mask).copy()
     if binary.ndim != 2:
         raise ImageError(f"expected a 2-D mask, got shape {binary.shape}")

@@ -46,16 +46,49 @@ def neighbor_stack(mask: np.ndarray) -> np.ndarray:
     return np.stack(planes, axis=0)
 
 
+def packed_neighbors(mask: np.ndarray) -> np.ndarray:
+    """Per-pixel neighbour configuration packed into a ``uint8`` code.
+
+    Bit ``k`` of the code is neighbour ``P(k+2)`` (same plane order as
+    :func:`neighbor_stack`), so any function of the 8-neighbourhood becomes
+    a 256-entry table lookup on this code.  One padded copy is made; the
+    eight shifted views are OR-accumulated without materialising planes.
+    """
+    binary = ensure_binary(mask)
+    padded = np.pad(binary, 1, mode="constant", constant_values=False)
+    h, w = binary.shape
+    code = np.zeros((h, w), dtype=np.uint8)
+    for bit, (dr, dc) in enumerate(NEIGHBOR_OFFSETS):
+        plane = padded[1 + dr : 1 + dr + h, 1 + dc : 1 + dc + w]
+        code |= plane.astype(np.uint8) << bit
+    return code
+
+
+def neighbor_bit_table() -> np.ndarray:
+    """``(256, 8)`` bool table: bit ``k`` (= neighbour P(k+2)) of each code.
+
+    The starting point for building deletability lookup tables: evaluate
+    any neighbourhood predicate over the table's columns and index the
+    resulting 256-vector with :func:`packed_neighbors` codes.
+    """
+    return ((np.arange(256)[:, None] >> np.arange(8)) & 1).astype(bool)
+
+
+_BITS = neighbor_bit_table()
+_NEIGHBOR_COUNT_LUT = _BITS.sum(axis=1).astype(np.int64)
+_TRANSITION_LUT = (
+    np.logical_and(~_BITS, np.roll(_BITS, -1, axis=1)).sum(axis=1).astype(np.int64)
+)
+
+
 def neighbor_count(mask: np.ndarray) -> np.ndarray:
     """``B(P1)``: number of on neighbours of each pixel."""
-    return neighbor_stack(mask).sum(axis=0)
+    return _NEIGHBOR_COUNT_LUT[packed_neighbors(mask)]
 
 
 def transition_count(mask: np.ndarray) -> np.ndarray:
     """``A(P1)``: 0→1 transitions in the cyclic sequence P2, P3, ..., P9, P2."""
-    stack = neighbor_stack(mask)
-    rolled = np.roll(stack, -1, axis=0)
-    return np.logical_and(~stack, rolled).sum(axis=0)
+    return _TRANSITION_LUT[packed_neighbors(mask)]
 
 
 def crossing_number(mask: np.ndarray) -> np.ndarray:

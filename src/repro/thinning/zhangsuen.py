@@ -20,12 +20,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ImageError
+from repro.errors import ConfigurationError, ImageError
 from repro.imaging.image import ensure_binary
-from repro.thinning.neighborhood import neighbor_stack
+from repro.thinning.lut import lut_thin
+from repro.thinning.neighborhood import neighbor_bit_table, neighbor_stack
 
 # Indices into the neighbour stack (P2 is plane 0).
 _P2, _P3, _P4, _P5, _P6, _P7, _P8, _P9 = range(8)
+
+
+def _build_luts() -> "tuple[np.ndarray, np.ndarray]":
+    """256-entry deletability tables for the two sub-iterations."""
+    bits = neighbor_bit_table()
+    p2, p3, p4, p5, p6, p7, p8, p9 = (bits[:, k] for k in range(8))
+    b = bits.sum(axis=1)
+    a = np.logical_and(~bits, np.roll(bits, -1, axis=1)).sum(axis=1)
+    base = (b >= 2) & (b <= 6) & (a == 1)
+    first = base & ~(p2 & p4 & p6) & ~(p4 & p6 & p8)
+    second = base & ~(p2 & p4 & p8) & ~(p2 & p6 & p8)
+    return first, second
+
+
+_LUTS = _build_luts()
 
 
 def _subiteration(mask: np.ndarray, first: bool) -> np.ndarray:
@@ -44,7 +60,9 @@ def _subiteration(mask: np.ndarray, first: bool) -> np.ndarray:
     return mask & ~deletable
 
 
-def zhang_suen_thin(mask: np.ndarray, max_iterations: int = 0) -> np.ndarray:
+def zhang_suen_thin(
+    mask: np.ndarray, max_iterations: int = 0, *, method: str = "lut"
+) -> np.ndarray:
     """Thin a silhouette to a one-pixel-wide skeleton.
 
     Args:
@@ -52,10 +70,17 @@ def zhang_suen_thin(mask: np.ndarray, max_iterations: int = 0) -> np.ndarray:
         max_iterations: safety bound on full (two-subpass) iterations;
             0 means iterate until convergence.  The loop always converges
             because every iteration strictly shrinks the foreground.
+        method: ``"lut"`` (banded 256-entry table engine, the default) or
+            ``"naive"`` (the reference full-frame implementation).  Both
+            produce bit-identical skeletons.
 
     Returns:
         Boolean skeleton image of the same shape.
     """
+    if method == "lut":
+        return lut_thin(mask, _LUTS, max_iterations)
+    if method != "naive":
+        raise ConfigurationError(f"method must be 'lut' or 'naive', got {method!r}")
     binary = ensure_binary(mask).copy()
     if binary.ndim != 2:
         raise ImageError(f"expected a 2-D mask, got shape {binary.shape}")

@@ -46,6 +46,23 @@ def test_analyze_and_report_round_trip(tmp_path, capsys):
     assert "Ming" in capsys.readouterr().out
 
 
+@pytest.mark.slow
+def test_evaluate_pilot_with_profile_and_jobs(capsys):
+    code = main(["evaluate", "--pilot", "--jobs", "1", "--profile"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "overall:" in out
+    for stage in ("train", "frontend", "decode", "TOTAL"):
+        assert stage in out
+
+
+def test_evaluate_rejects_bad_jobs():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["evaluate", "--pilot", "--jobs", "0"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,157 @@
+"""Fast kernels must be bit-identical to the retained naive references.
+
+Property tests over random silhouettes plus the synth studio fixtures:
+the banded LUT thinners against the full-frame sub-iteration loops, and
+the run-based connected-component labeller against the per-pixel scan —
+both connectivities, empty/full-frame edge cases, capped iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.imaging.components import connected_components
+from repro.thinning import (
+    guo_hall_thin,
+    neighbor_count,
+    neighbor_stack,
+    packed_neighbors,
+    transition_count,
+    zhang_suen_thin,
+)
+
+THINNERS = [zhang_suen_thin, guo_hall_thin]
+
+random_masks = arrays(
+    dtype=bool, shape=st.tuples(st.integers(1, 24), st.integers(1, 24))
+)
+
+EDGE_MASKS = [
+    np.zeros((5, 5), dtype=bool),
+    np.ones((5, 5), dtype=bool),
+    np.ones((1, 1), dtype=bool),
+    np.zeros((1, 9), dtype=bool),
+    np.ones((9, 1), dtype=bool),
+    np.eye(7, dtype=bool),
+]
+
+
+# ----------------------------------------------------------------------
+# Thinning
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("thin", THINNERS)
+@given(random_masks)
+@settings(max_examples=40, deadline=None)
+def test_lut_thinning_matches_naive_on_random_masks(thin, mask):
+    assert np.array_equal(thin(mask, method="naive"), thin(mask, method="lut"))
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+@given(random_masks, st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_lut_thinning_matches_naive_with_capped_iterations(thin, mask, cap):
+    assert np.array_equal(
+        thin(mask, cap, method="naive"), thin(mask, cap, method="lut")
+    )
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+@pytest.mark.parametrize("mask", EDGE_MASKS, ids=lambda m: f"{m.shape}-{m.sum()}on")
+def test_lut_thinning_matches_naive_on_edge_masks(thin, mask):
+    assert np.array_equal(thin(mask, method="naive"), thin(mask, method="lut"))
+
+
+@pytest.mark.parametrize("thin", THINNERS)
+def test_lut_thinning_matches_naive_on_studio_silhouette(thin, sample_clip):
+    for index in (0, 12, 25):
+        silhouette = sample_clip.silhouettes[index]
+        assert np.array_equal(
+            thin(silhouette, method="naive"), thin(silhouette, method="lut")
+        )
+
+
+def test_thinning_rejects_unknown_method():
+    mask = np.zeros((4, 4), dtype=bool)
+    for thin in THINNERS:
+        with pytest.raises(ConfigurationError):
+            thin(mask, method="bogus")
+
+
+# ----------------------------------------------------------------------
+# Connected components
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("connectivity", [4, 8])
+@given(random_masks)
+@settings(max_examples=40, deadline=None)
+def test_fast_ccl_matches_naive_on_random_masks(connectivity, mask):
+    labels_fast, count_fast = connected_components(mask, connectivity, method="fast")
+    labels_naive, count_naive = connected_components(
+        mask, connectivity, method="naive"
+    )
+    assert count_fast == count_naive
+    assert np.array_equal(labels_fast, labels_naive)
+    assert labels_fast.dtype == labels_naive.dtype
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+@pytest.mark.parametrize("mask", EDGE_MASKS, ids=lambda m: f"{m.shape}-{m.sum()}on")
+def test_fast_ccl_matches_naive_on_edge_masks(connectivity, mask):
+    labels_fast, count_fast = connected_components(mask, connectivity, method="fast")
+    labels_naive, count_naive = connected_components(
+        mask, connectivity, method="naive"
+    )
+    assert count_fast == count_naive
+    assert np.array_equal(labels_fast, labels_naive)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_fast_ccl_matches_naive_on_studio_silhouette(connectivity, sample_clip):
+    silhouette = sample_clip.silhouettes[12]
+    labels_fast, count_fast = connected_components(
+        silhouette, connectivity, method="fast"
+    )
+    labels_naive, count_naive = connected_components(
+        silhouette, connectivity, method="naive"
+    )
+    assert count_fast == count_naive
+    assert np.array_equal(labels_fast, labels_naive)
+    # the skeleton raster too — thin, diagonal-heavy structure
+    skeleton = zhang_suen_thin(silhouette)
+    labels_fast, count_fast = connected_components(
+        skeleton, connectivity, method="fast"
+    )
+    labels_naive, count_naive = connected_components(
+        skeleton, connectivity, method="naive"
+    )
+    assert count_fast == count_naive
+    assert np.array_equal(labels_fast, labels_naive)
+
+
+def test_ccl_rejects_unknown_method():
+    with pytest.raises(ConfigurationError):
+        connected_components(np.zeros((2, 2), dtype=bool), method="bogus")
+
+
+# ----------------------------------------------------------------------
+# Packed neighbour codes
+# ----------------------------------------------------------------------
+@given(random_masks)
+@settings(max_examples=30, deadline=None)
+def test_packed_neighbors_agrees_with_neighbor_stack(mask):
+    stack = neighbor_stack(mask)
+    codes = packed_neighbors(mask)
+    assert codes.dtype == np.uint8
+    rebuilt = np.zeros_like(codes)
+    for bit in range(8):
+        rebuilt |= stack[bit].astype(np.uint8) << bit
+    assert np.array_equal(codes, rebuilt)
+    # LUT-backed counts agree with the stack formulas
+    assert np.array_equal(neighbor_count(mask), stack.sum(axis=0))
+    assert np.array_equal(
+        transition_count(mask),
+        np.logical_and(~stack, np.roll(stack, -1, axis=0)).sum(axis=0),
+    )

@@ -1,0 +1,134 @@
+"""The perf harness: timers, batch clip analysis, observation memoisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import ProfileReport, Timer, best_of, write_bench_json
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as timer:
+        sum(range(10_000))
+    assert timer.elapsed > 0
+
+
+def test_best_of_returns_minimum_and_validates():
+    assert best_of(lambda: None, repeats=3) >= 0
+    with pytest.raises(ConfigurationError):
+        best_of(lambda: None, repeats=0)
+
+
+def test_profile_report_accumulates_stages():
+    report = ProfileReport()
+    report.add("x", 0.5)
+    report.add("x", 1.5)
+    report.add("y", 1.0)
+    assert report.stages["x"].calls == 2
+    assert report.stages["x"].total == pytest.approx(2.0)
+    assert report.stages["x"].mean == pytest.approx(1.0)
+    assert report.total == pytest.approx(3.0)
+    table = report.render()
+    assert "x" in table and "TOTAL" in table
+    assert report.as_dict()["y"]["total_s"] == pytest.approx(1.0)
+
+
+def test_profile_report_empty_render():
+    assert "no stages" in ProfileReport().render()
+
+
+def test_write_bench_json_round_trip(tmp_path):
+    path = write_bench_json(
+        tmp_path / "BENCH_x.json",
+        {"kernel": {"naive_s": 1.0, "fast_s": 0.1, "speedup": 10.0}},
+        context={"shape": [2, 2]},
+    )
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == "repro.perf/bench.v1"
+    assert payload["benchmarks"]["kernel"]["speedup"] == 10.0
+    assert payload["context"]["shape"] == [2, 2]
+
+
+# ----------------------------------------------------------------------
+# Batch clip analysis
+# ----------------------------------------------------------------------
+def test_analyze_clips_matches_sequential_order(analyzer, dataset):
+    clips = list(dataset.test)
+    batch = analyzer.analyze_clips(clips)
+    single = [analyzer.analyze_clip(clip) for clip in clips]
+    assert [r.clip_id for r in batch] == [clip.clip_id for clip in clips]
+    for batch_result, single_result in zip(batch, single):
+        assert batch_result == single_result
+
+
+def test_analyze_clips_profile_records_stages(analyzer, dataset):
+    profile = ProfileReport()
+    analyzer.analyze_clips(dataset.test[:1], profile=profile)
+    assert profile.stages["frontend"].calls == 1
+    assert profile.stages["decode"].calls == 1
+    assert profile.total > 0
+
+
+def test_analyze_clips_rejects_bad_jobs(analyzer, dataset):
+    with pytest.raises(ConfigurationError):
+        analyzer.analyze_clips(dataset.test, jobs=0)
+
+
+@pytest.mark.slow
+def test_analyze_clips_multiprocessing_matches_sequential(analyzer, dataset):
+    clips = list(dataset.test)
+    parallel = analyzer.analyze_clips(clips, jobs=2)
+    sequential = analyzer.analyze_clips(clips, jobs=1)
+    assert parallel == sequential
+
+
+def test_evaluate_accepts_jobs_and_profile(analyzer, dataset):
+    profile = ProfileReport()
+    result = analyzer.evaluate(dataset.test, jobs=1, profile=profile)
+    assert len(result.clips) == len(dataset.test)
+    assert profile.stages["frontend"].calls == len(dataset.test)
+
+
+# ----------------------------------------------------------------------
+# Observation memoisation
+# ----------------------------------------------------------------------
+def test_observation_cache_hits_across_repeated_candidates(analyzer, dataset):
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+    classifier = analyzer.classifier
+    classifier.clear_cache()
+    first = classifier.classify(candidates)
+    misses_after_first = classifier.cache_misses
+    second = classifier.classify(candidates)
+    assert classifier.cache_misses == misses_after_first, "second pass re-scored"
+    assert classifier.cache_hits > 0
+    assert first == second
+    assert misses_after_first <= sum(len(frame) for frame in candidates)
+
+
+def test_observation_cache_clear_resets_counters(analyzer, dataset):
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+    classifier = analyzer.classifier
+    classifier.classify(candidates)
+    classifier.clear_cache()
+    assert classifier.cache_hits == 0
+    assert classifier.cache_misses == 0
+    assert classifier._score_cache == {}
+
+
+def test_observation_vector_unchanged_by_caching(analyzer, dataset):
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+    frame = next(frame for frame in candidates if frame)
+    classifier = analyzer.classifier
+    classifier.clear_cache()
+    cold = classifier.observation_vector(frame)
+    warm = classifier.observation_vector(frame)
+    assert np.array_equal(cold, warm)
+    # empty candidate list still yields the flat fallback
+    assert np.array_equal(classifier.observation_vector([]), np.ones(len(cold)))
