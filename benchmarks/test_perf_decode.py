@@ -1,0 +1,187 @@
+"""Decoding + streaming perf: DBN throughput, tracked in JSON.
+
+The full-scale measurement (``--perf``) times every batch decode mode and
+the streaming decoder (causal and fixed-lag) on a 400-frame synthetic
+candidate stream, asserts throughput floors (set ~10x below measured
+rates on the reference machine, so only real regressions trip them), adds
+artifact save/load round-trip timings, and writes ``BENCH_decode.json``
+at the repo root next to ``BENCH_frontend.json``.
+
+The models are fitted directly from synthetic feature vectors — no vision
+pipeline, no clip rendering — so the numbers isolate the DBN decode path
+the serving layer depends on.  A smoke variant runs in tier-1 on a short
+stream: it exercises the same measurement + artifact code paths so
+harness regressions are caught without the cost of the real benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.dbnclassifier import DBNPoseClassifier, ClassifierConfig
+from repro.core.estimator import VisionFrontEnd
+from repro.core.pipeline import JumpPoseAnalyzer
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import NUM_POSES, Pose
+from repro.core.trainer import TrainedModels, TrainingReport
+from repro.core.transitions import TransitionModel
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER
+from repro.perf import Timer, best_of, write_bench_json
+from repro.serving.artifacts import load_analyzer, save_analyzer
+from repro.serving.streaming import StreamingDecoder
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_decode.json"
+
+#: frames/second floors for the full-scale run (reference machine measured
+#: 66k greedy / 54k filter / 41k smooth / 17k lag-8 streaming).
+FLOORS_FPS = {
+    "decode_greedy": 5000.0,
+    "decode_filter": 1500.0,
+    "decode_smooth": 1500.0,
+    "decode_viterbi": 1200.0,
+    "streaming_lag0": 1500.0,
+    "streaming_lag8": 800.0,
+}
+
+
+def _fitted_models() -> "tuple[PoseObservationModel, TransitionModel]":
+    """Fit observation + transition models without the vision pipeline."""
+    samples = []
+    for pose in Pose:
+        for repeat in range(3):
+            areas = {
+                part: int((pose + offset + repeat) % 8)
+                for offset, part in enumerate(PART_ORDER)
+            }
+            samples.append((pose, FeatureVector(areas=areas, n_areas=8)))
+    observation = PoseObservationModel(n_areas=8, alpha=0.5).fit(samples)
+    walk = [Pose(index) for index in range(NUM_POSES)]
+    held = walk[:10] + [walk[9]] * 4 + walk[10:]
+    transitions = TransitionModel(alpha=0.3).fit([walk, held])
+    return observation, transitions
+
+
+def _candidate_stream(n_frames: int, seed: int = 0):
+    """Synthetic per-frame candidates, including vision-failure frames."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(n_frames):
+        if rng.random() < 0.05:
+            frames.append([])
+            continue
+        candidates = []
+        for _ in range(int(rng.integers(1, 4))):
+            areas = {}
+            for part in PART_ORDER:
+                value = int(rng.integers(0, 9))
+                areas[part] = None if value == 8 else value
+            candidates.append(
+                FeatureVector(
+                    areas=areas, n_areas=8,
+                    weight=float(rng.choice([1.0, 0.85, 0.7])),
+                )
+            )
+        frames.append(candidates)
+    return frames
+
+
+def _bench_analyzer(
+    observation: PoseObservationModel, transitions: TransitionModel
+) -> JumpPoseAnalyzer:
+    report = TrainingReport(
+        total_frames=3 * NUM_POSES, used_frames=3 * NUM_POSES,
+        pose_counts={pose: 3 for pose in Pose},
+    )
+    models = TrainedModels(
+        observation=observation, transitions=transitions, report=report
+    )
+    return JumpPoseAnalyzer(VisionFrontEnd(), models)
+
+
+def _measure(
+    n_frames: int, repeats: int, tmp_path: Path
+) -> "dict[str, dict[str, float]]":
+    """Time decoders on one candidate stream; check agreement en route."""
+    observation, transitions = _fitted_models()
+    stream = _candidate_stream(n_frames, seed=0)
+    results: dict[str, dict[str, float]] = {}
+
+    for mode in ("greedy", "filter", "smooth", "viterbi"):
+        classifier = DBNPoseClassifier(
+            observation, transitions, ClassifierConfig(decode=mode)
+        )
+        seconds = best_of(lambda: classifier.classify(stream), repeats)
+        results[f"decode_{mode}"] = {
+            "seconds": seconds,
+            "frames_per_s": n_frames / seconds,
+        }
+
+    filter_classifier = DBNPoseClassifier(
+        observation, transitions, ClassifierConfig(decode="filter")
+    )
+    batch = filter_classifier.classify(stream)
+    for lag in (0, 8):
+        def run() -> None:
+            StreamingDecoder(filter_classifier, lag=lag).decode(stream)
+
+        seconds = best_of(run, repeats)
+        results[f"streaming_lag{lag}"] = {
+            "seconds": seconds,
+            "frames_per_s": n_frames / seconds,
+        }
+    # streaming output feeding the bench must stay exact
+    assert StreamingDecoder(filter_classifier, lag=0).decode(stream) == batch
+
+    analyzer = _bench_analyzer(observation, transitions)
+    artifact = tmp_path / "bench-model.npz"
+    with Timer() as save_timer:
+        save_analyzer(analyzer, artifact)
+    with Timer() as load_timer:
+        load_analyzer(artifact)
+    results["artifact"] = {
+        "save_s": save_timer.elapsed,
+        "load_s": load_timer.elapsed,
+        "bytes": float(artifact.stat().st_size),
+    }
+    return results
+
+
+def test_decode_bench_smoke(tmp_path):
+    """Tier-1 variant: tiny stream, same code paths, no floors."""
+    results = _measure(n_frames=24, repeats=1, tmp_path=tmp_path)
+    for name in FLOORS_FPS:
+        assert results[name]["frames_per_s"] > 0
+    path = write_bench_json(
+        tmp_path / "BENCH_decode.json", results, context={"frames": 24}
+    )
+    payload = json.loads(path.read_text())
+    assert payload["benchmarks"]["decode_filter"]["seconds"] > 0
+
+
+@pytest.mark.perf
+def test_decode_bench_full(tmp_path):
+    """Full-scale run: 400-frame stream, floors asserted, artifact written."""
+    n_frames, repeats = 400, 5
+    results = _measure(n_frames=n_frames, repeats=repeats, tmp_path=tmp_path)
+    write_bench_json(
+        BENCH_PATH,
+        results,
+        context={
+            "frames": n_frames,
+            "repeats": repeats,
+            "joint_states": "4 stages x 22 poses",
+            "floors_fps": FLOORS_FPS,
+        },
+    )
+    for name, floor in FLOORS_FPS.items():
+        measured = results[name]["frames_per_s"]
+        assert measured >= floor, (
+            f"{name}: {measured:.0f} frames/s fell below the "
+            f"{floor:.0f} frames/s floor"
+        )

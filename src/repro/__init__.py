@@ -12,7 +12,9 @@ The package is organised bottom-up:
   :class:`~repro.core.pipeline.JumpPoseAnalyzer`);
 * applications — :mod:`repro.scoring` (movement evaluation and advice),
   :mod:`repro.baselines` (GA stick fitter, static BN, stage-free HMM),
-  :mod:`repro.experiments` (every table/figure of the paper).
+  :mod:`repro.experiments` (every table/figure of the paper),
+  :mod:`repro.serving` (model artifacts, streaming decoding, and the
+  long-lived :class:`~repro.serving.service.JumpPoseService`).
 
 Quickstart::
 
@@ -30,6 +32,13 @@ from repro.core.poses import Pose, Stage
 from repro.core.results import ClipResult, EvaluationResult
 from repro.scoring.evaluator import JumpEvaluator
 from repro.scoring.report import render_report
+from repro.serving import (
+    JumpPoseService,
+    StreamingDecoder,
+    StreamingSession,
+    load_analyzer,
+    save_analyzer,
+)
 from repro.synth.dataset import (
     JumpClip,
     JumpDataset,
@@ -51,6 +60,11 @@ __all__ = [
     "EvaluationResult",
     "JumpEvaluator",
     "render_report",
+    "JumpPoseService",
+    "StreamingDecoder",
+    "StreamingSession",
+    "load_analyzer",
+    "save_analyzer",
     "JumpClip",
     "JumpDataset",
     "make_clip",

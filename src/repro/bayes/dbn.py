@@ -173,6 +173,70 @@ class TwoSliceDBN:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
+    def _check_likelihood(self, likelihood: np.ndarray, t: int) -> np.ndarray:
+        vector = np.asarray(likelihood, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self._joint_card:
+            raise InferenceError(
+                f"likelihood at t={t} has length {vector.shape[0]}, "
+                f"expected {self._joint_card}"
+            )
+        return vector
+
+    def filter_step(
+        self,
+        belief: "np.ndarray | None",
+        alpha: "np.ndarray | None",
+        likelihood: np.ndarray,
+        t: int = 0,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """One step of exact forward filtering.
+
+        Args:
+            belief: the *unnormalised* belief of the previous step, or
+                ``None`` at the first frame.
+            alpha: the previous normalised posterior (``None`` at the
+                first frame); only consulted for zero-likelihood recovery.
+            likelihood: ``P(observation_t | joint state)``.
+            t: frame index, for error messages only.
+
+        Returns ``(new_belief, new_alpha)``.  Both batch :meth:`filter`
+        and the streaming decoder run on this step function, so online
+        decoding is bit-identical to batch by construction.
+        """
+        vector = self._check_likelihood(likelihood, t)
+        predicted = (
+            self.prior_vector if belief is None else self._transition.T @ belief
+        )
+        new_belief = predicted * vector
+        total = new_belief.sum()
+        if total <= 0:
+            # Zero-probability observation: recover with the predictive
+            # distribution rather than dying (mirrors the paper's
+            # "Unknown pose" recovery discussion in §5).
+            new_belief = (
+                self.prior_vector
+                if alpha is None
+                else self._transition.T @ alpha
+            )
+            total = new_belief.sum()
+        return new_belief, new_belief / total
+
+    def backward_step(
+        self, beta: np.ndarray, likelihood: np.ndarray, t: int = 0
+    ) -> np.ndarray:
+        """One step of the normalised backward recursion.
+
+        Maps ``beta_{t+1}`` and the likelihood of frame ``t+1`` to
+        ``beta_t``.  Shared by batch :meth:`smooth` and the streaming
+        decoder's fixed-lag window.
+        """
+        vector = self._check_likelihood(likelihood, t)
+        message = self._transition @ (vector * beta)
+        total = message.sum()
+        if total > 0:
+            return message / total
+        return np.full(self._joint_card, 1.0 / self._joint_card)
+
     def filter(self, likelihoods: "list[np.ndarray]") -> np.ndarray:
         """Exact forward filtering.
 
@@ -181,29 +245,11 @@ class TwoSliceDBN:
         ``(T, S)`` whose row ``t`` is ``P(state_t | obs_0..t)``.
         """
         alphas = np.zeros((len(likelihoods), self._joint_card))
-        belief = self.prior_vector
+        belief: "np.ndarray | None" = None
+        alpha: "np.ndarray | None" = None
         for t, likelihood in enumerate(likelihoods):
-            vector = np.asarray(likelihood, dtype=np.float64).reshape(-1)
-            if vector.shape[0] != self._joint_card:
-                raise InferenceError(
-                    f"likelihood at t={t} has length {vector.shape[0]}, "
-                    f"expected {self._joint_card}"
-                )
-            if t > 0:
-                belief = self._transition.T @ belief
-            belief = belief * vector
-            total = belief.sum()
-            if total <= 0:
-                # Zero-probability observation: recover with the predictive
-                # distribution rather than dying (mirrors the paper's
-                # "Unknown pose" recovery discussion in §5).
-                belief = (
-                    self._transition.T @ alphas[t - 1]
-                    if t > 0
-                    else self.prior_vector
-                )
-                total = belief.sum()
-            alphas[t] = belief / total
+            belief, alpha = self.filter_step(belief, alpha, likelihood, t)
+            alphas[t] = alpha
         return alphas
 
     def smooth(self, likelihoods: "list[np.ndarray]") -> np.ndarray:
@@ -219,10 +265,7 @@ class TwoSliceDBN:
             return alphas
         betas = np.ones((n, self._joint_card))
         for t in range(n - 2, -1, -1):
-            vector = np.asarray(likelihoods[t + 1], dtype=np.float64).reshape(-1)
-            message = self._transition @ (vector * betas[t + 1])
-            total = message.sum()
-            betas[t] = message / total if total > 0 else 1.0 / self._joint_card
+            betas[t] = self.backward_step(betas[t + 1], likelihoods[t + 1], t + 1)
         smoothed = alphas * betas
         totals = smoothed.sum(axis=1, keepdims=True)
         totals[totals <= 0] = 1.0

@@ -1,22 +1,31 @@
-"""Command-line interface: generate, analyze, evaluate, report.
+"""Command-line interface: generate, train, analyze, evaluate, report, serve.
 
-Four subcommands mirror how a PE department would actually use the
+Six subcommands mirror how a PE department would actually use the
 system::
 
     python -m repro.cli generate --out clips/ --clips 5 --seed 3
-    python -m repro.cli analyze clips/clip-00.npz
+    python -m repro.cli train --save model.npz --seed 0
+    python -m repro.cli analyze clips/clip-00.npz --model model.npz
     python -m repro.cli evaluate --seed 0 --decode smooth
-    python -m repro.cli report clips/clip-00.npz --student Ming
+    python -m repro.cli report clips/clip-00.npz --model model.npz
+    python -m repro.cli serve --model model.npz --clips-dir clips/ --jobs 4
 
-``generate`` writes synthetic studio clips; ``analyze`` prints the decoded
+``generate`` writes synthetic studio clips; ``train`` fits the system once
+and saves it as a versioned model artifact; ``analyze`` prints the decoded
 pose timeline of one clip; ``evaluate`` runs the full paper protocol;
-``report`` produces the coaching report of §1's tutor scenario.
+``report`` produces the coaching report of §1's tutor scenario; ``serve``
+drives the long-lived :class:`~repro.serving.service.JumpPoseService`
+over a directory (or a stdin stream) of clips with no retraining.
+
+``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
+without it they fall back to training a small throwaway model.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.dbnclassifier import DECODE_MODES, ClassifierConfig
@@ -48,11 +57,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject a standard violation (repeatable)",
     )
 
+    train = commands.add_parser(
+        "train", help="train once and save a model artifact"
+    )
+    train.add_argument("--save", type=Path, required=True,
+                       help="artifact path (.npz)")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--clips", type=int, default=0,
+                       help="training clips (0 = the paper's 12)")
+    train.add_argument("--decode", choices=DECODE_MODES, default="smooth")
+
     analyze = commands.add_parser("analyze", help="decode one saved clip")
     analyze.add_argument("clip", type=Path)
+    analyze.add_argument("--model", type=Path, default=None,
+                         help="saved artifact (skips retraining)")
     analyze.add_argument("--train-seed", type=int, default=0)
     analyze.add_argument("--train-clips", type=int, default=4)
-    analyze.add_argument("--decode", choices=DECODE_MODES, default="smooth")
+    analyze.add_argument("--decode", choices=DECODE_MODES, default=None)
 
     evaluate = commands.add_parser("evaluate", help="run the paper protocol")
     evaluate.add_argument("--seed", type=int, default=0)
@@ -66,9 +87,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser("report", help="coaching report for a clip")
     report.add_argument("clip", type=Path)
+    report.add_argument("--model", type=Path, default=None,
+                        help="saved artifact (skips retraining)")
     report.add_argument("--student", default="the jumper")
     report.add_argument("--train-seed", type=int, default=0)
     report.add_argument("--train-clips", type=int, default=4)
+
+    serve = commands.add_parser(
+        "serve", help="serve clips from one saved artifact, no retraining"
+    )
+    serve.add_argument("--model", type=Path, required=True)
+    serve.add_argument("--clips-dir", type=Path, default=None,
+                       help="directory of .npz clips (default: stdin paths)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="long-lived worker processes")
+    serve.add_argument("--batch-size", type=int, default=4,
+                       help="clips per worker task (micro-batching)")
+    serve.add_argument("--decode", choices=DECODE_MODES, default=None,
+                       help="override the artifact's decode mode")
     return parser
 
 
@@ -79,6 +115,24 @@ def _train_small(seed: int, n_clips: int, decode: str) -> JumpPoseAnalyzer:
     )
     settings = AnalyzerSettings(classifier=ClassifierConfig(decode=decode))
     return JumpPoseAnalyzer.train(dataset.train, settings)
+
+
+def _analyzer_for(
+    model: "Path | None",
+    train_seed: int,
+    train_clips: int,
+    decode: "str | None",
+) -> JumpPoseAnalyzer:
+    """Load a saved artifact, or fall back to a small throwaway model."""
+    if model is not None:
+        analyzer = JumpPoseAnalyzer.load(model)
+        if decode is not None:
+            analyzer = analyzer.with_classifier(
+                replace(analyzer.classifier.config, decode=decode)
+            )
+        return analyzer
+    print(f"no --model given; training on {train_clips} synthetic clips...")
+    return _train_small(train_seed, train_clips, decode or "smooth")
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -96,10 +150,29 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_train(args: argparse.Namespace) -> int:
+    if args.clips:
+        analyzer = _train_small(args.seed, args.clips, args.decode)
+    else:
+        dataset = make_paper_protocol_dataset(seed=args.seed)
+        settings = AnalyzerSettings(
+            classifier=ClassifierConfig(decode=args.decode)
+        )
+        analyzer = JumpPoseAnalyzer.train(dataset.train, settings)
+    report = analyzer.models.report
+    path = analyzer.save(args.save)
+    print(
+        f"trained on {report.used_frames}/{report.total_frames} usable frames; "
+        f"saved artifact to {path}"
+    )
+    return 0
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     clip = load_clip(args.clip)
-    print(f"training on {args.train_clips} synthetic clips...")
-    analyzer = _train_small(args.train_seed, args.train_clips, args.decode)
+    analyzer = _analyzer_for(
+        args.model, args.train_seed, args.train_clips, args.decode
+    )
     result = analyzer.analyze_clip(clip)
     for frame in result.frames:
         marker = " " if frame.is_correct else "*"
@@ -135,18 +208,60 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     clip = load_clip(args.clip)
-    analyzer = _train_small(args.train_seed, args.train_clips, "smooth")
+    analyzer = _analyzer_for(args.model, args.train_seed, args.train_clips, None)
     predictions = analyzer.predict_frames(clip.frames, clip.background)
     evaluation = JumpEvaluator().evaluate([p.pose for p in predictions])
     print(render_report(evaluation, args.student))
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving.service import JumpPoseService
+
+    def emit(results) -> None:
+        for result in results:
+            print(
+                f"{result.clip_id}: accuracy {result.accuracy:.1%} over "
+                f"{len(result.frames)} frames "
+                f"(unknown {result.unknown_rate:.1%})"
+            )
+
+    with JumpPoseService(
+        args.model,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        decode=args.decode,
+    ) as service:
+        if args.clips_dir is not None:
+            emit(service.analyze_directory(args.clips_dir))
+        else:
+            # stdin streams clip paths, one per line; dispatch once every
+            # worker can get a full micro-batch, so output keeps up with
+            # input without idling the pool.
+            flush_at = args.batch_size * args.jobs
+            pending: "list[str]" = []
+            for line in sys.stdin:
+                path = line.strip()
+                if not path:
+                    continue
+                pending.append(path)
+                if len(pending) >= flush_at:
+                    emit(service.analyze_paths(pending))
+                    pending.clear()
+            if pending:
+                emit(service.analyze_paths(pending))
+        print()
+        print(service.stats.render())
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
+    "train": _command_train,
     "analyze": _command_analyze,
     "evaluate": _command_evaluate,
     "report": _command_report,
+    "serve": _command_serve,
 }
 
 

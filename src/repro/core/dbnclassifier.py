@@ -41,6 +41,12 @@ from repro.features.encoding import FeatureVector
 
 DECODE_MODES = ("greedy", "filter", "smooth", "viterbi")
 
+#: ``(stage, pose)`` structural compatibility — a pose is possible only in
+#: its own stage.  Constant over the taxonomy, so built once.
+_STAGE_POSE_COMPATIBLE = np.array(
+    [[POSE_STAGE[pose] == stage for pose in Pose] for stage in Stage]
+)
+
 
 @dataclass(frozen=True)
 class FramePrediction:
@@ -268,39 +274,48 @@ class DBNPoseClassifier:
             predictions.append(FramePrediction(pose, prob, stage))
         return predictions
 
+    def joint_likelihood(
+        self, candidates: "list[FeatureVector]"
+    ) -> np.ndarray:
+        """``P(obs | stage, pose)`` flattened over the joint state space.
+
+        The observation is independent of the stage, but a pose outside
+        its stage is structurally impossible; zeroing those entries keeps
+        the joint consistent with the pose CPD mask.  Shared by batch DBN
+        decoding and the streaming decoder so both score frames with the
+        exact same float values.
+        """
+        observation = self.observation_vector(candidates)
+        joint = np.where(_STAGE_POSE_COMPATIBLE, observation[None, :], 0.0)
+        return joint.reshape(-1)
+
+    def prediction_from_joint(self, row: np.ndarray) -> FramePrediction:
+        """Turn one joint-state posterior row into a :class:`FramePrediction`.
+
+        Marginalises the (stage, pose) grid down to poses, then applies the
+        Th_Pose override and acceptance floor exactly as batch decoding does.
+        """
+        grid = row.reshape(len(Stage), NUM_POSES)
+        pose_marginal = grid.sum(axis=0)
+        pose, prob = self._select(pose_marginal)
+        if pose is None:
+            stage_index = int(np.argmax(grid.sum(axis=1)))
+            return FramePrediction(None, 0.0, Stage(stage_index))
+        return FramePrediction(pose, prob, POSE_STAGE[pose])
+
     def _classify_dbn(
         self, frames: "list[list[FeatureVector]]"
     ) -> "list[FramePrediction]":
         """Exact filtering / Viterbi over the joint (stage, pose) DBN."""
         dbn = self.transitions.to_two_slice_dbn()
-        likelihoods: list[np.ndarray] = []
-        for candidates in frames:
-            observation = self.observation_vector(candidates)
-            joint = np.tile(observation, (len(Stage), 1))  # obs independent of stage
-            # A pose outside its stage is structurally impossible; zeroing
-            # here keeps the joint consistent with the pose CPD mask.
-            for pose in Pose:
-                for stage in Stage:
-                    if POSE_STAGE[pose] != stage:
-                        joint[stage, pose] = 0.0
-            likelihoods.append(joint.reshape(-1))
+        likelihoods = [self.joint_likelihood(candidates) for candidates in frames]
         predictions: list[FramePrediction] = []
         if self.config.decode in ("filter", "smooth"):
             if self.config.decode == "filter":
                 filtered = dbn.filter(likelihoods)
             else:
                 filtered = dbn.smooth(likelihoods)
-            for row in filtered:
-                grid = row.reshape(len(Stage), NUM_POSES)
-                pose_marginal = grid.sum(axis=0)
-                pose, prob = self._select(pose_marginal)
-                if pose is None:
-                    stage_index = int(np.argmax(grid.sum(axis=1)))
-                    predictions.append(FramePrediction(None, 0.0, Stage(stage_index)))
-                else:
-                    predictions.append(
-                        FramePrediction(pose, prob, POSE_STAGE[pose])
-                    )
+            predictions.extend(self.prediction_from_joint(row) for row in filtered)
         else:  # viterbi
             path = dbn.viterbi(likelihoods)
             for joint_index in path:

@@ -12,6 +12,7 @@ pool for clip-level parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.errors import ConfigurationError, ModelError
 from repro.perf.timing import ProfileReport
 
 if TYPE_CHECKING:  # avoid a runtime core ↔ synth import cycle
+    from repro.serving.streaming import StreamingSession
     from repro.synth.dataset import JumpClip
 
 # Pool workers receive the analyzer once via the initializer instead of
@@ -43,6 +45,16 @@ def _pool_init(analyzer: "JumpPoseAnalyzer") -> None:
 def _pool_analyze(clip: "JumpClip") -> ClipResult:
     assert _POOL_ANALYZER is not None
     return _POOL_ANALYZER.analyze_clip(clip)
+
+
+def _pool_analyze_profiled(
+    clip: "JumpClip",
+) -> "tuple[ClipResult, ProfileReport]":
+    """Pool task that ships its per-stage report back to the parent."""
+    assert _POOL_ANALYZER is not None
+    profile = ProfileReport()
+    result = _POOL_ANALYZER.analyze_clip(clip, profile)
+    return result, profile
 
 
 @dataclass
@@ -112,6 +124,23 @@ class JumpPoseAnalyzer:
         return JumpPoseAnalyzer(self.front_end, self.models, config)
 
     # ------------------------------------------------------------------
+    # Persistence (delegates to repro.serving.artifacts; lazy imports
+    # keep core free of a hard serving dependency)
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> Path:
+        """Write this trained system as a versioned model artifact."""
+        from repro.serving.artifacts import save_analyzer
+
+        return save_analyzer(self, path)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "JumpPoseAnalyzer":
+        """Reload a saved artifact; predictions are bit-identical."""
+        from repro.serving.artifacts import load_analyzer
+
+        return load_analyzer(path)
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def predict_frames(
@@ -122,6 +151,19 @@ class JumpPoseAnalyzer:
         """Decode raw RGB frames against a clip background (§4.2)."""
         candidates = self.front_end.candidates_for_clip(frames, background)
         return self.classifier.classify(candidates)
+
+    def stream(
+        self, background: np.ndarray, lag: int = 0
+    ) -> "StreamingSession":
+        """Open a frame-at-a-time decoding session against a background.
+
+        ``lag=0`` filters causally (bit-identical to batch ``filter``
+        decoding); ``lag=L`` emits each frame smoothed over the next
+        ``L`` observations.  See :mod:`repro.serving.streaming`.
+        """
+        from repro.serving.streaming import StreamingSession
+
+        return StreamingSession(self, background, lag=lag)
 
     def _result_for(
         self, clip: JumpClip, predictions: "list[FramePrediction]"
@@ -175,8 +217,11 @@ class JumpPoseAnalyzer:
                 Results always come back in input order regardless of
                 completion order, so batch output is reproducible.
             profile: optional stage accumulator.  With ``jobs > 1`` the
-                per-stage split is not observable from the parent, so the
-                pool run is recorded as a single ``pool`` stage.
+                workers record their own per-stage reports, which are
+                merged into ``profile`` on the way back — so the
+                ``frontend`` / ``decode`` split survives pooled runs.
+                Merged totals are CPU-seconds summed across workers and
+                can exceed the pool's wall-clock.
         """
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -191,8 +236,10 @@ class JumpPoseAnalyzer:
         ) as pool:
             if profile is None:
                 return pool.map(_pool_analyze, clips)
-            with profile.stage("pool"):
-                return pool.map(_pool_analyze, clips)
+            pairs = pool.map(_pool_analyze_profiled, clips)
+        for _, worker_profile in pairs:
+            profile.merge(worker_profile)
+        return [result for result, _ in pairs]
 
     def evaluate(
         self,

@@ -63,6 +63,19 @@ class ProfileReport:
     def stage(self, name: str) -> "_StageContext":
         return _StageContext(self, name)
 
+    def merge(self, other: "ProfileReport") -> None:
+        """Fold another report's stages into this one.
+
+        Totals and call counts add per stage.  This is how per-worker
+        reports from a multiprocessing pool are combined: the merged
+        totals are CPU-seconds summed across workers, which with ``N``
+        parallel workers can exceed the pool's wall-clock.
+        """
+        for name, stats in other.stages.items():
+            mine = self.stages.setdefault(name, StageStats())
+            mine.total += stats.total
+            mine.calls += stats.calls
+
     @property
     def total(self) -> float:
         return sum(s.total for s in self.stages.values())

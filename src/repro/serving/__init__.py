@@ -1,0 +1,36 @@
+"""Serving: model artifacts, streaming decoding, long-lived workers.
+
+Three layers, bottom-up:
+
+* :mod:`repro.serving.artifacts` — versioned save/load of a trained
+  :class:`~repro.core.pipeline.JumpPoseAnalyzer` as one ``.npz`` file
+  (bit-identical predictions after a round-trip);
+* :mod:`repro.serving.streaming` — :class:`StreamingDecoder` /
+  :class:`StreamingSession`, recursive forward filtering with optional
+  fixed-lag smoothing, one frame at a time;
+* :mod:`repro.serving.service` — :class:`JumpPoseService`, a pool of
+  long-lived workers sharing one loaded artifact, with micro-batching
+  and throughput/latency accounting.
+"""
+
+from repro.serving.artifacts import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    load_analyzer,
+    read_artifact_metadata,
+    save_analyzer,
+)
+from repro.serving.service import JumpPoseService, ServiceStats
+from repro.serving.streaming import StreamingDecoder, StreamingSession
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ARTIFACT_VERSION",
+    "load_analyzer",
+    "read_artifact_metadata",
+    "save_analyzer",
+    "JumpPoseService",
+    "ServiceStats",
+    "StreamingDecoder",
+    "StreamingSession",
+]

@@ -1,0 +1,227 @@
+"""Versioned model artifacts: one trained system in one ``.npz`` file.
+
+An artifact captures everything :class:`~repro.core.pipeline.JumpPoseAnalyzer`
+needs to decode clips — the vision front-end configuration, the fitted
+observation and transition tables, the classifier knobs, and the training
+report — so long-lived workers can load a model once instead of retraining
+on every invocation.
+
+Format: a compressed numpy archive holding the three learned float64
+tables verbatim (``np.savez_compressed`` round-trips them bit-exactly, so
+a loaded analyzer reproduces the original's predictions to the last bit)
+plus a JSON metadata blob with a schema name/version gate.  Like the clip
+archives in :mod:`repro.synth.io`, the file is plain numpy + JSON and can
+be inspected without this package.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dbnclassifier import ClassifierConfig
+from repro.core.estimator import VisionFrontEnd
+from repro.core.pipeline import JumpPoseAnalyzer
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import NUM_POSES, NUM_STAGES, Pose
+from repro.core.trainer import TrainedModels, TrainingReport
+from repro.core.transitions import TransitionModel
+from repro.errors import ModelError
+from repro.features.keypoints import PART_ORDER
+
+ARTIFACT_SCHEMA = "repro.serving/artifact"
+ARTIFACT_VERSION = 1
+
+_ARRAY_KEYS = ("location_probs", "pose_table", "stage_table", "metadata")
+
+
+def _classifier_metadata(config: ClassifierConfig) -> "dict[str, object]":
+    th_pose: object
+    if isinstance(config.th_pose, dict):
+        th_pose = {pose.name: float(bar) for pose, bar in config.th_pose.items()}
+    else:
+        th_pose = float(config.th_pose)
+    return {
+        "decode": config.decode,
+        "th_pose": th_pose,
+        "accept_min": config.accept_min,
+        "unknown_fallback": config.unknown_fallback,
+        "use_occupancy": config.use_occupancy,
+    }
+
+
+def _classifier_from_metadata(payload: "dict[str, object]") -> ClassifierConfig:
+    th_pose = payload["th_pose"]
+    if isinstance(th_pose, dict):
+        th_pose = {Pose[name]: float(bar) for name, bar in th_pose.items()}
+    return ClassifierConfig(
+        decode=str(payload["decode"]),
+        th_pose=th_pose,
+        accept_min=float(payload["accept_min"]),
+        unknown_fallback=bool(payload["unknown_fallback"]),
+        use_occupancy=bool(payload["use_occupancy"]),
+    )
+
+
+def save_analyzer(analyzer: JumpPoseAnalyzer, path: "str | Path") -> Path:
+    """Write a trained analyzer to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        # append rather than with_suffix(): the latter would silently eat
+        # the last dot segment of names like "model-2024.1"
+        path = path.with_name(path.name + ".npz")
+    front_end = analyzer.front_end
+    observation = analyzer.models.observation
+    transitions = analyzer.models.transitions
+    report = analyzer.models.report
+    if not observation.is_fitted or not transitions.is_fitted:
+        raise ModelError("cannot save an analyzer with unfitted models")
+    metadata = {
+        "schema": ARTIFACT_SCHEMA,
+        "version": ARTIFACT_VERSION,
+        "front_end": {
+            "n_areas": front_end.n_areas,
+            "n_rings": front_end.n_rings,
+            "th_object": front_end.th_object,
+            "min_branch_length": front_end.min_branch_length,
+            "thinner": front_end.thinner,
+        },
+        "observation": {
+            "n_areas": observation.n_areas,
+            "alpha": observation.alpha,
+            "leak": observation.leak,
+            "miss": observation.miss,
+        },
+        "transitions": {"alpha": transitions.alpha},
+        "classifier": _classifier_metadata(analyzer.classifier.config),
+        "report": {
+            "total_frames": report.total_frames,
+            "used_frames": report.used_frames,
+            "pose_counts": {
+                pose.name: count for pose, count in report.pose_counts.items()
+            },
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        location_probs=observation._location_probs,
+        pose_table=transitions.pose_table,
+        stage_table=transitions.stage_table,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path
+
+
+def read_artifact_metadata(path: "str | Path") -> "dict[str, object]":
+    """Load and schema-check just the metadata blob of an artifact."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"model artifact not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            missing = [key for key in _ARRAY_KEYS if key not in archive.files]
+            if missing:
+                raise ModelError(
+                    f"artifact {path} is missing entries {missing}; "
+                    "not a repro.serving artifact?"
+                )
+            raw = bytes(archive["metadata"].tobytes())
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise ModelError(f"artifact {path} is not a readable npz archive: {exc}")
+    try:
+        metadata = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelError(f"artifact {path} has corrupt metadata: {exc}")
+    if metadata.get("schema") != ARTIFACT_SCHEMA:
+        raise ModelError(
+            f"artifact {path} has schema {metadata.get('schema')!r}, "
+            f"expected {ARTIFACT_SCHEMA!r}"
+        )
+    if metadata.get("version") != ARTIFACT_VERSION:
+        raise ModelError(
+            f"artifact {path} has version {metadata.get('version')!r}; this "
+            f"build reads version {ARTIFACT_VERSION} — retrain and re-save"
+        )
+    return metadata
+
+
+def load_analyzer(path: "str | Path") -> JumpPoseAnalyzer:
+    """Reconstruct a trained analyzer from :func:`save_analyzer` output.
+
+    The learned tables are restored verbatim, so the loaded analyzer's
+    predictions are bit-identical to the saved one's in every decode mode.
+    Raises :class:`~repro.errors.ModelError` for missing files, corrupt
+    archives, foreign schemas, and version mismatches.
+    """
+    path = Path(path)
+    metadata = read_artifact_metadata(path)
+    with np.load(path, allow_pickle=False) as archive:
+        location_probs = archive["location_probs"].astype(np.float64, copy=False)
+        pose_table = archive["pose_table"].astype(np.float64, copy=False)
+        stage_table = archive["stage_table"].astype(np.float64, copy=False)
+
+    front_meta = metadata["front_end"]
+    front_end = VisionFrontEnd(
+        n_areas=int(front_meta["n_areas"]),
+        n_rings=int(front_meta["n_rings"]),
+        th_object=float(front_meta["th_object"]),
+        min_branch_length=int(front_meta["min_branch_length"]),
+        thinner=str(front_meta["thinner"]),
+    )
+
+    obs_meta = metadata["observation"]
+    expected = (NUM_POSES, len(PART_ORDER), int(obs_meta["n_areas"]) + 1)
+    if location_probs.shape != expected:
+        raise ModelError(
+            f"artifact {path}: location table has shape "
+            f"{location_probs.shape}, metadata implies {expected}"
+        )
+    if pose_table.shape != (NUM_STAGES, NUM_POSES, NUM_POSES):
+        raise ModelError(
+            f"artifact {path}: pose transition table has shape "
+            f"{pose_table.shape}, expected {(NUM_STAGES, NUM_POSES, NUM_POSES)}"
+        )
+    if stage_table.shape != (NUM_STAGES, NUM_STAGES):
+        raise ModelError(
+            f"artifact {path}: stage transition table has shape "
+            f"{stage_table.shape}, expected {(NUM_STAGES, NUM_STAGES)}"
+        )
+    for name, table in (
+        ("location", location_probs),
+        ("pose transition", pose_table),
+        ("stage transition", stage_table),
+    ):
+        if not np.isfinite(table).all():
+            raise ModelError(f"artifact {path}: {name} table has non-finite entries")
+
+    observation = PoseObservationModel(
+        n_areas=int(obs_meta["n_areas"]),
+        alpha=float(obs_meta["alpha"]),
+        leak=float(obs_meta["leak"]),
+        miss=float(obs_meta["miss"]),
+    )
+    observation._location_probs = location_probs
+    transitions = TransitionModel(alpha=float(metadata["transitions"]["alpha"]))
+    transitions._pose_table = pose_table
+    transitions._stage_table = stage_table
+
+    report_meta = metadata["report"]
+    report = TrainingReport(
+        total_frames=int(report_meta["total_frames"]),
+        used_frames=int(report_meta["used_frames"]),
+        pose_counts={
+            Pose[name]: int(count)
+            for name, count in report_meta["pose_counts"].items()
+        },
+    )
+    models = TrainedModels(
+        observation=observation, transitions=transitions, report=report
+    )
+    config = _classifier_from_metadata(metadata["classifier"])
+    return JumpPoseAnalyzer(front_end, models, config)

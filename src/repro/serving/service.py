@@ -1,0 +1,289 @@
+"""The long-lived serving layer: one artifact, many workers, many clips.
+
+:class:`JumpPoseService` is the process-resident face of the system the
+ROADMAP's north star asks for: it loads one saved model artifact into
+long-lived worker processes (each worker deserialises the artifact once,
+in the pool initializer — no analyzer is ever pickled per task), accepts
+clip or clip-path requests, fans them out in micro-batches, and returns
+results in deterministic request order while accumulating throughput and
+latency statistics via :mod:`repro.perf`.
+
+Clip-path requests are the streaming-friendly entry point: the parent
+never materialises the clips — each worker loads its own batch from disk,
+so serving a directory of recordings is bounded by worker memory, not by
+the request list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.dbnclassifier import DECODE_MODES
+from repro.core.pipeline import JumpPoseAnalyzer
+from repro.core.results import ClipResult
+from repro.errors import ConfigurationError, ModelError
+from repro.perf.timing import ProfileReport, Timer
+from repro.serving.artifacts import load_analyzer, read_artifact_metadata
+
+if TYPE_CHECKING:
+    from repro.synth.dataset import JumpClip
+
+#: Per-worker analyzer, installed once by the pool initializer.
+_WORKER_ANALYZER: "JumpPoseAnalyzer | None" = None
+
+
+def _load_service_analyzer(
+    artifact_path: str, decode: "str | None"
+) -> JumpPoseAnalyzer:
+    analyzer = load_analyzer(artifact_path)
+    if decode is not None:
+        analyzer = analyzer.with_classifier(
+            replace(analyzer.classifier.config, decode=decode)
+        )
+    return analyzer
+
+
+def _service_init(artifact_path: str, decode: "str | None") -> None:
+    global _WORKER_ANALYZER
+    _WORKER_ANALYZER = _load_service_analyzer(artifact_path, decode)
+
+
+def _handle_clip(
+    analyzer: JumpPoseAnalyzer, clip: "JumpClip"
+) -> "tuple[ClipResult, int, float, ProfileReport]":
+    """One request: decode a clip, timing the stages and the whole call."""
+    profile = ProfileReport()
+    with Timer() as timer:
+        result = analyzer.analyze_clip(clip, profile)
+    return result, len(clip), timer.elapsed, profile
+
+
+def _handle_path(
+    analyzer: JumpPoseAnalyzer, path: str
+) -> "tuple[ClipResult, int, float, ProfileReport]":
+    """One request addressed by path; the clip is loaded worker-side."""
+    from repro.synth.io import load_clip
+
+    profile = ProfileReport()
+    with Timer() as timer:
+        with profile.stage("load"):
+            clip = load_clip(path)
+        result = analyzer.analyze_clip(clip, profile)
+    return result, len(clip), timer.elapsed, profile
+
+
+def _worker_clip_batch(batch: "list[JumpClip]"):
+    assert _WORKER_ANALYZER is not None
+    return [_handle_clip(_WORKER_ANALYZER, clip) for clip in batch]
+
+
+def _worker_path_batch(batch: "list[str]"):
+    assert _WORKER_ANALYZER is not None
+    return [_handle_path(_WORKER_ANALYZER, path) for path in batch]
+
+
+@dataclass
+class ServiceStats:
+    """Accumulated request accounting for one service lifetime.
+
+    ``wall_s`` is parent-side wall-clock across dispatches; ``latencies_s``
+    are per-clip handling times measured inside the workers (decode plus,
+    for path requests, the clip load).  ``profile`` merges the workers'
+    per-stage reports, so its totals are CPU-seconds across workers.
+    """
+
+    clips: int = 0
+    frames: int = 0
+    wall_s: float = 0.0
+    latencies_s: "list[float]" = field(default_factory=list)
+    profile: ProfileReport = field(default_factory=ProfileReport)
+
+    @property
+    def clip_throughput(self) -> float:
+        """Clips per wall-clock second."""
+        return self.clips / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def frame_throughput(self) -> float:
+        """Frames per wall-clock second."""
+        return self.frames / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.quantile(np.array(self.latencies_s), q))
+
+    @property
+    def latency_mean_s(self) -> float:
+        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "clips": self.clips,
+            "frames": self.frames,
+            "wall_s": self.wall_s,
+            "clip_throughput": self.clip_throughput,
+            "frame_throughput": self.frame_throughput,
+            "latency_mean_s": self.latency_mean_s,
+            "latency_p50_s": self.latency_quantile(0.5),
+            "latency_p95_s": self.latency_quantile(0.95),
+            "stages": self.profile.as_dict(),
+        }
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI's ``serve`` command."""
+        lines = [
+            f"served {self.clips} clips / {self.frames} frames "
+            f"in {self.wall_s:.3f}s wall",
+            f"throughput: {self.clip_throughput:.2f} clips/s, "
+            f"{self.frame_throughput:.1f} frames/s",
+            f"per-clip latency: mean {self.latency_mean_s:.4f}s, "
+            f"p50 {self.latency_quantile(0.5):.4f}s, "
+            f"p95 {self.latency_quantile(0.95):.4f}s",
+        ]
+        if self.profile.stages:
+            lines.append("worker stages (CPU-seconds across workers):")
+            lines.append(self.profile.render())
+        return "\n".join(lines)
+
+
+class JumpPoseService:
+    """Serve pose decoding from one saved artifact, without retraining.
+
+    Args:
+        artifact_path: a :func:`repro.serving.artifacts.save_analyzer`
+            file.  The metadata is schema-checked eagerly so a bad
+            artifact fails at construction, not mid-traffic.
+        jobs: worker processes.  1 serves in-process; higher values spawn
+            a ``multiprocessing`` pool whose initializer loads the
+            artifact once per worker.
+        batch_size: requests handed to a worker per task (micro-batching
+            amortises task dispatch without hurting request ordering).
+        decode: optional decode-mode override applied on top of the
+            artifact's stored classifier configuration.
+
+    Results always come back in request order, whatever the completion
+    order, so serving output is reproducible.  Use as a context manager,
+    or call :meth:`start` / :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        artifact_path: "str | Path",
+        jobs: int = 1,
+        batch_size: int = 4,
+        decode: "str | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if decode is not None and decode not in DECODE_MODES:
+            # checked here so a bad override fails at construction instead
+            # of inside a pool worker's initializer
+            raise ConfigurationError(
+                f"decode must be one of {DECODE_MODES}, got {decode!r}"
+            )
+        self.artifact_path = Path(artifact_path)
+        self.metadata = read_artifact_metadata(self.artifact_path)
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self.decode = decode
+        self.stats = ServiceStats()
+        self._analyzer: "JumpPoseAnalyzer | None" = None
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._analyzer is not None or self._pool is not None
+
+    def start(self) -> "JumpPoseService":
+        if self.is_running:
+            return self
+        if self.jobs == 1:
+            self._analyzer = _load_service_analyzer(
+                str(self.artifact_path), self.decode
+            )
+        else:
+            import multiprocessing
+
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self.jobs,
+                initializer=_service_init,
+                initargs=(str(self.artifact_path), self.decode),
+            )
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._analyzer = None
+
+    def __enter__(self) -> "JumpPoseService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def analyze_clips(
+        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+    ) -> "list[ClipResult]":
+        """Decode already-materialised clips in request order."""
+        return self._dispatch(list(clips), _worker_clip_batch, _handle_clip)
+
+    def analyze_paths(
+        self, paths: "list[str | Path] | tuple[str | Path, ...]"
+    ) -> "list[ClipResult]":
+        """Decode clips addressed by ``.npz`` path, loaded worker-side."""
+        return self._dispatch(
+            [str(path) for path in paths], _worker_path_batch, _handle_path
+        )
+
+    def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
+        """Serve every ``*.npz`` clip under ``directory``, sorted by name."""
+        directory = Path(directory)
+        paths = sorted(directory.glob("*.npz"))
+        if not paths:
+            raise ConfigurationError(f"no .npz clips under {directory}")
+        return self.analyze_paths(paths)
+
+    def _dispatch(self, items: list, pool_fn, inline_fn) -> "list[ClipResult]":
+        if not self.is_running:
+            raise ModelError("service is not running; call start() first")
+        if not items:
+            return []
+        with Timer() as wall:
+            if self._pool is not None:
+                batches = [
+                    items[i : i + self.batch_size]
+                    for i in range(0, len(items), self.batch_size)
+                ]
+                handled = [
+                    entry
+                    for batch in self._pool.map(pool_fn, batches)
+                    for entry in batch
+                ]
+            else:
+                assert self._analyzer is not None
+                handled = [inline_fn(self._analyzer, item) for item in items]
+        results: list[ClipResult] = []
+        for result, frames, elapsed, profile in handled:
+            results.append(result)
+            self.stats.clips += 1
+            self.stats.frames += frames
+            self.stats.latencies_s.append(elapsed)
+            self.stats.profile.merge(profile)
+        self.stats.wall_s += wall.elapsed
+        return results

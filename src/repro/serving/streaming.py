@@ -1,0 +1,207 @@
+"""Online decoding: recursive forward filtering, one frame at a time.
+
+Batch decoding materialises a whole clip before the DBN sees a single
+frame.  :class:`StreamingDecoder` instead maintains the filtering
+recursion ``alpha_t ∝ P(obs_t | s_t) · T' alpha_{t-1}`` incrementally, so
+a live pose stream (a camera, a socket, a growing file) can be decoded
+with O(states) memory and per-frame latency.
+
+Two emission policies:
+
+* ``lag=0`` — pure causal filtering.  Every pushed frame immediately
+  yields the prediction batch ``decode="filter"`` would produce for it;
+  the agreement is bit-exact because both paths share the classifier's
+  :meth:`~repro.core.dbnclassifier.DBNPoseClassifier.joint_likelihood`
+  scoring and the same matrix recursion.
+* ``lag=L > 0`` — fixed-lag smoothing.  Frame ``t`` is emitted once frame
+  ``t+L`` has arrived, conditioned on all observations up to ``t+L`` via a
+  backward pass over the L-frame window.  Larger lags trade latency for
+  accuracy; as ``L`` reaches the clip length the output coincides with
+  offline ``decode="smooth"`` (bit-exactly, since the windowed backward
+  recursion then replays the batch one).
+
+:class:`StreamingSession` couples the decoder with the vision front-end so
+raw RGB frames can be pushed directly, without materialising the clip.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.dbnclassifier import DBNPoseClassifier, FramePrediction
+from repro.errors import ConfigurationError, ImageError, SkeletonError, FeatureError
+from repro.features.encoding import FeatureVector
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import JumpPoseAnalyzer
+
+
+class StreamingDecoder:
+    """Frame-incremental DBN decoding with optional fixed-lag smoothing.
+
+    Args:
+        classifier: a fitted :class:`DBNPoseClassifier`; its observation
+            scoring, Th_Pose override, and acceptance floor are reused so
+            streaming output matches batch decoding.
+        lag: smoothing window.  0 emits causally (filter mode); ``L > 0``
+            delays each frame by up to ``L`` frames and conditions it on
+            the observations seen in the meantime.
+
+    Use :meth:`push` per frame and :meth:`finish` at end of stream; both
+    return the predictions that became ready, in frame order.
+    """
+
+    def __init__(self, classifier: DBNPoseClassifier, lag: int = 0) -> None:
+        if lag < 0:
+            raise ConfigurationError(f"lag must be >= 0, got {lag}")
+        self.classifier = classifier
+        self.lag = lag
+        self._dbn = classifier.transitions.to_two_slice_dbn()
+        # The batch filter propagates the *unnormalised* belief between
+        # steps and normalises only into its output rows; both are kept
+        # here so ``TwoSliceDBN.filter_step`` replays it bit-for-bit.
+        self._belief: "np.ndarray | None" = None
+        self._alpha: "np.ndarray | None" = None
+        self._frames_in = 0
+        self._frames_out = 0
+        # Fixed-lag window: (likelihood, alpha) pairs for the trailing
+        # lag+1 frames; older frames have already been emitted.
+        self._window: "deque[tuple[np.ndarray, np.ndarray]]" = deque()
+
+    # ------------------------------------------------------------------
+    # Forward recursion
+    # ------------------------------------------------------------------
+    @property
+    def frames_pushed(self) -> int:
+        return self._frames_in
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._frames_out
+
+    @property
+    def pending(self) -> int:
+        """Frames pushed but not yet emitted (bounded by ``lag``)."""
+        return self._frames_in - self._frames_out
+
+    def _advance(self, likelihood: np.ndarray) -> np.ndarray:
+        """One exact filtering step via the shared ``filter_step``."""
+        self._belief, self._alpha = self._dbn.filter_step(
+            self._belief, self._alpha, likelihood, self._frames_in
+        )
+        return self._alpha
+
+    def _smoothed(self, target: int) -> np.ndarray:
+        """Posterior of window frame ``target`` given the whole window.
+
+        Replays the batch backward recursion (``backward_step``) from the
+        newest window frame down to ``target``, so a window covering the
+        full clip reproduces ``TwoSliceDBN.smooth`` bit-exactly.
+        """
+        beta = np.ones(self._dbn.joint_cardinality)
+        for k in range(len(self._window) - 1, target, -1):
+            beta = self._dbn.backward_step(beta, self._window[k][0], k)
+        smoothed = self._window[target][1] * beta
+        total = smoothed.sum()
+        if total <= 0:
+            total = 1.0
+        return smoothed / total
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+    def push(
+        self, candidates: "list[FeatureVector]"
+    ) -> "list[FramePrediction]":
+        """Consume one frame's feature candidates; return ready predictions.
+
+        An empty candidate list (vision failure) is legal — the temporal
+        prior carries the frame, as in batch decoding.
+        """
+        likelihood = self.classifier.joint_likelihood(candidates)
+        alpha = self._advance(likelihood)
+        self._frames_in += 1
+        if self.lag == 0:
+            self._frames_out += 1
+            return [self.classifier.prediction_from_joint(alpha)]
+        self._window.append((likelihood, alpha))
+        if len(self._window) <= self.lag:
+            return []
+        prediction = self.classifier.prediction_from_joint(self._smoothed(0))
+        self._window.popleft()
+        self._frames_out += 1
+        return [prediction]
+
+    def finish(self) -> "list[FramePrediction]":
+        """Flush the fixed-lag window at end of stream.
+
+        The remaining frames are smoothed against everything the stream
+        delivered, then the decoder resets so the next clip starts from
+        the paper's frame-1 prior.
+        """
+        ready = [
+            self.classifier.prediction_from_joint(self._smoothed(target))
+            for target in range(len(self._window))
+        ]
+        self._frames_out += len(self._window)
+        emitted_in, emitted_out = self._frames_in, self._frames_out
+        self.reset()
+        self._frames_in, self._frames_out = emitted_in, emitted_out
+        return ready
+
+    def reset(self) -> None:
+        """Forget all stream state (the counters included)."""
+        self._belief = None
+        self._alpha = None
+        self._window.clear()
+        self._frames_in = 0
+        self._frames_out = 0
+
+    def decode(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> "list[FramePrediction]":
+        """Convenience: stream a materialised candidate sequence through."""
+        predictions: list[FramePrediction] = []
+        for candidates in frames:
+            predictions.extend(self.push(candidates))
+        predictions.extend(self.finish())
+        return predictions
+
+
+class StreamingSession:
+    """A live frame-in / prediction-out session over one clip's background.
+
+    Couples the vision front-end (background subtraction, skeletonisation,
+    candidate encoding) with a :class:`StreamingDecoder`, so callers feed
+    raw RGB frames and receive :class:`FramePrediction`s without ever
+    materialising the clip.
+    """
+
+    def __init__(
+        self,
+        analyzer: "JumpPoseAnalyzer",
+        background: np.ndarray,
+        lag: int = 0,
+    ) -> None:
+        self._front_end = analyzer.front_end
+        self._subtractor = analyzer.front_end.subtractor_for(background)
+        self.decoder = StreamingDecoder(analyzer.classifier, lag=lag)
+
+    def push_frame(self, frame: np.ndarray) -> "list[FramePrediction]":
+        """Extract candidates for one RGB frame and advance the decoder.
+
+        A frame whose extraction or skeletonisation fails contributes an
+        empty candidate list, exactly like the batch front-end.
+        """
+        try:
+            skeleton = self._front_end.skeleton_of_frame(frame, self._subtractor)
+            candidates = self._front_end.candidate_features(skeleton)
+        except (ImageError, SkeletonError, FeatureError):
+            candidates = []
+        return self.decoder.push(candidates)
+
+    def finish(self) -> "list[FramePrediction]":
+        return self.decoder.finish()

@@ -47,6 +47,69 @@ def test_analyze_and_report_round_trip(tmp_path, capsys):
 
 
 @pytest.mark.slow
+def test_train_save_then_model_reuse_and_serve(tmp_path, capsys, monkeypatch):
+    """The artifact path: train once, then analyze/report/serve reuse it."""
+    import io
+
+    clip = make_clip("cli-serve", seed=3, variant=0, target_frames=40)
+    (tmp_path / "clips").mkdir()
+    clip_path = save_clip(clip, tmp_path / "clips" / "clip.npz")
+    model_path = tmp_path / "model.npz"
+
+    code = main(["train", "--save", str(model_path), "--clips", "2"])
+    assert code == 0
+    assert model_path.exists()
+    assert "saved artifact" in capsys.readouterr().out
+
+    code = main(["analyze", str(clip_path), "--model", str(model_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accuracy vs ground truth" in out
+    assert "training on" not in out, "--model must skip retraining"
+
+    code = main([
+        "report", str(clip_path), "--model", str(model_path),
+        "--student", "Ming",
+    ])
+    assert code == 0
+    assert "Ming" in capsys.readouterr().out
+
+    code = main([
+        "serve", "--model", str(model_path),
+        "--clips-dir", str(tmp_path / "clips"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cli-serve: accuracy" in out
+    assert "throughput" in out
+
+    # stdin mode: paths streamed one per line
+    monkeypatch.setattr("sys.stdin", io.StringIO(f"{clip_path}\n\n"))
+    code = main(["serve", "--model", str(model_path), "--batch-size", "1"])
+    assert code == 0
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_serve_rejects_missing_model(tmp_path):
+    from repro.errors import ModelError
+
+    with pytest.raises(ModelError):
+        main(["serve", "--model", str(tmp_path / "no.npz"),
+              "--clips-dir", str(tmp_path)])
+
+
+def test_analyze_rejects_bad_model(tmp_path):
+    from repro.errors import ModelError
+
+    clip = make_clip("cli-bad-model", seed=4, variant=0, target_frames=36)
+    clip_path = save_clip(clip, tmp_path / "clip.npz")
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"junk")
+    with pytest.raises(ModelError):
+        main(["analyze", str(clip_path), "--model", str(bad)])
+
+
+@pytest.mark.slow
 def test_evaluate_pilot_with_profile_and_jobs(capsys):
     code = main(["evaluate", "--pilot", "--jobs", "1", "--profile"])
     assert code == 0

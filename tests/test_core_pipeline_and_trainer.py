@@ -65,6 +65,20 @@ def test_temporal_structure_beats_static_observation(analyzer, dataset):
     assert dbn_result.overall_accuracy > static_result.overall_accuracy
 
 
+@pytest.mark.slow
+def test_pooled_profile_reports_worker_stages(analyzer, dataset):
+    """``jobs > 1`` must still produce the frontend/decode breakdown."""
+    from repro.perf.timing import ProfileReport
+
+    profile = ProfileReport()
+    results = analyzer.analyze_clips(dataset.test, jobs=2, profile=profile)
+    assert [r.clip_id for r in results] == [c.clip_id for c in dataset.test]
+    assert "pool" not in profile.stages, "opaque pool blob should be gone"
+    for stage in ("frontend", "decode"):
+        assert profile.stages[stage].calls == len(dataset.test)
+        assert profile.stages[stage].total > 0
+
+
 def test_settings_are_plumbed_through():
     settings = AnalyzerSettings(n_areas=12, th_object=30.0, min_branch_length=6)
     front_end = settings.front_end()

@@ -41,6 +41,19 @@ def test_profile_report_empty_render():
     assert "no stages" in ProfileReport().render()
 
 
+def test_profile_report_merge_accumulates_stages():
+    ours = ProfileReport()
+    ours.add("frontend", 1.0)
+    theirs = ProfileReport()
+    theirs.add("frontend", 0.5)
+    theirs.add("decode", 0.25)
+    ours.merge(theirs)
+    assert ours.stages["frontend"].total == pytest.approx(1.5)
+    assert ours.stages["frontend"].calls == 2
+    assert ours.stages["decode"].calls == 1
+    assert ours.total == pytest.approx(1.75)
+
+
 def test_write_bench_json_round_trip(tmp_path):
     path = write_bench_json(
         tmp_path / "BENCH_x.json",

@@ -1,0 +1,180 @@
+"""Model artifacts: versioned save/load with bit-identical predictions."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dbnclassifier import DECODE_MODES, ClassifierConfig
+from repro.core.pipeline import JumpPoseAnalyzer
+from repro.core.poses import Pose
+from repro.errors import ModelError
+from repro.serving.artifacts import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    load_analyzer,
+    read_artifact_metadata,
+    save_analyzer,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, analyzer):
+    """The pilot-trained system saved once for this module."""
+    path = tmp_path_factory.mktemp("artifacts") / "pilot.npz"
+    return save_analyzer(analyzer, path)
+
+
+@pytest.fixture(scope="module")
+def test_candidates(analyzer, dataset):
+    """Per-frame feature candidates of one test clip, extracted once."""
+    clip = dataset.test[0]
+    return analyzer.front_end.candidates_for_clip(clip.frames, clip.background)
+
+
+def _tamper(artifact, target, **overrides):
+    """Re-write an artifact with some entries replaced."""
+    with np.load(artifact, allow_pickle=False) as archive:
+        entries = {key: archive[key] for key in archive.files}
+    entries.update(overrides)
+    np.savez_compressed(target, **entries)
+    return target
+
+
+def _tamper_metadata(artifact, target, **fields):
+    with np.load(artifact, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode())
+    metadata.update(fields)
+    blob = np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
+    return _tamper(artifact, target, metadata=blob)
+
+
+@pytest.mark.parametrize("mode", DECODE_MODES)
+def test_round_trip_predictions_bit_identical(
+    artifact, analyzer, test_candidates, mode
+):
+    """save → load must reproduce every decode mode to the last bit."""
+    loaded = load_analyzer(artifact)
+    config = ClassifierConfig(decode=mode)
+    original = analyzer.with_classifier(config).classifier.classify(test_candidates)
+    restored = loaded.with_classifier(config).classifier.classify(test_candidates)
+    assert original == restored  # FramePrediction equality is exact-float
+
+
+def test_round_trip_tables_bit_identical(artifact, analyzer):
+    loaded = load_analyzer(artifact)
+    np.testing.assert_array_equal(
+        loaded.models.observation._location_probs,
+        analyzer.models.observation._location_probs,
+    )
+    np.testing.assert_array_equal(
+        loaded.models.transitions.pose_table, analyzer.models.transitions.pose_table
+    )
+    np.testing.assert_array_equal(
+        loaded.models.transitions.stage_table,
+        analyzer.models.transitions.stage_table,
+    )
+
+
+def test_round_trip_preserves_configuration(artifact, analyzer):
+    loaded = load_analyzer(artifact)
+    for attribute in ("n_areas", "n_rings", "th_object", "min_branch_length",
+                      "thinner"):
+        assert getattr(loaded.front_end, attribute) == getattr(
+            analyzer.front_end, attribute
+        )
+    assert loaded.classifier.config == analyzer.classifier.config
+    assert loaded.models.report == analyzer.models.report
+    assert loaded.models.observation.alpha == analyzer.models.observation.alpha
+    assert loaded.models.transitions.alpha == analyzer.models.transitions.alpha
+
+
+def test_th_pose_dict_round_trips(tmp_path, analyzer):
+    config = ClassifierConfig(
+        decode="greedy",
+        th_pose={Pose.AIRBORNE_PIKE: 0.25, Pose.LANDING_DEEP_SQUAT: 0.4},
+        accept_min=0.05,
+        unknown_fallback=False,
+    )
+    path = analyzer.with_classifier(config).save(tmp_path / "thpose")
+    assert load_analyzer(path).classifier.config == config
+
+
+def test_analyzer_save_load_methods(tmp_path, analyzer, dataset):
+    """The pipeline-level façade mirrors the functional API."""
+    path = analyzer.save(tmp_path / "facade")
+    assert path.suffix == ".npz"
+    loaded = JumpPoseAnalyzer.load(path)
+    clip = dataset.test[0]
+    assert loaded.analyze_clip(clip) == analyzer.analyze_clip(clip)
+
+
+def test_save_appends_suffix_without_eating_dotted_names(tmp_path, analyzer):
+    path = save_analyzer(analyzer, tmp_path / "model-2024.1")
+    assert path.name == "model-2024.1.npz"
+    assert load_analyzer(path).models.report == analyzer.models.report
+
+
+def test_metadata_reader_reports_schema(artifact):
+    metadata = read_artifact_metadata(artifact)
+    assert metadata["schema"] == ARTIFACT_SCHEMA
+    assert metadata["version"] == ARTIFACT_VERSION
+    assert metadata["report"]["total_frames"] > 0
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ModelError, match="not found"):
+        load_analyzer(tmp_path / "nope.npz")
+
+
+def test_garbage_file_raises(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not an npz archive")
+    with pytest.raises(ModelError, match="not a readable npz"):
+        load_analyzer(path)
+
+
+def test_truncated_archive_raises(tmp_path, artifact):
+    blob = artifact.read_bytes()
+    path = tmp_path / "truncated.npz"
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(ModelError):
+        load_analyzer(path)
+
+
+def test_foreign_npz_raises(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez_compressed(path, something=np.zeros(3))
+    with pytest.raises(ModelError, match="missing entries"):
+        load_analyzer(path)
+
+
+def test_wrong_schema_raises(tmp_path, artifact):
+    path = _tamper_metadata(artifact, tmp_path / "schema.npz", schema="other/format")
+    with pytest.raises(ModelError, match="schema"):
+        load_analyzer(path)
+
+
+def test_wrong_version_raises(tmp_path, artifact):
+    path = _tamper_metadata(artifact, tmp_path / "version.npz", version=999)
+    with pytest.raises(ModelError, match="version"):
+        load_analyzer(path)
+
+
+def test_table_shape_mismatch_raises(tmp_path, artifact):
+    path = _tamper(
+        artifact, tmp_path / "shape.npz", location_probs=np.zeros((2, 2, 2))
+    )
+    with pytest.raises(ModelError, match="shape"):
+        load_analyzer(path)
+
+
+def test_non_finite_table_raises(tmp_path, artifact):
+    with np.load(artifact, allow_pickle=False) as archive:
+        table = archive["pose_table"].copy()
+    table[0, 0, 0] = np.nan
+    path = _tamper(artifact, tmp_path / "nan.npz", pose_table=table)
+    with pytest.raises(ModelError, match="non-finite"):
+        load_analyzer(path)

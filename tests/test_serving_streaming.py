@@ -1,0 +1,186 @@
+"""Streaming decoding: exact filter agreement and fixed-lag convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbnclassifier import ClassifierConfig, DBNPoseClassifier
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import NUM_POSES, Pose
+from repro.core.transitions import TransitionModel
+from repro.errors import ConfigurationError
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER
+from repro.serving.streaming import StreamingDecoder
+
+
+def _tiny_models() -> "tuple[PoseObservationModel, TransitionModel]":
+    """Small fitted models built without the vision pipeline.
+
+    The observation model sees three synthetic feature vectors per pose;
+    the transition model sees the enum-ordered pose walk (stage-monotone
+    by construction) plus a variant with a held pose.
+    """
+    samples = []
+    for pose in Pose:
+        for repeat in range(3):
+            areas = {
+                part: int((pose + offset + repeat) % 8)
+                for offset, part in enumerate(PART_ORDER)
+            }
+            samples.append((pose, FeatureVector(areas=areas, n_areas=8)))
+    observation = PoseObservationModel(n_areas=8, alpha=0.5).fit(samples)
+    walk = [Pose(index) for index in range(NUM_POSES)]
+    held = walk[:10] + [walk[9]] * 4 + walk[10:]
+    transitions = TransitionModel(alpha=0.3).fit([walk, held])
+    return observation, transitions
+
+
+def _candidate_stream(
+    n_frames: int, seed: int = 0
+) -> "list[list[FeatureVector]]":
+    """Synthetic per-frame candidates, including vision-failure frames."""
+    rng = np.random.default_rng(seed)
+    frames: "list[list[FeatureVector]]" = []
+    for _ in range(n_frames):
+        if rng.random() < 0.05:
+            frames.append([])  # extraction failed; prior carries the frame
+            continue
+        candidates = []
+        for _ in range(int(rng.integers(1, 4))):
+            areas = {}
+            for part in PART_ORDER:
+                value = int(rng.integers(0, 9))
+                areas[part] = None if value == 8 else value
+            weight = float(rng.choice([1.0, 0.85, 0.7]))
+            candidates.append(
+                FeatureVector(areas=areas, n_areas=8, weight=weight)
+            )
+        frames.append(candidates)
+    return frames
+
+
+@pytest.fixture(scope="module")
+def tiny_models():
+    return _tiny_models()
+
+
+def _classifier(tiny_models, **config) -> DBNPoseClassifier:
+    observation, transitions = tiny_models
+    return DBNPoseClassifier(observation, transitions, ClassifierConfig(**config))
+
+
+def test_streaming_filter_is_bit_identical_to_batch(tiny_models):
+    classifier = _classifier(tiny_models, decode="filter")
+    stream = _candidate_stream(60, seed=3)
+    batch = classifier.classify(stream)
+    streamed = StreamingDecoder(classifier, lag=0).decode(stream)
+    assert streamed == batch  # FramePrediction equality is exact-float
+
+
+def test_streaming_filter_matches_batch_on_real_clip(analyzer, dataset):
+    clip = dataset.test[0]
+    candidates = analyzer.front_end.candidates_for_clip(
+        clip.frames, clip.background
+    )
+    filtering = analyzer.with_classifier(ClassifierConfig(decode="filter"))
+    batch = filtering.classifier.classify(candidates)
+    streamed = StreamingDecoder(filtering.classifier, lag=0).decode(candidates)
+    assert streamed == batch
+
+
+def test_fixed_lag_converges_to_smooth(tiny_models):
+    """More lag → more agreement; a clip-spanning lag is exactly smooth."""
+    classifier = _classifier(tiny_models, decode="smooth")
+    stream = _candidate_stream(48, seed=11)
+    smooth = classifier.classify(stream)
+    agreements = []
+    for lag in (0, 2, 8, len(stream) - 1):
+        streamed = StreamingDecoder(classifier, lag=lag).decode(stream)
+        assert len(streamed) == len(smooth)
+        agreements.append(
+            sum(a == b for a, b in zip(streamed, smooth))
+        )
+    assert agreements == sorted(agreements), (
+        f"agreement with smooth should grow with lag: {agreements}"
+    )
+    assert agreements[-1] == len(smooth), (
+        "a lag covering the whole clip must replay offline smoothing exactly"
+    )
+
+
+def test_fixed_lag_decisions_improve_on_filtering(tiny_models):
+    """A short smoothing lag buys decisions closer to offline smooth."""
+    classifier = _classifier(tiny_models, decode="smooth")
+    stream = _candidate_stream(48, seed=11)
+    smooth = classifier.classify(stream)
+
+    def pose_agreement(lag: int) -> float:
+        streamed = StreamingDecoder(classifier, lag=lag).decode(stream)
+        return sum(a.pose == b.pose for a, b in zip(streamed, smooth)) / len(
+            smooth
+        )
+
+    causal, lagged = pose_agreement(0), pose_agreement(8)
+    assert lagged > causal, (
+        f"lag-8 agreement {lagged:.2f} should beat causal {causal:.2f}"
+    )
+    assert lagged >= 0.6
+
+
+def test_lag_delays_emission_and_finish_flushes(tiny_models):
+    classifier = _classifier(tiny_models, decode="filter")
+    stream = _candidate_stream(20, seed=5)
+    lag = 6
+    decoder = StreamingDecoder(classifier, lag=lag)
+    emitted = []
+    for index, candidates in enumerate(stream):
+        ready = decoder.push(candidates)
+        if index < lag:
+            assert ready == []
+        else:
+            assert len(ready) == 1
+        emitted.extend(ready)
+    assert decoder.pending == lag
+    emitted.extend(decoder.finish())
+    assert len(emitted) == len(stream)
+    assert decoder.pending == 0
+
+
+def test_decode_resets_between_clips(tiny_models):
+    """Back-to-back clips must each start from the paper's frame-1 prior."""
+    classifier = _classifier(tiny_models, decode="filter")
+    stream = _candidate_stream(24, seed=7)
+    decoder = StreamingDecoder(classifier, lag=3)
+    first = decoder.decode(stream)
+    second = decoder.decode(stream)
+    assert first == second
+
+
+def test_zero_likelihood_frames_recover(tiny_models):
+    """All-empty streams must decode via the prior, exactly like batch."""
+    classifier = _classifier(tiny_models, decode="filter")
+    stream: "list[list[FeatureVector]]" = [[] for _ in range(8)]
+    batch = classifier.classify(stream)
+    streamed = StreamingDecoder(classifier, lag=0).decode(stream)
+    assert streamed == batch
+
+
+def test_negative_lag_rejected(tiny_models):
+    classifier = _classifier(tiny_models, decode="filter")
+    with pytest.raises(ConfigurationError):
+        StreamingDecoder(classifier, lag=-1)
+
+
+def test_streaming_session_matches_batch_filter(analyzer, dataset):
+    """Raw RGB frames through a session == batch filter decoding."""
+    clip = dataset.test[0]
+    filtering = analyzer.with_classifier(ClassifierConfig(decode="filter"))
+    session = filtering.stream(clip.background, lag=0)
+    streamed = []
+    for frame in clip.frames:
+        streamed.extend(session.push_frame(frame))
+    streamed.extend(session.finish())
+    batch = filtering.predict_frames(clip.frames, clip.background)
+    assert streamed == batch
