@@ -1,0 +1,132 @@
+"""Skeleton repair perf: the §3 graph stages, tracked in JSON.
+
+Closes the ROADMAP bench gap between the front-end kernels
+(``BENCH_frontend.json``) and DBN decoding (``BENCH_decode.json``): the
+full-scale measurement (``--perf``) times every stage of the skeleton
+repair pipeline — pixel-graph construction, junction simplification,
+loop cutting, short-branch pruning — plus the end-to-end
+``SkeletonExtractor.extract`` on a 240x320 studio silhouette, asserts
+extraction-rate floors (set ~10x below the reference machine, so only
+real regressions trip them), and writes ``BENCH_skeleton.json`` at the
+repo root.
+
+A smoke variant runs in tier-1 on a tiny silhouette: same measurement +
+artifact code paths, no floors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.perf import best_of, write_bench_json
+from repro.skeleton.pipeline import SkeletonExtractor
+from repro.skeleton.pixelgraph import PixelGraph
+from repro.skeleton.pruning import DEFAULT_MIN_BRANCH_LENGTH, prune_short_branches
+from repro.skeleton.simplify import remove_adjacent_junctions
+from repro.skeleton.spanning import cut_loops
+from repro.synth.dataset import make_clip
+from repro.thinning import zhang_suen_thin
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_skeleton.json"
+TARGET_WIDTH = 320
+
+#: calls/second floors for the full-scale run, ~10x below the reference
+#: machine's measured rates (filled in from the committed BENCH artifact).
+FLOORS_PER_S = {
+    "graph_from_mask": 300.0,  # reference: ~3.1k/s
+    "simplify": 10000.0,       # reference: ~116k/s
+    "cut_loops": 150.0,        # reference: ~1.9k/s
+    "prune": 150.0,            # reference: ~1.9k/s
+    "extract_full": 30.0,      # reference: ~350/s
+}
+
+
+def _studio_silhouette_240x320() -> np.ndarray:
+    """A mid-jump studio silhouette, column-cropped from 240x400 to 240x320."""
+    clip = make_clip("perf-skeleton", seed=7, variant=0, target_frames=40)
+    silhouette = clip.silhouettes[12]
+    columns = np.flatnonzero(silhouette.any(axis=0))
+    center = int((columns[0] + columns[-1]) // 2)
+    left = min(max(center - TARGET_WIDTH // 2, 0), silhouette.shape[1] - TARGET_WIDTH)
+    cropped = silhouette[:, left : left + TARGET_WIDTH]
+    assert cropped.shape == (240, TARGET_WIDTH)
+    assert cropped.sum() == silhouette.sum(), "crop clipped the jumper"
+    return cropped
+
+
+def _measure(mask: np.ndarray, repeats: int) -> "dict[str, dict[str, float]]":
+    """Time each repair stage on its real intermediate input."""
+    results: dict[str, dict[str, float]] = {}
+
+    def record(name: str, fn) -> None:
+        seconds = best_of(fn, repeats)
+        results[name] = {"seconds": seconds, "per_s": 1.0 / seconds}
+
+    raw = zhang_suen_thin(mask)
+    record("graph_from_mask", lambda: PixelGraph.from_mask(raw))
+    largest = PixelGraph.from_mask(raw).largest_component()
+    record("simplify", lambda: remove_adjacent_junctions(largest))
+    simplified, _clusters = remove_adjacent_junctions(largest)
+    record("cut_loops", lambda: cut_loops(simplified))
+    acyclic = cut_loops(simplified).graph
+    record(
+        "prune",
+        lambda: prune_short_branches(acyclic, DEFAULT_MIN_BRANCH_LENGTH),
+    )
+
+    extractor = SkeletonExtractor()
+    record("extract_full", lambda: extractor.extract(mask))
+
+    # the end-to-end stage accounting must describe a working pipeline
+    skeleton = extractor.extract(mask)
+    assert not skeleton.is_empty
+    results["skeleton_size"] = {
+        "raw_pixels": float(raw.sum()),
+        "final_pixels": float(len(skeleton.graph)),
+        "pruned_branches": float(len(skeleton.pruned_branches)),
+    }
+    return results
+
+
+def test_skeleton_bench_smoke(tmp_path):
+    """Tier-1 variant: tiny silhouette, same code paths, no floors."""
+    yy, xx = np.mgrid[:60, :80]
+    mask = ((yy - 30) ** 2 / 400 + (xx - 40) ** 2 / 900) < 1
+    results = _measure(mask, repeats=1)
+    for name in FLOORS_PER_S:
+        assert results[name]["per_s"] > 0
+    path = write_bench_json(
+        tmp_path / "BENCH_skeleton.json", results, context={"smoke": True}
+    )
+    payload = json.loads(path.read_text())
+    assert payload["benchmarks"]["extract_full"]["seconds"] > 0
+
+
+@pytest.mark.perf
+def test_skeleton_bench_full():
+    """Full-scale run on the studio silhouette, floors asserted."""
+    mask = _studio_silhouette_240x320()
+    repeats = 5
+    results = _measure(mask, repeats=repeats)
+    write_bench_json(
+        BENCH_PATH,
+        results,
+        context={
+            "input": "synth studio silhouette, clip perf-skeleton frame 12",
+            "shape": list(mask.shape),
+            "foreground_pixels": int(mask.sum()),
+            "repeats": repeats,
+            "min_branch_length": DEFAULT_MIN_BRANCH_LENGTH,
+            "floors_per_s": FLOORS_PER_S,
+        },
+    )
+    for name, floor in FLOORS_PER_S.items():
+        measured = results[name]["per_s"]
+        assert measured >= floor, (
+            f"{name}: {measured:.1f}/s fell below the {floor:.1f}/s floor"
+        )

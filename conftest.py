@@ -24,6 +24,12 @@ def pytest_configure(config: "pytest.Config") -> None:
         "markers", "perf: full-scale perf benchmark, opt-in via --perf"
     )
     config.addinivalue_line("markers", "slow: long-running test")
+    config.addinivalue_line(
+        "markers",
+        "network(timeout=60): test talks to a real socket; a per-test "
+        "SIGALRM guard (tests/conftest.py, default 60s) fails it instead "
+        "of letting a hung read wedge tier-1",
+    )
 
 
 def pytest_collection_modifyitems(

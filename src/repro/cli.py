@@ -15,7 +15,12 @@ and saves it as a versioned model artifact; ``analyze`` prints the decoded
 pose timeline of one clip; ``evaluate`` runs the full paper protocol;
 ``report`` produces the coaching report of §1's tutor scenario; ``serve``
 drives the long-lived :class:`~repro.serving.service.JumpPoseService`
-over a directory (or a stdin stream) of clips with no retraining.
+over a directory (or a stdin stream) of clips with no retraining, or —
+with ``--port`` — binds the TCP network front so remote producers can
+stream clips in over :class:`~repro.serving.client.JumpPoseClient`::
+
+    python -m repro.cli serve --model model.npz --port 7345 --jobs 4
+    python -m repro.cli analyze clips/clip-00.npz --connect 127.0.0.1:7345
 
 ``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
 without it they fall back to training a small throwaway model.
@@ -25,7 +30,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 from pathlib import Path
 
 from repro.core.dbnclassifier import DECODE_MODES, ClassifierConfig
@@ -71,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("clip", type=Path)
     analyze.add_argument("--model", type=Path, default=None,
                          help="saved artifact (skips retraining)")
+    analyze.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="send the clip to a running `serve --port` "
+                              "server instead of decoding locally")
+    analyze.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout in seconds (with --connect)")
     analyze.add_argument("--train-seed", type=int, default=0)
     analyze.add_argument("--train-clips", type=int, default=4)
     analyze.add_argument("--decode", choices=DECODE_MODES, default=None)
@@ -99,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", type=Path, required=True)
     serve.add_argument("--clips-dir", type=Path, default=None,
                        help="directory of .npz clips (default: stdin paths)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen on this TCP port instead of serving "
+                            "local clips (0 picks an ephemeral port)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port (default loopback)")
     serve.add_argument("--jobs", type=int, default=1,
                        help="long-lived worker processes")
     serve.add_argument("--batch-size", type=int, default=4,
@@ -125,12 +139,9 @@ def _analyzer_for(
 ) -> JumpPoseAnalyzer:
     """Load a saved artifact, or fall back to a small throwaway model."""
     if model is not None:
-        analyzer = JumpPoseAnalyzer.load(model)
-        if decode is not None:
-            analyzer = analyzer.with_classifier(
-                replace(analyzer.classifier.config, decode=decode)
-            )
-        return analyzer
+        from repro.serving.artifacts import load_analyzer
+
+        return load_analyzer(model, decode=decode)
     print(f"no --model given; training on {train_clips} synthetic clips...")
     return _train_small(train_seed, train_clips, decode or "smooth")
 
@@ -168,12 +179,17 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_analyze(args: argparse.Namespace) -> int:
-    clip = load_clip(args.clip)
-    analyzer = _analyzer_for(
-        args.model, args.train_seed, args.train_clips, args.decode
-    )
-    result = analyzer.analyze_clip(clip)
+def _parse_endpoint(endpoint: str) -> "tuple[str, int]":
+    """Split an ``analyze --connect`` HOST:PORT argument."""
+    host, separator, port = endpoint.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ConfigurationError(
+            f"--connect expects HOST:PORT, got {endpoint!r}"
+        )
+    return host, int(port)
+
+
+def _print_clip_result(result) -> None:
     for frame in result.frames:
         marker = " " if frame.is_correct else "*"
         decoded = (
@@ -181,6 +197,29 @@ def _command_analyze(args: argparse.Namespace) -> int:
         )
         print(f"{frame.index:4d}{marker} {decoded}")
     print(f"accuracy vs ground truth: {result.accuracy:.1%}")
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    clip = load_clip(args.clip)
+    if args.connect is not None:
+        from repro.serving.client import JumpPoseClient
+
+        # decoding happens server-side with the server's model: local
+        # model/decode flags would be silently meaningless, so refuse them
+        if args.model is not None or args.decode is not None:
+            raise ConfigurationError(
+                "--connect decodes on the server; --model/--decode do not "
+                "apply (configure them on the `serve` process instead)"
+            )
+        host, port = _parse_endpoint(args.connect)
+        with JumpPoseClient(host, port, timeout_s=args.timeout) as client:
+            result = client.analyze_clips([clip])[0]
+    else:
+        analyzer = _analyzer_for(
+            args.model, args.train_seed, args.train_clips, args.decode
+        )
+        result = analyzer.analyze_clip(clip)
+    _print_clip_result(result)
     return 0
 
 
@@ -216,6 +255,47 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _serve_network(args)
+    return _serve_local(args)
+
+
+def _serve_network(args: argparse.Namespace) -> int:
+    """Bind a TCP front; block until a shutdown request (or Ctrl-C)."""
+    from repro.serving.net import JumpPoseServer
+
+    if args.clips_dir is not None:
+        # clips come from the network in this mode; a silently ignored
+        # directory would look like a hung serve run
+        raise ConfigurationError(
+            "--clips-dir does not apply with --port (clients send clips "
+            "over the socket; drop --port to serve a local directory)"
+        )
+
+    server = JumpPoseServer(
+        args.model,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        decode=args.decode,
+    )
+    try:
+        server.start()
+        host, port = server.address
+        print(f"serving {args.model} on {host}:{port} "
+              f"(jobs={args.jobs}, batch-size={args.batch_size})")
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print()
+        print(server.service.stats.render())
+    return 0
+
+
+def _serve_local(args: argparse.Namespace) -> int:
     from repro.serving.service import JumpPoseService
 
     def emit(results) -> None:

@@ -44,5 +44,31 @@ class DatasetError(ReproError):
     """Synthetic dataset generation was asked for an impossible protocol."""
 
 
+class ProtocolError(ReproError):
+    """Bytes on the serving wire violate the framing protocol."""
+
+    def __init__(self, message: str, code: str = "protocol",
+                 recoverable: bool = False) -> None:
+        super().__init__(message)
+        #: short machine-readable reason, echoed in structured error replies
+        self.code = code
+        #: True when the offending frame was fully consumed, so the same
+        #: connection can keep serving; False when framing is lost and the
+        #: connection must be closed
+        self.recoverable = recoverable
+
+
+class TransportError(ReproError):
+    """A serving connection could not be established or timed out."""
+
+
+class RemoteError(ReproError):
+    """The serving peer reported a structured error for a request."""
+
+    def __init__(self, message: str, code: str = "server-error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class ScoringError(ReproError):
     """Jump evaluation could not interpret a pose sequence."""

@@ -10,7 +10,14 @@ Three layers, bottom-up:
   fixed-lag smoothing, one frame at a time;
 * :mod:`repro.serving.service` — :class:`JumpPoseService`, a pool of
   long-lived workers sharing one loaded artifact, with micro-batching
-  and throughput/latency accounting.
+  and throughput/latency accounting;
+* :mod:`repro.serving.protocol` — the versioned, length-prefixed
+  JSON/binary wire format (frame codec, blob packing, result codec);
+* :mod:`repro.serving.net` — :class:`JumpPoseServer`, a threaded TCP
+  front over :class:`JumpPoseService`;
+* :mod:`repro.serving.client` — :class:`JumpPoseClient`, the typed
+  remote counterpart of ``JumpPoseAnalyzer.analyze_clips`` with
+  connect/retry/timeout semantics.
 """
 
 from repro.serving.artifacts import (
@@ -20,15 +27,22 @@ from repro.serving.artifacts import (
     read_artifact_metadata,
     save_analyzer,
 )
+from repro.serving.client import JumpPoseClient
+from repro.serving.net import JumpPoseServer
+from repro.serving.protocol import PROTOCOL_MAGIC, PROTOCOL_VERSION
 from repro.serving.service import JumpPoseService, ServiceStats
 from repro.serving.streaming import StreamingDecoder, StreamingSession
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ARTIFACT_VERSION",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
     "load_analyzer",
     "read_artifact_metadata",
     "save_analyzer",
+    "JumpPoseClient",
+    "JumpPoseServer",
     "JumpPoseService",
     "ServiceStats",
     "StreamingDecoder",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import zipfile
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -151,12 +152,17 @@ def read_artifact_metadata(path: "str | Path") -> "dict[str, object]":
     return metadata
 
 
-def load_analyzer(path: "str | Path") -> JumpPoseAnalyzer:
+def load_analyzer(
+    path: "str | Path", decode: "str | None" = None
+) -> JumpPoseAnalyzer:
     """Reconstruct a trained analyzer from :func:`save_analyzer` output.
 
     The learned tables are restored verbatim, so the loaded analyzer's
     predictions are bit-identical to the saved one's in every decode mode.
-    Raises :class:`~repro.errors.ModelError` for missing files, corrupt
+    ``decode`` optionally overrides the artifact's stored decode mode —
+    the one piece of configuration every loading context (CLI, service
+    workers) wants to vary without retraining.  Raises
+    :class:`~repro.errors.ModelError` for missing files, corrupt
     archives, foreign schemas, and version mismatches.
     """
     path = Path(path)
@@ -224,4 +230,6 @@ def load_analyzer(path: "str | Path") -> JumpPoseAnalyzer:
         observation=observation, transitions=transitions, report=report
     )
     config = _classifier_from_metadata(metadata["classifier"])
+    if decode is not None:
+        config = replace(config, decode=decode)
     return JumpPoseAnalyzer(front_end, models, config)

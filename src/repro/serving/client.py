@@ -1,0 +1,235 @@
+"""A typed client for the :mod:`repro.serving.net` wire protocol.
+
+:class:`JumpPoseClient` owns one TCP connection to a
+:class:`~repro.serving.net.JumpPoseServer` and exposes the request
+surface as methods returning real library types —
+:meth:`analyze_clips` hands back :class:`~repro.core.results.ClipResult`
+objects that compare equal to what a local
+``JumpPoseAnalyzer.analyze_clips`` produces (the conformance suite pins
+this bit-for-bit).
+
+Failure taxonomy:
+
+* :class:`~repro.errors.TransportError` — could not connect (after the
+  configured retries), the socket timed out, or the peer vanished;
+* :class:`~repro.errors.RemoteError` — the server replied with a
+  structured ``error`` frame (its ``code`` is preserved);
+* :class:`~repro.errors.ProtocolError` — the server's bytes themselves
+  were malformed (should never happen against a healthy server).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError, RemoteError, TransportError
+from repro.serving.protocol import (
+    Frame,
+    clip_result_from_wire,
+    pack_blobs,
+    read_frame,
+    send_frame,
+)
+
+if TYPE_CHECKING:
+    from repro.core.results import ClipResult
+    from repro.synth.dataset import JumpClip
+
+
+class JumpPoseClient:
+    """Connect, retry, time out — then speak the protocol.
+
+    Args:
+        host / port: the server's bound address.
+        timeout_s: per-operation socket timeout (connect, send, receive).
+        connect_retries: additional connection attempts after the first
+            fails (covers the serve-process-still-starting race).
+        retry_delay_s: initial back-off between attempts; doubles each
+            retry.
+
+    The connection is opened lazily on the first request (or explicitly
+    via :meth:`connect`).  Use as a context manager, or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        connect_retries: int = 3,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.connect_retries = connect_retries
+        self.retry_delay_s = retry_delay_s
+        self._sock: "socket.socket | None" = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "JumpPoseClient":
+        """Open the connection, retrying with exponential back-off."""
+        if self._sock is not None:
+            return self
+        delay = self.retry_delay_s
+        last_error: "OSError | None" = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                self._reader = self._sock.makefile("rb")
+                return self
+            except OSError as exc:
+                last_error = exc
+        raise TransportError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_retries + 1} attempts: {last_error}"
+        ) from last_error
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "JumpPoseClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The request surface
+    # ------------------------------------------------------------------
+    def ping(self, echo: "object | None" = None) -> "dict[str, object]":
+        """Liveness probe; returns the server's ``pong`` header."""
+        header: "dict[str, object]" = {"type": "ping"}
+        if echo is not None:
+            header["echo"] = echo
+        return self._request(header).header
+
+    def analyze_clips(
+        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+    ) -> "list[ClipResult]":
+        """Ship clips inline and decode them remotely, in request order."""
+        from repro.synth.io import clip_to_bytes
+
+        payload = pack_blobs([clip_to_bytes(clip) for clip in clips])
+        return self._results(
+            self._request({"type": "analyze_clips"}, payload)
+        )
+
+    def analyze_paths(
+        self, paths: "list[str | Path] | tuple[str | Path, ...]"
+    ) -> "list[ClipResult]":
+        """Decode server-visible clip archives addressed by path."""
+        header = {
+            "type": "analyze_paths",
+            "paths": [str(path) for path in paths],
+        }
+        return self._results(self._request(header))
+
+    def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
+        """Decode every ``*.npz`` under a server-visible directory."""
+        header = {"type": "analyze_directory", "directory": str(directory)}
+        return self._results(self._request(header))
+
+    def stats(self) -> "dict[str, object]":
+        """Service + server accounting (throughput, latency, errors)."""
+        return self._request({"type": "stats"}).header
+
+    def shutdown(self) -> "dict[str, object]":
+        """Ask the server to stop; returns its ``bye`` header."""
+        response = self._request({"type": "shutdown"}).header
+        self.close()
+        return response
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, header: "dict[str, object]", payload: bytes = b""
+    ) -> Frame:
+        self.connect()
+        try:
+            send_frame(self._sock, header, payload)
+            response = read_frame(self._reader)
+        except ProtocolError as exc:
+            # framing from the server is broken either way, so drop the
+            # connection; a truncated reply means the server died
+            # mid-send, which callers handle as a transport failure
+            self.close()
+            if exc.code == "truncated":
+                raise TransportError(
+                    f"server closed the connection mid-reply "
+                    f"({header.get('type')!r}): {exc}"
+                ) from exc
+            raise
+        except socket.timeout as exc:
+            self.close()
+            raise TransportError(
+                f"request {header.get('type')!r} timed out after "
+                f"{self.timeout_s}s"
+            ) from exc
+        except OSError as exc:
+            self.close()
+            raise TransportError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        if response is None:
+            self.close()
+            raise TransportError(
+                f"server closed the connection mid-request "
+                f"({header.get('type')!r})"
+            )
+        if response.header.get("type") == "error":
+            code = str(response.header.get("code", "server-error"))
+            message = str(response.header.get("message", "(no message)"))
+            raise RemoteError(f"{code}: {message}", code=code)
+        return response
+
+    @staticmethod
+    def _results(response: Frame) -> "list[ClipResult]":
+        if response.header.get("type") != "result":
+            raise ProtocolError(
+                f"expected a result frame, got {response.header.get('type')!r}",
+                code="bad-result",
+                recoverable=True,
+            )
+        try:
+            results = json.loads(response.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"result payload is not valid JSON: {exc}",
+                code="bad-result",
+                recoverable=True,
+            ) from exc
+        if not isinstance(results, list):
+            raise ProtocolError(
+                f"result payload must be a JSON list, got "
+                f"{type(results).__name__}",
+                code="bad-result",
+                recoverable=True,
+            )
+        return [clip_result_from_wire(entry) for entry in results]

@@ -1,0 +1,411 @@
+"""The network front: a threaded TCP server around :class:`JumpPoseService`.
+
+:class:`JumpPoseServer` binds a listening socket (port 0 picks an
+ephemeral port, surfaced via :attr:`address`), accepts connections on a
+background thread, and serves each connection on its own daemon thread.
+Requests on one connection are handled strictly in arrival order, so
+every client sees deterministic per-client ordering; the underlying
+:class:`~repro.serving.service.JumpPoseService` serialises dispatches
+internally, and decoding is bit-identical to a local
+``JumpPoseAnalyzer.analyze_clips`` call because it *is* that code path
+behind the socket.
+
+Request types (see :mod:`repro.serving.protocol` for the frame layout):
+
+``ping``               liveness + server/model identification
+``analyze_clips``      payload carries packed inline clip archives
+``analyze_paths``      header lists server-visible ``.npz`` paths
+``analyze_directory``  header names a server-visible clip directory
+``stats``              service throughput/latency + per-request-type stats
+``shutdown``           reply ``bye``, then stop accepting and drain
+
+Malformed bytes never kill the server: recoverable protocol errors (the
+frame was fully consumed) get a structured ``error`` reply on the same
+connection; unrecoverable ones (framing lost) get a best-effort ``error``
+reply and a close, and the listener keeps accepting.  Request failures
+from the library (missing clip path, unreadable archive...) are reported
+as ``error`` replies with the exception class as the code.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from pathlib import Path
+
+from repro.errors import ConfigurationError, ProtocolError, ReproError
+from repro.perf.timing import ProfileReport, Timer
+from repro.serving.protocol import (
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    clip_result_to_wire,
+    read_frame,
+    send_frame,
+    unpack_blobs,
+)
+from repro.serving.service import JumpPoseService
+
+#: Seconds a connection may sit idle mid-read before the server drops it.
+DEFAULT_IDLE_TIMEOUT_S = 300.0
+
+
+class JumpPoseServer:
+    """Serve one model artifact over TCP until told to stop.
+
+    Args:
+        artifact_path: saved model artifact (schema-checked eagerly).
+        host: bind address; loopback by default.
+        port: bind port; 0 (the default) picks an ephemeral port — read
+            :attr:`address` after :meth:`start` for the real one.
+        jobs / batch_size / decode: forwarded to :class:`JumpPoseService`.
+        max_payload_bytes: per-request payload ceiling (oversized length
+            prefixes are rejected before allocation).
+        idle_timeout_s: per-connection socket timeout.
+
+    Use as a context manager, or :meth:`start` / :meth:`close`;
+    :meth:`serve_forever` blocks until a ``shutdown`` request (or
+    :meth:`close` from another thread).
+    """
+
+    def __init__(
+        self,
+        artifact_path: "str | Path",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        batch_size: int = 4,
+        decode: "str | None" = None,
+        max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if max_payload_bytes < 1:
+            raise ConfigurationError(
+                f"max_payload_bytes must be >= 1, got {max_payload_bytes}"
+            )
+        self.service = JumpPoseService(
+            artifact_path, jobs=jobs, batch_size=batch_size, decode=decode
+        )
+        self.host = host
+        self.port = port
+        self.max_payload_bytes = max_payload_bytes
+        self.idle_timeout_s = idle_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        #: wall-clock per request type, reported by the ``stats`` request
+        self.request_profile = ProfileReport()
+        self.requests_served = 0
+        self.errors_served = 0
+        self._profile_lock = threading.Lock()
+        self._listener: "socket.socket | None" = None
+        self._accept_thread: "threading.Thread | None" = None
+        self._connections: "set[socket.socket]" = set()
+        self._connections_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        # requests currently being handled (frame read, reply not yet
+        # sent); close() drains these before dropping connections
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._listener is None:
+            raise ConfigurationError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def is_running(self) -> bool:
+        return self._listener is not None and not self._shutdown.is_set()
+
+    def start(self) -> "JumpPoseServer":
+        if self._listener is not None:
+            return self
+        self.service.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(16)
+        except OSError:
+            listener.close()
+            self.service.close()
+            raise
+        self._shutdown.clear()
+        self._listener = listener
+        # the listener travels as an argument: a close() racing this
+        # start() may null self._listener before the thread runs
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            args=(listener,),
+            name="jumppose-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until a ``shutdown`` request arrives or :meth:`close`."""
+        self.start()
+        self._shutdown.wait()
+        self.close()
+
+    @staticmethod
+    def _close_listener(listener: socket.socket) -> None:
+        """Close a listening socket so it actually stops listening.
+
+        ``close()`` alone is not enough while the accept thread is blocked
+        in ``accept()``: the in-flight syscall keeps the socket alive, so
+        the port would go on accepting connections nobody serves.
+        ``shutdown()`` wakes the blocked ``accept()`` and disables the
+        socket immediately.
+        """
+        try:
+            listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected / already shut down — fine
+        listener.close()
+
+    def close(self) -> None:
+        """Stop accepting, drain in-flight requests, join the service pool.
+
+        Requests whose frames were already read get up to
+        ``drain_timeout_s`` to finish and send their replies before the
+        remaining connections are dropped — a shutdown request from one
+        client must not throw away another client's completed results.
+        """
+        self._shutdown.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            self._close_listener(listener)
+        if self._accept_thread is not None:
+            if self._accept_thread is not threading.current_thread():
+                self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=self.drain_timeout_s
+            )
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        self.service.close()
+
+    def __enter__(self) -> "JumpPoseServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                break  # listener closed by close()/shutdown request
+            conn.settimeout(self.idle_timeout_s)
+            with self._connections_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="jumppose-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn.makefile("rb") as reader:
+                while not self._shutdown.is_set():
+                    try:
+                        frame = read_frame(
+                            reader, max_payload_bytes=self.max_payload_bytes
+                        )
+                    except ProtocolError as exc:
+                        self._reply_error(conn, exc.code, str(exc))
+                        if exc.recoverable:
+                            continue
+                        break  # framing lost — drop this connection
+                    if frame is None:
+                        break  # clean end-of-stream
+                    with self._inflight_cv:
+                        self._inflight += 1
+                    try:
+                        keep_going = self._serve_frame(conn, frame)
+                    finally:
+                        with self._inflight_cv:
+                            self._inflight -= 1
+                            self._inflight_cv.notify_all()
+                    if not keep_going:
+                        break
+        except OSError:
+            pass  # peer vanished mid-write; nothing left to tell it
+        finally:
+            with self._connections_lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _serve_frame(self, conn: socket.socket, frame) -> bool:
+        """Handle one well-framed request; False ends the connection."""
+        request_type = frame.header.get("type")
+        if not isinstance(request_type, str):
+            self._reply_error(
+                conn, "bad-request", "header is missing a string 'type'"
+            )
+            return True
+        handler = self._HANDLERS.get(request_type)
+        if handler is None:
+            self._reply_error(
+                conn,
+                "bad-request",
+                f"unknown request type {request_type!r} "
+                f"(expected one of {sorted(self._HANDLERS)})",
+            )
+            return True
+        with Timer() as timer:
+            try:
+                header, payload, keep_going = handler(self, frame)
+            except ProtocolError as exc:
+                self._reply_error(conn, exc.code, str(exc))
+                return exc.recoverable
+            except ReproError as exc:
+                # a library failure for this request, not a server failure
+                self._reply_error(conn, type(exc).__name__, str(exc))
+                return True
+            except Exception as exc:
+                # never let an unexpected bug kill the connection thread
+                # with a bare traceback: report, then close (the request
+                # state is unknown, so the connection is not kept)
+                self._reply_error(
+                    conn, "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+                return False
+        header.setdefault("latency_s", timer.elapsed)
+        with self._profile_lock:
+            self.request_profile.add(request_type, timer.elapsed)
+            self.requests_served += 1
+        try:
+            send_frame(conn, header, payload)
+        except ProtocolError as exc:
+            # the reply itself is unshippable (e.g. a result set beyond
+            # the payload ceiling): say so instead of dying silently
+            self._reply_error(conn, exc.code, str(exc))
+            return False
+        if request_type == "shutdown":
+            # only after the bye reply is on the wire: waking
+            # serve_forever() any earlier lets close() drop this
+            # connection mid-reply
+            self._initiate_shutdown()
+        return keep_going
+
+    def _reply_error(
+        self, conn: socket.socket, code: str, message: str
+    ) -> None:
+        with self._profile_lock:
+            self.errors_served += 1
+        try:
+            send_frame(
+                conn, {"type": "error", "code": code, "message": message}
+            )
+        except OSError:
+            pass  # best effort: the peer may already be gone
+
+    # ------------------------------------------------------------------
+    # Request handlers — each returns (header, payload, keep_connection)
+    # ------------------------------------------------------------------
+    def _handle_ping(self, frame):
+        header: "dict[str, object]" = {
+            "type": "pong",
+            "protocol_version": PROTOCOL_VERSION,
+            "model_schema": self.service.metadata.get("schema"),
+            "jobs": self.service.jobs,
+        }
+        if "echo" in frame.header:
+            header["echo"] = frame.header["echo"]
+        return header, b"", True
+
+    def _results_reply(self, results) -> "tuple[dict[str, object], bytes, bool]":
+        # results ride the payload channel, not the JSON header: the
+        # header is capped at 1 MiB while a directory of long clips can
+        # legitimately exceed it
+        payload = json.dumps(
+            [clip_result_to_wire(result) for result in results],
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return {"type": "result", "count": len(results)}, payload, True
+
+    def _handle_analyze_clips(self, frame):
+        from repro.synth.io import clip_from_bytes
+
+        clips = [clip_from_bytes(blob) for blob in unpack_blobs(frame.payload)]
+        return self._results_reply(self.service.analyze_clips(clips))
+
+    def _handle_analyze_paths(self, frame):
+        paths = frame.header.get("paths")
+        if not isinstance(paths, list) or not all(
+            isinstance(path, str) for path in paths
+        ):
+            raise ProtocolError(
+                "'paths' must be a list of strings",
+                code="bad-request",
+                recoverable=True,
+            )
+        return self._results_reply(self.service.analyze_paths(paths))
+
+    def _handle_analyze_directory(self, frame):
+        directory = frame.header.get("directory")
+        if not isinstance(directory, str):
+            raise ProtocolError(
+                "'directory' must be a string",
+                code="bad-request",
+                recoverable=True,
+            )
+        return self._results_reply(self.service.analyze_directory(directory))
+
+    def _handle_stats(self, frame):
+        with self._profile_lock:
+            server_stats = {
+                "requests": self.requests_served,
+                "errors": self.errors_served,
+                "request_stages": self.request_profile.as_dict(),
+            }
+        header = {
+            "type": "stats",
+            "service": self.service.stats_snapshot(),
+            "server": server_stats,
+        }
+        return header, b"", True
+
+    def _initiate_shutdown(self) -> None:
+        """Stop the accept loop and wake :meth:`serve_forever`."""
+        self._shutdown.set()
+        listener = self._listener
+        if listener is not None:
+            self._close_listener(listener)
+
+    def _handle_shutdown(self, frame):
+        # the actual shutdown runs in _serve_frame, after the reply is
+        # sent; here we only acknowledge
+        return {"type": "bye"}, b"", False
+
+    _HANDLERS = {
+        "ping": _handle_ping,
+        "analyze_clips": _handle_analyze_clips,
+        "analyze_paths": _handle_analyze_paths,
+        "analyze_directory": _handle_analyze_directory,
+        "stats": _handle_stats,
+        "shutdown": _handle_shutdown,
+    }

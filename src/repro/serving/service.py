@@ -16,7 +16,9 @@ the request list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import threading
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -36,20 +38,9 @@ if TYPE_CHECKING:
 _WORKER_ANALYZER: "JumpPoseAnalyzer | None" = None
 
 
-def _load_service_analyzer(
-    artifact_path: str, decode: "str | None"
-) -> JumpPoseAnalyzer:
-    analyzer = load_analyzer(artifact_path)
-    if decode is not None:
-        analyzer = analyzer.with_classifier(
-            replace(analyzer.classifier.config, decode=decode)
-        )
-    return analyzer
-
-
 def _service_init(artifact_path: str, decode: "str | None") -> None:
     global _WORKER_ANALYZER
-    _WORKER_ANALYZER = _load_service_analyzer(artifact_path, decode)
+    _WORKER_ANALYZER = load_analyzer(artifact_path, decode=decode)
 
 
 def _handle_clip(
@@ -86,20 +77,31 @@ def _worker_path_batch(batch: "list[str]"):
     return [_handle_path(_WORKER_ANALYZER, path) for path in batch]
 
 
+#: Per-clip latencies kept for quantile estimates; counters stay exact
+#: forever, but a server that lives for millions of clips must not hold
+#: (or re-sort) an unbounded history on every ``stats`` request.
+LATENCY_WINDOW = 4096
+
+
 @dataclass
 class ServiceStats:
     """Accumulated request accounting for one service lifetime.
 
     ``wall_s`` is parent-side wall-clock across dispatches; ``latencies_s``
     are per-clip handling times measured inside the workers (decode plus,
-    for path requests, the clip load).  ``profile`` merges the workers'
-    per-stage reports, so its totals are CPU-seconds across workers.
+    for path requests, the clip load), kept as a trailing window of the
+    most recent :data:`LATENCY_WINDOW` clips so a long-lived server's
+    memory stays bounded — quantiles and the mean describe recent traffic.
+    ``profile`` merges the workers' per-stage reports, so its totals are
+    CPU-seconds across workers.
     """
 
     clips: int = 0
     frames: int = 0
     wall_s: float = 0.0
-    latencies_s: "list[float]" = field(default_factory=list)
+    latencies_s: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
     profile: ProfileReport = field(default_factory=ProfileReport)
 
     @property
@@ -196,6 +198,10 @@ class JumpPoseService:
         self.stats = ServiceStats()
         self._analyzer: "JumpPoseAnalyzer | None" = None
         self._pool = None
+        # one dispatch at a time: stats accumulation and pool.map are not
+        # re-entrant, and the network front serves many connection threads
+        # against one service
+        self._dispatch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -208,8 +214,8 @@ class JumpPoseService:
         if self.is_running:
             return self
         if self.jobs == 1:
-            self._analyzer = _load_service_analyzer(
-                str(self.artifact_path), self.decode
+            self._analyzer = load_analyzer(
+                self.artifact_path, decode=self.decode
             )
         else:
             import multiprocessing
@@ -222,11 +228,29 @@ class JumpPoseService:
         return self
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-        self._analyzer = None
+        """Stop serving and join the worker pool.
+
+        Always runs to completion: the pool reference is dropped first so
+        a failure mid-teardown cannot leave the service half-running, and
+        if the graceful close/join is interrupted the pool is terminated
+        so worker processes are never leaked.  Safe to call twice, and
+        called by ``__exit__`` even when a request raised inside the
+        ``with`` block.  Takes the dispatch lock, so an in-flight request
+        from another thread drains before teardown instead of
+        dereferencing a half-closed pool.
+        """
+        with self._dispatch_lock:
+            pool, self._pool = self._pool, None
+            self._analyzer = None
+        if pool is None:
+            return
+        try:
+            pool.close()
+            pool.join()
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
 
     def __enter__(self) -> "JumpPoseService":
         return self.start()
@@ -251,6 +275,16 @@ class JumpPoseService:
             [str(path) for path in paths], _worker_path_batch, _handle_path
         )
 
+    def stats_snapshot(self) -> "dict[str, object]":
+        """A consistent ``stats.as_dict()`` taken under the dispatch lock.
+
+        Reading ``stats`` directly while another thread dispatches races
+        the accumulation loop (the latency deque must not be iterated
+        mid-append); the network front's ``stats`` request uses this.
+        """
+        with self._dispatch_lock:
+            return self.stats.as_dict()
+
     def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
         """Serve every ``*.npz`` clip under ``directory``, sorted by name."""
         directory = Path(directory)
@@ -260,10 +294,19 @@ class JumpPoseService:
         return self.analyze_paths(paths)
 
     def _dispatch(self, items: list, pool_fn, inline_fn) -> "list[ClipResult]":
-        if not self.is_running:
-            raise ModelError("service is not running; call start() first")
         if not items:
             return []
+        with self._dispatch_lock:
+            # checked under the lock: a concurrent close() drains here and
+            # then nulls the pool, so a stale is_running answer can't let
+            # a request dereference torn-down workers
+            if not self.is_running:
+                raise ModelError("service is not running; call start() first")
+            return self._dispatch_locked(items, pool_fn, inline_fn)
+
+    def _dispatch_locked(
+        self, items: list, pool_fn, inline_fn
+    ) -> "list[ClipResult]":
         with Timer() as wall:
             if self._pool is not None:
                 batches = [

@@ -8,7 +8,9 @@ without this package.
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -24,11 +26,8 @@ from repro.synth.variation import Fault, SubjectProfile
 _FORMAT_VERSION = 1
 
 
-def save_clip(clip: JumpClip, path: "str | Path") -> Path:
-    """Write a clip to ``path`` (``.npz`` appended if missing)."""
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+def _write_clip_archive(target, clip: JumpClip) -> None:
+    """Write a clip archive to ``target`` (a path or binary file object)."""
     joints_names = sorted(clip.joints[0]) if clip.joints else []
     joints_array = np.array(
         [[clip.joints[t][name] for name in joints_names] for t in range(len(clip))]
@@ -64,7 +63,7 @@ def save_clip(clip: JumpClip, path: "str | Path") -> Path:
         ],
     }
     np.savez_compressed(
-        path,
+        target,
         frames=np.stack(clip.frames),
         background=clip.background,
         silhouettes=np.stack(clip.silhouettes),
@@ -75,15 +74,27 @@ def save_clip(clip: JumpClip, path: "str | Path") -> Path:
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         ),
     )
+
+
+def save_clip(clip: JumpClip, path: "str | Path") -> Path:
+    """Write a clip to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    _write_clip_archive(path, clip)
     return path
 
 
-def load_clip(path: "str | Path") -> JumpClip:
-    """Read a clip written by :func:`save_clip`."""
-    path = Path(path)
-    if not path.exists():
-        raise DatasetError(f"clip archive not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
+def clip_to_bytes(clip: JumpClip) -> bytes:
+    """Serialise a clip to in-memory archive bytes (wire transport)."""
+    buffer = io.BytesIO()
+    _write_clip_archive(buffer, clip)
+    return buffer.getvalue()
+
+
+def _read_clip_archive(source) -> JumpClip:
+    """Read a clip archive from ``source`` (a path or binary file object)."""
+    with np.load(source, allow_pickle=False) as archive:
         metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
         if metadata.get("version") != _FORMAT_VERSION:
             raise DatasetError(
@@ -133,3 +144,20 @@ def load_clip(path: "str | Path") -> JumpClip:
         motion=motion,
         profile=profile,
     )
+
+
+def load_clip(path: "str | Path") -> JumpClip:
+    """Read a clip written by :func:`save_clip`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"clip archive not found: {path}")
+    return _read_clip_archive(path)
+
+
+def clip_from_bytes(data: bytes) -> JumpClip:
+    """Invert :func:`clip_to_bytes`; junk bytes raise ``DatasetError``."""
+    try:
+        return _read_clip_archive(io.BytesIO(data))
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError,
+            json.JSONDecodeError, UnicodeDecodeError, TypeError) as exc:
+        raise DatasetError(f"unreadable clip archive bytes: {exc}") from exc

@@ -8,6 +8,8 @@ use these session fixtures freely.
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
@@ -57,3 +59,37 @@ def front_end():
 def rng():
     """A fresh deterministic generator per test."""
     return np.random.default_rng(1234)
+
+
+#: Default wall-clock budget for a ``network``-marked test — generous,
+#: because the guard exists to catch hung sockets, not slow machines.
+NETWORK_TEST_TIMEOUT_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _network_timeout_guard(request):
+    """Hard per-test timeout for ``@pytest.mark.network`` tests.
+
+    A wedged socket read would otherwise hang tier-1 forever; SIGALRM
+    interrupts the main thread and fails the test instead.  Override the
+    budget with ``@pytest.mark.network(timeout=N)``.  On platforms
+    without SIGALRM the guard degrades to a no-op.
+    """
+    marker = request.node.get_closest_marker("network")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", NETWORK_TEST_TIMEOUT_S))
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"network test exceeded its {seconds}s timeout guard", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

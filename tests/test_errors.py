@@ -16,6 +16,9 @@ def test_all_errors_derive_from_repro_error():
         "LearningError",
         "DatasetError",
         "ScoringError",
+        "ProtocolError",
+        "TransportError",
+        "RemoteError",
     ):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
@@ -28,3 +31,15 @@ def test_repro_error_is_an_exception():
 def test_errors_are_catchable_as_base():
     with pytest.raises(errors.ReproError):
         raise errors.SkeletonError("boom")
+
+
+def test_protocol_error_carries_code_and_recoverability():
+    exc = errors.ProtocolError("junk header", code="bad-header",
+                               recoverable=True)
+    assert exc.code == "bad-header"
+    assert exc.recoverable
+    assert not errors.ProtocolError("lost framing").recoverable
+
+
+def test_remote_error_preserves_the_server_code():
+    assert errors.RemoteError("boom", code="bad-request").code == "bad-request"

@@ -1,0 +1,233 @@
+"""Network front conformance: the socket changes nothing but the transport.
+
+The contract under test: a clip analyzed through ``JumpPoseClient``
+against a running ``JumpPoseServer`` yields **bit-identical**
+``ClipResult`` sequences to local ``JumpPoseAnalyzer.analyze_clips`` —
+same poses, same posteriors to the last ulp — plus deterministic
+per-client ordering under concurrency, graceful shutdown, and the
+client's connect/retry/timeout semantics.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError, RemoteError, TransportError
+from repro.serving.client import JumpPoseClient
+from repro.serving.net import JumpPoseServer
+from repro.serving.protocol import PROTOCOL_VERSION
+from repro.synth.io import save_clip
+
+pytestmark = pytest.mark.network
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, analyzer):
+    path = tmp_path_factory.mktemp("net") / "model.npz"
+    return analyzer.save(path)
+
+
+@pytest.fixture(scope="module")
+def clips_dir(tmp_path_factory, dataset):
+    directory = tmp_path_factory.mktemp("net-clips")
+    for clip in dataset.test:
+        save_clip(clip, directory / f"{clip.clip_id}.npz")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def server(artifact):
+    """One served artifact on an ephemeral loopback port."""
+    with JumpPoseServer(artifact) as served:
+        yield served
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with JumpPoseClient(host, port, timeout_s=20.0) as connected:
+        yield connected
+
+
+def test_ping_identifies_the_server(client):
+    pong = client.ping(echo={"tag": 7})
+    assert pong["type"] == "pong"
+    assert pong["protocol_version"] == PROTOCOL_VERSION
+    assert pong["echo"] == {"tag": 7}
+    assert pong["latency_s"] >= 0
+
+
+def test_inline_clips_round_trip_bit_identical(client, analyzer, dataset):
+    """The acceptance criterion: remote == local, to the last bit."""
+    remote = client.analyze_clips(dataset.test)
+    local = analyzer.analyze_clips(list(dataset.test))
+    assert remote == local
+    for remote_clip, local_clip in zip(remote, local):
+        for ours, theirs in zip(remote_clip.frames, local_clip.frames):
+            assert ours.posterior == theirs.posterior  # exact, not approx
+
+
+def test_paths_and_directory_round_trip(client, analyzer, clips_dir, dataset):
+    by_id = {clip.clip_id: clip for clip in dataset.test}
+    paths = sorted(clips_dir.glob("*.npz"))
+    via_paths = client.analyze_paths(paths)
+    via_directory = client.analyze_directory(clips_dir)
+    assert via_paths == via_directory
+    assert [result.clip_id for result in via_paths] == sorted(by_id)
+    for result in via_paths:
+        assert result == analyzer.analyze_clip(by_id[result.clip_id])
+
+
+def test_stats_reflect_served_traffic(client, dataset):
+    clip = dataset.test[0]
+    client.ping()
+    client.analyze_clips([clip])
+    stats = client.stats()
+    assert stats["type"] == "stats"
+    assert stats["service"]["clips"] >= 1
+    assert stats["service"]["latency_p95_s"] >= 0
+    server_side = stats["server"]
+    # the ping + analyze above; the stats request itself is only counted
+    # after its handler has already built the reply
+    assert server_side["requests"] >= 2
+    assert "analyze_clips" in server_side["request_stages"]
+    assert "ping" in server_side["request_stages"]
+
+
+def test_remote_library_errors_keep_the_connection(client, tmp_path):
+    with pytest.raises(RemoteError, match="DatasetError"):
+        client.analyze_paths([tmp_path / "missing.npz"])
+    with pytest.raises(RemoteError, match="no .npz clips"):
+        client.analyze_directory(tmp_path)
+    # the same connection still serves well-formed requests
+    assert client.ping()["type"] == "pong"
+
+
+@pytest.mark.network(timeout=180)  # 8 serialized decodes under suite load
+def test_concurrent_clients_get_per_client_order(server, analyzer, dataset):
+    """N clients, interleaved requests, each sees its own deterministic
+    sequence back."""
+    host, port = server.address
+    clips = list(dataset.test)
+    expected = {clip.clip_id: analyzer.analyze_clip(clip) for clip in clips}
+    n_clients, rounds = 4, 2
+    failures: "list[str]" = []
+
+    def run_client(index: int) -> None:
+        # client i walks the clip list starting at offset i, so the
+        # interleaving across clients differs from any shared order
+        sequence = [clips[(index + r) % len(clips)] for r in range(rounds)]
+        try:
+            with JumpPoseClient(host, port, timeout_s=20.0) as remote:
+                for clip in sequence:
+                    (result,) = remote.analyze_clips([clip])
+                    if result != expected[clip.clip_id]:
+                        failures.append(
+                            f"client {index}: mismatch on {clip.clip_id}"
+                        )
+        except Exception as exc:  # surfaced after join
+            failures.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=run_client, args=(index,))
+        for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+
+
+def test_shutdown_request_stops_the_server(artifact):
+    server = JumpPoseServer(artifact).start()
+    host, port = server.address
+    with JumpPoseClient(host, port, timeout_s=10.0) as remote:
+        assert remote.shutdown()["type"] == "bye"
+    deadline = time.monotonic() + 10.0
+    while server.is_running and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert not server.is_running
+    server.close()  # idempotent
+    with pytest.raises(TransportError):
+        JumpPoseClient(host, port, timeout_s=1.0,
+                       connect_retries=1, retry_delay_s=0.01).connect()
+
+
+def test_client_retries_until_the_listener_is_up(artifact):
+    """The serve-process-still-starting race: bind now, listen later."""
+    placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    placeholder.bind(("127.0.0.1", 0))
+    host, port = placeholder.getsockname()
+
+    def listen_late() -> None:
+        time.sleep(0.2)
+        placeholder.listen(1)
+
+    thread = threading.Thread(target=listen_late)
+    thread.start()
+    try:
+        client = JumpPoseClient(
+            host, port, timeout_s=5.0, connect_retries=10, retry_delay_s=0.05
+        )
+        client.connect()
+        assert client.is_connected
+        client.close()
+    finally:
+        thread.join()
+        placeholder.close()
+
+
+def test_connect_failure_raises_transport_error():
+    # a port from the ephemeral range with nothing bound behind it
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    _, dead_port = probe.getsockname()
+    probe.close()
+    client = JumpPoseClient(
+        "127.0.0.1", dead_port, timeout_s=1.0,
+        connect_retries=1, retry_delay_s=0.01,
+    )
+    with pytest.raises(TransportError, match="could not connect"):
+        client.connect()
+
+
+def test_cli_analyze_connect(server, dataset, tmp_path, capsys):
+    host, port = server.address
+    clip = dataset.test[0]
+    clip_path = save_clip(clip, tmp_path / "remote-clip.npz")
+    code = main([
+        "analyze", str(clip_path), "--connect", f"{host}:{port}",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accuracy vs ground truth" in out
+
+
+def test_cli_connect_endpoint_validation(tmp_path, dataset):
+    clip_path = save_clip(dataset.test[0], tmp_path / "clip.npz")
+    with pytest.raises(ConfigurationError, match="HOST:PORT"):
+        main(["analyze", str(clip_path), "--connect", "nonsense"])
+
+
+def test_cli_serve_port_rejects_clips_dir(tmp_path):
+    """--clips-dir would be silently ignored in network mode."""
+    with pytest.raises(ConfigurationError, match="clips-dir"):
+        main(["serve", "--model", str(tmp_path / "model.npz"),
+              "--port", "0", "--clips-dir", str(tmp_path)])
+
+
+def test_cli_connect_rejects_local_model_flags(tmp_path, dataset):
+    """--model/--decode would be silently meaningless with --connect."""
+    clip_path = save_clip(dataset.test[0], tmp_path / "clip.npz")
+    with pytest.raises(ConfigurationError, match="on the server"):
+        main(["analyze", str(clip_path), "--connect", "127.0.0.1:7345",
+              "--decode", "greedy"])
+    with pytest.raises(ConfigurationError, match="on the server"):
+        main(["analyze", str(clip_path), "--connect", "127.0.0.1:7345",
+              "--model", str(tmp_path / "model.npz")])

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.dbnclassifier import ClassifierConfig
-from repro.errors import ConfigurationError, ModelError
+from repro.errors import ConfigurationError, DatasetError, ModelError
 from repro.serving.service import JumpPoseService, ServiceStats
 from repro.synth.io import save_clip
 
@@ -111,8 +111,53 @@ def test_pooled_service_matches_in_process(artifact, clips_dir, dataset):
     assert "decode" in pooled.stats.profile.stages
 
 
+def test_close_after_failed_request_always_joins(artifact, dataset):
+    """Regression: a raising request must not leave the service running.
+
+    ``close()`` (here via ``__exit__`` on the exception path) has to
+    tear the worker state down completely and stay idempotent, and the
+    service must be restartable afterwards.
+    """
+    service = JumpPoseService(artifact)
+    with pytest.raises(DatasetError):
+        with service:
+            service.analyze_paths(["definitely-not-a-clip.npz"])
+    assert not service.is_running
+    service.close()  # second close is a no-op, not an error
+    # the same instance restarts cleanly after the failure
+    with service:
+        results = service.analyze_clips([dataset.test[0]])
+    assert len(results) == 1
+    assert not service.is_running
+
+
+@pytest.mark.slow
+def test_pooled_close_after_worker_exception_joins_pool(artifact):
+    """A worker-side exception must not leak the multiprocessing pool."""
+    service = JumpPoseService(artifact, jobs=2, batch_size=1)
+    with pytest.raises(DatasetError):
+        with service:
+            service.analyze_paths(["gone-a.npz", "gone-b.npz"])
+    assert not service.is_running
+    assert service._pool is None  # joined and dropped, not leaked
+    service.close()
+
+
 def test_service_stats_empty_quantiles():
     stats = ServiceStats()
     assert stats.latency_mean_s == 0.0
     assert stats.latency_quantile(0.95) == 0.0
     assert stats.clip_throughput == 0.0
+
+
+def test_latency_history_is_bounded():
+    """A long-lived server must not hoard one float per clip forever."""
+    from repro.serving.service import LATENCY_WINDOW
+
+    stats = ServiceStats()
+    for index in range(LATENCY_WINDOW + 500):
+        stats.latencies_s.append(float(index))
+    assert len(stats.latencies_s) == LATENCY_WINDOW
+    # the window keeps the most recent latencies
+    assert stats.latencies_s[0] == 500.0
+    assert stats.latency_quantile(1.0) == float(LATENCY_WINDOW + 499)
