@@ -1,0 +1,132 @@
+"""HTTP gateway perf: what does the commodity transport cost, in JSON.
+
+The full-scale measurement (``--perf``) stands up a
+``JumpPoseHttpServer`` over a small fitted model on loopback, times
+``/v1/healthz`` and ``/v1/stats`` round-trips on one keep-alive
+connection (requests/second), times an inline ``/v1/analyze`` round
+trip against the same decode done locally (the delta is the transport
+overhead: base64 + JSON + HTTP framing), asserts floors set far below
+reference-machine rates, and writes ``BENCH_http.json`` at the repo
+root next to the other three artifacts.
+
+The model is fitted directly from synthetic feature vectors (the
+``test_perf_decode`` trick) — no training pipeline — but the analyzed
+clip is a real rendered studio clip, so the analyze numbers include the
+same vision front-end work on both sides of the comparison.  A smoke
+variant runs in tier-1 on a handful of requests: same measurement and
+artifact code paths, no floors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import Timer, best_of, write_bench_json
+from repro.serving.client import HttpJumpPoseClient
+from repro.serving.http import JumpPoseHttpServer
+from test_perf_decode import _bench_analyzer, _fitted_models
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_http.json"
+
+#: Requests/second floors for the full-scale run — loopback keep-alive
+#: HTTP easily clears thousands/s, so these only trip on real
+#: regressions (reference machine measured ~4.5k healthz, ~3.5k stats).
+FLOORS_RPS = {
+    "healthz": 200.0,
+    "stats": 100.0,
+}
+
+#: The analyze round trip may cost at most this much on top of the same
+#: decode done locally (base64 + JSON + HTTP framing for one clip).
+MAX_ANALYZE_OVERHEAD_S = 2.0
+
+
+def _measure(
+    n_requests: int, repeats: int, tmp_path: Path
+) -> "dict[str, dict[str, float]]":
+    """Time gateway round-trips against one served artifact."""
+    from repro.synth.dataset import make_clip
+
+    observation, transitions = _fitted_models()
+    analyzer = _bench_analyzer(observation, transitions)
+    artifact = analyzer.save(tmp_path / "bench-model.npz")
+    clip = make_clip("http-bench", seed=5, target_frames=36)
+
+    results: "dict[str, dict[str, float]]" = {}
+    with JumpPoseHttpServer(artifact) as gateway:
+        host, port = gateway.address
+        with HttpJumpPoseClient(host, port, timeout_s=30.0) as client:
+            for name, call in (
+                ("healthz", client.healthz),
+                ("stats", client.stats),
+            ):
+                def burst() -> None:
+                    for _ in range(n_requests):
+                        call()
+
+                seconds = best_of(burst, repeats)
+                results[name] = {
+                    "seconds": seconds,
+                    "requests": float(n_requests),
+                    "requests_per_s": n_requests / seconds,
+                }
+
+            with Timer() as local_timer:
+                local = analyzer.analyze_clips([clip])
+            with Timer() as remote_timer:
+                remote = client.analyze_clips([clip])
+            # the overhead number is only meaningful if the transport
+            # changed nothing about the answer
+            assert remote == local
+            results["analyze_one_clip"] = {
+                "local_s": local_timer.elapsed,
+                "http_s": remote_timer.elapsed,
+                "overhead_s": remote_timer.elapsed - local_timer.elapsed,
+            }
+    return results
+
+
+def test_http_bench_smoke(tmp_path):
+    """Tier-1 variant: a handful of requests, same code paths, no floors."""
+    results = _measure(n_requests=3, repeats=1, tmp_path=tmp_path)
+    for name in FLOORS_RPS:
+        assert results[name]["requests_per_s"] > 0
+    assert results["analyze_one_clip"]["http_s"] > 0
+    path = write_bench_json(
+        tmp_path / "BENCH_http.json", results, context={"requests": 3}
+    )
+    payload = json.loads(path.read_text())
+    assert payload["benchmarks"]["healthz"]["seconds"] > 0
+
+
+@pytest.mark.perf
+def test_http_bench_full(tmp_path):
+    """Full-scale run: floors asserted, BENCH_http.json written."""
+    n_requests, repeats = 200, 3
+    results = _measure(n_requests=n_requests, repeats=repeats, tmp_path=tmp_path)
+    write_bench_json(
+        BENCH_PATH,
+        results,
+        context={
+            "requests": n_requests,
+            "repeats": repeats,
+            "transport": "HTTP/1.1 keep-alive, loopback",
+            "floors_rps": FLOORS_RPS,
+            "max_analyze_overhead_s": MAX_ANALYZE_OVERHEAD_S,
+        },
+    )
+    for name, floor in FLOORS_RPS.items():
+        measured = results[name]["requests_per_s"]
+        assert measured >= floor, (
+            f"{name}: {measured:.0f} req/s fell below the "
+            f"{floor:.0f} req/s floor"
+        )
+    overhead = results["analyze_one_clip"]["overhead_s"]
+    assert overhead <= MAX_ANALYZE_OVERHEAD_S, (
+        f"HTTP analyze overhead {overhead:.3f}s exceeds the "
+        f"{MAX_ANALYZE_OVERHEAD_S}s ceiling"
+    )

@@ -17,10 +17,15 @@ pose timeline of one clip; ``evaluate`` runs the full paper protocol;
 drives the long-lived :class:`~repro.serving.service.JumpPoseService`
 over a directory (or a stdin stream) of clips with no retraining, or —
 with ``--port`` — binds the TCP network front so remote producers can
-stream clips in over :class:`~repro.serving.client.JumpPoseClient`::
+stream clips in over :class:`~repro.serving.client.JumpPoseClient`, or —
+with ``--http-port`` — the HTTP/JSON gateway for producers that speak
+HTTP (see ``docs/protocol.md``)::
 
     python -m repro.cli serve --model model.npz --port 7345 --jobs 4
     python -m repro.cli analyze clips/clip-00.npz --connect 127.0.0.1:7345
+
+    python -m repro.cli serve --model model.npz --http-port 8080
+    python -m repro.cli analyze clips/clip-00.npz --connect-http 127.0.0.1:8080
 
 ``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
 without it they fall back to training a small throwaway model.
@@ -78,8 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--connect", metavar="HOST:PORT", default=None,
                          help="send the clip to a running `serve --port` "
                               "server instead of decoding locally")
+    analyze.add_argument("--connect-http", metavar="HOST:PORT", default=None,
+                         help="send the clip to a running `serve --http-port` "
+                              "gateway instead of decoding locally")
     analyze.add_argument("--timeout", type=float, default=30.0,
-                         help="socket timeout in seconds (with --connect)")
+                         help="socket timeout in seconds (with --connect "
+                              "or --connect-http)")
     analyze.add_argument("--train-seed", type=int, default=0)
     analyze.add_argument("--train-clips", type=int, default=4)
     analyze.add_argument("--decode", choices=DECODE_MODES, default=None)
@@ -111,8 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=None,
                        help="listen on this TCP port instead of serving "
                             "local clips (0 picks an ephemeral port)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="listen on this port with the HTTP/JSON gateway "
+                            "instead of the JPSE socket front (0 picks an "
+                            "ephemeral port)")
     serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address for --port (default loopback)")
+                       help="bind address for --port/--http-port "
+                            "(default loopback)")
+    serve.add_argument("--shutdown-token", default=None,
+                       help="enable POST /v1/shutdown on the HTTP gateway, "
+                            "guarded by this token (default: disabled)")
     serve.add_argument("--jobs", type=int, default=1,
                        help="long-lived worker processes")
     serve.add_argument("--batch-size", type=int, default=4,
@@ -179,12 +196,12 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_endpoint(endpoint: str) -> "tuple[str, int]":
-    """Split an ``analyze --connect`` HOST:PORT argument."""
+def _parse_endpoint(endpoint: str, flag: str = "--connect") -> "tuple[str, int]":
+    """Split an ``analyze --connect[-http]`` HOST:PORT argument."""
     host, separator, port = endpoint.rpartition(":")
     if not separator or not host or not port.isdigit():
         raise ConfigurationError(
-            f"--connect expects HOST:PORT, got {endpoint!r}"
+            f"{flag} expects HOST:PORT, got {endpoint!r}"
         )
     return host, int(port)
 
@@ -201,18 +218,29 @@ def _print_clip_result(result) -> None:
 
 def _command_analyze(args: argparse.Namespace) -> int:
     clip = load_clip(args.clip)
-    if args.connect is not None:
-        from repro.serving.client import JumpPoseClient
+    if args.connect is not None and args.connect_http is not None:
+        raise ConfigurationError(
+            "--connect and --connect-http are mutually exclusive "
+            "(pick one transport)"
+        )
+    if args.connect is not None or args.connect_http is not None:
+        from repro.serving.client import HttpJumpPoseClient, JumpPoseClient
 
+        flag = "--connect" if args.connect is not None else "--connect-http"
         # decoding happens server-side with the server's model: local
         # model/decode flags would be silently meaningless, so refuse them
         if args.model is not None or args.decode is not None:
             raise ConfigurationError(
-                "--connect decodes on the server; --model/--decode do not "
-                "apply (configure them on the `serve` process instead)"
+                f"{flag} decodes on the server; --model/--decode do not "
+                f"apply (configure them on the `serve` process instead)"
             )
-        host, port = _parse_endpoint(args.connect)
-        with JumpPoseClient(host, port, timeout_s=args.timeout) as client:
+        if args.connect is not None:
+            host, port = _parse_endpoint(args.connect)
+            client_type = JumpPoseClient
+        else:
+            host, port = _parse_endpoint(args.connect_http, "--connect-http")
+            client_type = HttpJumpPoseClient
+        with client_type(host, port, timeout_s=args.timeout) as client:
             result = client.analyze_clips([clip])[0]
     else:
         analyzer = _analyzer_for(
@@ -255,22 +283,70 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.port is not None and args.http_port is not None:
+        raise ConfigurationError(
+            "--port and --http-port are mutually exclusive (run two serve "
+            "processes to offer both fronts)"
+        )
+    if args.shutdown_token is not None and args.http_port is None:
+        # the JPSE front and local mode have no shutdown endpoint; a
+        # silently ignored token would look armed without being so
+        raise ConfigurationError(
+            "--shutdown-token only applies to the HTTP gateway "
+            "(add --http-port)"
+        )
+    if args.http_port is not None:
+        return _serve_http(args)
     if args.port is not None:
         return _serve_network(args)
     return _serve_local(args)
+
+
+def _reject_clips_dir_for(flag: str, args: argparse.Namespace) -> None:
+    """Clips come from the network with a bound front; a silently ignored
+    directory would look like a hung serve run."""
+    if args.clips_dir is not None:
+        raise ConfigurationError(
+            f"--clips-dir does not apply with {flag} (clients send clips "
+            f"over the network; drop {flag} to serve a local directory)"
+        )
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """Bind the HTTP gateway; block until a shutdown request (or Ctrl-C)."""
+    from repro.serving.http import JumpPoseHttpServer
+
+    _reject_clips_dir_for("--http-port", args)
+    gateway = JumpPoseHttpServer(
+        args.model,
+        host=args.host,
+        port=args.http_port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        decode=args.decode,
+        shutdown_token=args.shutdown_token,
+    )
+    try:
+        gateway.start()
+        host, port = gateway.address
+        print(f"serving {args.model} on http://{host}:{port}/v1 "
+              f"(jobs={args.jobs}, batch-size={args.batch_size}, "
+              f"shutdown={'enabled' if args.shutdown_token else 'disabled'})")
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.close()
+        print()
+        print(gateway.service.stats.render())
+    return 0
 
 
 def _serve_network(args: argparse.Namespace) -> int:
     """Bind a TCP front; block until a shutdown request (or Ctrl-C)."""
     from repro.serving.net import JumpPoseServer
 
-    if args.clips_dir is not None:
-        # clips come from the network in this mode; a silently ignored
-        # directory would look like a hung serve run
-        raise ConfigurationError(
-            "--clips-dir does not apply with --port (clients send clips "
-            "over the socket; drop --port to serve a local directory)"
-        )
+    _reject_clips_dir_for("--port", args)
 
     server = JumpPoseServer(
         args.model,

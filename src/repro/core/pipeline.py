@@ -128,14 +128,36 @@ class JumpPoseAnalyzer:
     # keep core free of a hard serving dependency)
     # ------------------------------------------------------------------
     def save(self, path: "str | Path") -> Path:
-        """Write this trained system as a versioned model artifact."""
+        """Write this trained system as a versioned model artifact.
+
+        Args:
+            path: target file; ``.npz`` is appended if missing.
+
+        Returns:
+            The path actually written.
+
+        Raises:
+            ModelError: the analyzer's models are not fitted.
+        """
         from repro.serving.artifacts import save_analyzer
 
         return save_analyzer(self, path)
 
     @classmethod
     def load(cls, path: "str | Path") -> "JumpPoseAnalyzer":
-        """Reload a saved artifact; predictions are bit-identical."""
+        """Reload a saved artifact; predictions are bit-identical.
+
+        Args:
+            path: a file written by :meth:`save`.
+
+        Returns:
+            A trained analyzer reproducing the saved one's predictions
+            to the last bit in every decode mode.
+
+        Raises:
+            ModelError: missing file, corrupt archive, foreign schema,
+                or artifact-version mismatch.
+        """
         from repro.serving.artifacts import load_analyzer
 
         return load_analyzer(path)
@@ -157,9 +179,20 @@ class JumpPoseAnalyzer:
     ) -> "StreamingSession":
         """Open a frame-at-a-time decoding session against a background.
 
-        ``lag=0`` filters causally (bit-identical to batch ``filter``
-        decoding); ``lag=L`` emits each frame smoothed over the next
-        ``L`` observations.  See :mod:`repro.serving.streaming`.
+        Args:
+            background: the clip's background frame (RGB array), used
+                for silhouette extraction on every pushed frame.
+            lag: 0 filters causally (bit-identical to batch ``filter``
+                decoding); ``L > 0`` emits each frame smoothed over the
+                next ``L`` observations.  See
+                :mod:`repro.serving.streaming`.
+
+        Returns:
+            A :class:`~repro.serving.streaming.StreamingSession`
+            accepting raw RGB frames via ``push_frame``.
+
+        Raises:
+            ConfigurationError: ``lag`` is negative.
         """
         from repro.serving.streaming import StreamingSession
 
@@ -222,6 +255,13 @@ class JumpPoseAnalyzer:
                 ``frontend`` / ``decode`` split survives pooled runs.
                 Merged totals are CPU-seconds summed across workers and
                 can exceed the pool's wall-clock.
+
+        Returns:
+            One :class:`~repro.core.results.ClipResult` per clip, in
+            input order.
+
+        Raises:
+            ConfigurationError: ``jobs`` is not positive.
         """
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")

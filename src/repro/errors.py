@@ -65,9 +65,14 @@ class TransportError(ReproError):
 class RemoteError(ReproError):
     """The serving peer reported a structured error for a request."""
 
-    def __init__(self, message: str, code: str = "server-error") -> None:
+    def __init__(self, message: str, code: str = "server-error",
+                 http_status: "int | None" = None) -> None:
         super().__init__(message)
+        #: short machine-readable reason, as reported by the server
         self.code = code
+        #: the HTTP status of the reply, when the peer was the HTTP
+        #: gateway; None for errors from the JPSE socket front
+        self.http_status = http_status
 
 
 class ScoringError(ReproError):

@@ -15,9 +15,17 @@ Three layers, bottom-up:
   JSON/binary wire format (frame codec, blob packing, result codec);
 * :mod:`repro.serving.net` — :class:`JumpPoseServer`, a threaded TCP
   front over :class:`JumpPoseService`;
-* :mod:`repro.serving.client` — :class:`JumpPoseClient`, the typed
-  remote counterpart of ``JumpPoseAnalyzer.analyze_clips`` with
-  connect/retry/timeout semantics.
+* :mod:`repro.serving.http` — :class:`JumpPoseHttpServer`, the
+  HTTP/1.1 + JSON gateway for producers that speak HTTP rather than
+  JPSE frames (browsers, load-balancers, ``curl``);
+* :mod:`repro.serving.client` — :class:`JumpPoseClient` and
+  :class:`HttpJumpPoseClient`, the typed remote counterparts of
+  ``JumpPoseAnalyzer.analyze_clips`` with shared connect/retry/timeout
+  semantics.
+
+The architecture, wire protocol, and operational semantics are
+documented under ``docs/`` (``architecture.md``, ``protocol.md``,
+``serving.md``).
 """
 
 from repro.serving.artifacts import (
@@ -27,7 +35,8 @@ from repro.serving.artifacts import (
     read_artifact_metadata,
     save_analyzer,
 )
-from repro.serving.client import JumpPoseClient
+from repro.serving.client import HttpJumpPoseClient, JumpPoseClient
+from repro.serving.http import JumpPoseHttpServer
 from repro.serving.net import JumpPoseServer
 from repro.serving.protocol import PROTOCOL_MAGIC, PROTOCOL_VERSION
 from repro.serving.service import JumpPoseService, ServiceStats
@@ -41,7 +50,9 @@ __all__ = [
     "load_analyzer",
     "read_artifact_metadata",
     "save_analyzer",
+    "HttpJumpPoseClient",
     "JumpPoseClient",
+    "JumpPoseHttpServer",
     "JumpPoseServer",
     "JumpPoseService",
     "ServiceStats",

@@ -1,25 +1,30 @@
-"""A typed client for the :mod:`repro.serving.net` wire protocol.
+"""Typed clients for both serving fronts: JPSE sockets and HTTP/JSON.
 
 :class:`JumpPoseClient` owns one TCP connection to a
-:class:`~repro.serving.net.JumpPoseServer` and exposes the request
-surface as methods returning real library types —
-:meth:`analyze_clips` hands back :class:`~repro.core.results.ClipResult`
-objects that compare equal to what a local
-``JumpPoseAnalyzer.analyze_clips`` produces (the conformance suite pins
-this bit-for-bit).
+:class:`~repro.serving.net.JumpPoseServer` and speaks the framed JPSE
+protocol; :class:`HttpJumpPoseClient` targets a
+:class:`~repro.serving.http.JumpPoseHttpServer` over HTTP/1.1 with the
+same retry/timeout semantics (shared via :class:`RetryingClientBase`).
+Both expose the request surface as methods returning real library types
+— ``analyze_clips`` hands back
+:class:`~repro.core.results.ClipResult` objects that compare equal to
+what a local ``JumpPoseAnalyzer.analyze_clips`` produces (the
+conformance suites pin this bit-for-bit).
 
-Failure taxonomy:
+Failure taxonomy, identical for both transports:
 
 * :class:`~repro.errors.TransportError` — could not connect (after the
   configured retries), the socket timed out, or the peer vanished;
 * :class:`~repro.errors.RemoteError` — the server replied with a
-  structured ``error`` frame (its ``code`` is preserved);
+  structured error (its ``code`` — and for HTTP the status — preserved);
 * :class:`~repro.errors.ProtocolError` — the server's bytes themselves
   were malformed (should never happen against a healthy server).
 """
 
 from __future__ import annotations
 
+import base64
+import http.client
 import json
 import socket
 import time
@@ -40,8 +45,8 @@ if TYPE_CHECKING:
     from repro.synth.dataset import JumpClip
 
 
-class JumpPoseClient:
-    """Connect, retry, time out — then speak the protocol.
+class RetryingClientBase:
+    """Connect-with-retry and timeout policy shared by both clients.
 
     Args:
         host / port: the server's bound address.
@@ -50,10 +55,6 @@ class JumpPoseClient:
             fails (covers the serve-process-still-starting race).
         retry_delay_s: initial back-off between attempts; doubles each
             retry.
-
-    The connection is opened lazily on the first request (or explicitly
-    via :meth:`connect`).  Use as a context manager, or call
-    :meth:`close`.
     """
 
     def __init__(
@@ -69,6 +70,66 @@ class JumpPoseClient:
         self.timeout_s = timeout_s
         self.connect_retries = connect_retries
         self.retry_delay_s = retry_delay_s
+
+    def _open_with_retry(self, open_once):
+        """Call ``open_once`` with exponential back-off on ``OSError``.
+
+        Returns:
+            Whatever ``open_once`` returns, on the first success.
+
+        Raises:
+            TransportError: every attempt failed; the last ``OSError``
+                is chained as the cause.
+        """
+        delay = self.retry_delay_s
+        last_error: "OSError | None" = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                return open_once()
+            except OSError as exc:
+                last_error = exc
+        raise TransportError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_retries + 1} attempts: {last_error}"
+        ) from last_error
+
+    def connect(self):
+        """Open the connection (subclasses implement)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Drop the connection (subclasses implement)."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        """Connect on entry, so ``with Client(...) as c`` is ready to use."""
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close on exit, even when the body raised."""
+        self.close()
+
+
+class JumpPoseClient(RetryingClientBase):
+    """Connect, retry, time out — then speak the JPSE wire protocol.
+
+    Constructor arguments are those of :class:`RetryingClientBase`.  The
+    connection is opened lazily on the first request (or explicitly via
+    :meth:`connect`).  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        connect_retries: int = 3,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        super().__init__(host, port, timeout_s, connect_retries, retry_delay_s)
         self._sock: "socket.socket | None" = None
         self._reader = None
 
@@ -77,32 +138,32 @@ class JumpPoseClient:
     # ------------------------------------------------------------------
     @property
     def is_connected(self) -> bool:
+        """True while a socket to the server is open."""
         return self._sock is not None
 
     def connect(self) -> "JumpPoseClient":
-        """Open the connection, retrying with exponential back-off."""
+        """Open the connection, retrying with exponential back-off.
+
+        Returns:
+            This client, connected.
+
+        Raises:
+            TransportError: no attempt could reach the server.
+        """
         if self._sock is not None:
             return self
-        delay = self.retry_delay_s
-        last_error: "OSError | None" = None
-        for attempt in range(self.connect_retries + 1):
-            if attempt:
-                time.sleep(delay)
-                delay *= 2
-            try:
-                self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout_s
-                )
-                self._reader = self._sock.makefile("rb")
-                return self
-            except OSError as exc:
-                last_error = exc
-        raise TransportError(
-            f"could not connect to {self.host}:{self.port} after "
-            f"{self.connect_retries + 1} attempts: {last_error}"
-        ) from last_error
+
+        def open_once() -> None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._reader = self._sock.makefile("rb")
+
+        self._open_with_retry(open_once)
+        return self
 
     def close(self) -> None:
+        """Drop the connection; safe to call twice."""
         if self._reader is not None:
             try:
                 self._reader.close()
@@ -112,12 +173,6 @@ class JumpPoseClient:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
-
-    def __enter__(self) -> "JumpPoseClient":
-        return self.connect()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
 
     # ------------------------------------------------------------------
     # The request surface
@@ -132,7 +187,17 @@ class JumpPoseClient:
     def analyze_clips(
         self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
     ) -> "list[ClipResult]":
-        """Ship clips inline and decode them remotely, in request order."""
+        """Ship clips inline and decode them remotely, in request order.
+
+        Returns:
+            One :class:`~repro.core.results.ClipResult` per clip,
+            bit-identical to a local ``analyze_clips`` on the server's
+            model.
+
+        Raises:
+            RemoteError: the server rejected or failed the request.
+            TransportError: the connection died mid-request.
+        """
         from repro.synth.io import clip_to_bytes
 
         payload = pack_blobs([clip_to_bytes(clip) for clip in clips])
@@ -230,6 +295,248 @@ class JumpPoseClient:
                 f"result payload must be a JSON list, got "
                 f"{type(results).__name__}",
                 code="bad-result",
+                recoverable=True,
+            )
+        return [clip_result_from_wire(entry) for entry in results]
+
+
+class HttpJumpPoseClient(RetryingClientBase):
+    """The HTTP/JSON counterpart of :class:`JumpPoseClient`.
+
+    Speaks to a :class:`~repro.serving.http.JumpPoseHttpServer` over one
+    keep-alive HTTP/1.1 connection (stdlib ``http.client``, no new
+    dependencies) with the same lazy connect, exponential-back-off
+    retries, and per-operation timeout as the socket client.
+
+    Constructor arguments are those of :class:`RetryingClientBase`.
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        connect_retries: int = 3,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        super().__init__(host, port, timeout_s, connect_retries, retry_delay_s)
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        """True while an HTTP connection to the gateway is open."""
+        return self._conn is not None
+
+    def connect(self) -> "HttpJumpPoseClient":
+        """Open the connection, retrying with exponential back-off.
+
+        Returns:
+            This client, connected.
+
+        Raises:
+            TransportError: no attempt could reach the gateway.
+        """
+        if self._conn is not None:
+            return self
+
+        def open_once() -> None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            conn.connect()
+            # small request + wait-for-reply is exactly the pattern
+            # Nagle's algorithm penalises; requests must leave now
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._conn = conn
+
+        self._open_with_retry(open_once)
+        return self
+
+    def close(self) -> None:
+        """Drop the connection; safe to call twice."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # The request surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> "dict[str, object]":
+        """Liveness probe; returns the gateway's health payload."""
+        return self._request("GET", "/v1/healthz")
+
+    def analyze_clips(
+        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+    ) -> "list[ClipResult]":
+        """Ship clips inline (base64 archives) and decode them remotely.
+
+        Returns:
+            One :class:`~repro.core.results.ClipResult` per clip,
+            bit-identical to a local ``analyze_clips`` on the server's
+            model.
+
+        Raises:
+            RemoteError: the gateway rejected or failed the request
+                (HTTP status and error code preserved).
+            TransportError: the connection died mid-request.
+        """
+        from repro.synth.io import clip_to_bytes
+
+        encoded = [
+            base64.b64encode(clip_to_bytes(clip)).decode("ascii")
+            for clip in clips
+        ]
+        return self._results(
+            self._request("POST", "/v1/analyze", {"clips": encoded})
+        )
+
+    def analyze_paths(
+        self, paths: "list[str | Path] | tuple[str | Path, ...]"
+    ) -> "list[ClipResult]":
+        """Decode server-visible clip archives addressed by path."""
+        body = {"paths": [str(path) for path in paths]}
+        return self._results(self._request("POST", "/v1/analyze", body))
+
+    def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
+        """Decode every ``*.npz`` under a server-visible directory."""
+        body = {"directory": str(directory)}
+        return self._results(self._request("POST", "/v1/analyze", body))
+
+    def stats(self) -> "dict[str, object]":
+        """Service + gateway accounting (throughput, latency, errors)."""
+        return self._request("GET", "/v1/stats")
+
+    def shutdown(self, token: str) -> "dict[str, object]":
+        """Ask the gateway to stop, presenting the shared token.
+
+        Returns:
+            The gateway's ``{"status": "bye"}`` payload.
+
+        Raises:
+            RemoteError: the token was wrong, or remote shutdown is
+                disabled on this gateway (both HTTP 403).
+        """
+        response = self._request("POST", "/v1/shutdown", {"token": token})
+        self.close()
+        return response
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "dict[str, object] | None" = None,
+    ) -> "dict[str, object]":
+        if self._conn is not None and self._conn.sock is None:
+            # http.client dropped the socket after a Connection: close
+            # reply; reconnect through connect() rather than letting its
+            # auto_open path bypass TCP_NODELAY and the retry policy
+            self.close()
+        self.connect()
+        payload = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        try:
+            self._conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = self._conn.getresponse()
+            status = response.status
+            data = response.read()
+            if response.will_close:
+                # the server ended this connection with its reply; drop
+                # our side now so the next request reconnects cleanly
+                self.close()
+        except socket.timeout as exc:
+            self.close()
+            raise TransportError(
+                f"request {method} {path} timed out after {self.timeout_s}s"
+            ) from exc
+        except (http.client.HTTPException, OSError) as exc:
+            # the peer may have rejected the request before reading all
+            # of it (a 413 races our sendall of a large body); the
+            # structured reply is then already in the receive buffer
+            salvaged = self._salvage_early_reply()
+            self.close()
+            if salvaged is None:
+                # nothing to salvage: the gateway closed mid-reply or
+                # spoke something that is not HTTP — a transport-level
+                # death from the caller's perspective
+                raise TransportError(
+                    f"connection to {self.host}:{self.port} failed during "
+                    f"{method} {path}: {exc}"
+                ) from exc
+            status, data = salvaged
+        return self._parse_reply(method, path, status, data)
+
+    def _salvage_early_reply(self) -> "tuple[int, bytes] | None":
+        """Read a reply the server sent before our request body finished.
+
+        Returns ``(status, body)`` if a complete HTTP response could be
+        parsed off the socket, else ``None``.
+        """
+        conn = self._conn
+        if conn is None or conn.sock is None:
+            return None
+        try:
+            response = http.client.HTTPResponse(conn.sock)
+            response.begin()
+            return response.status, response.read()
+        except (http.client.HTTPException, OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _parse_reply(
+        method: str, path: str, status: int, data: bytes
+    ) -> "dict[str, object]":
+        """Decode one JSON reply; structured errors raise ``RemoteError``."""
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"{method} {path} reply is not valid JSON: {exc}",
+                code="bad-response",
+                recoverable=True,
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise ProtocolError(
+                f"{method} {path} reply must be a JSON object, got "
+                f"{type(parsed).__name__}",
+                code="bad-response",
+                recoverable=True,
+            )
+        if status >= 400:
+            error = parsed.get("error")
+            if not isinstance(error, dict):
+                error = {}
+            code = str(error.get("code", "server-error"))
+            message = str(error.get("message", "(no message)"))
+            raise RemoteError(
+                f"{code}: {message}", code=code, http_status=status
+            )
+        return parsed
+
+    @staticmethod
+    def _results(payload: "dict[str, object]") -> "list[ClipResult]":
+        results = payload.get("results")
+        if not isinstance(results, list):
+            raise ProtocolError(
+                f"analyze reply is missing a 'results' list "
+                f"(got keys {sorted(payload)})",
+                code="bad-response",
                 recoverable=True,
             )
         return [clip_result_from_wire(entry) for entry in results]

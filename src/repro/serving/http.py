@@ -1,0 +1,689 @@
+"""The HTTP/JSON gateway: the serving stack for clients that speak HTTP.
+
+The JPSE socket front (:mod:`repro.serving.net`) is the efficient path,
+but browsers, load-balancers, and health-checkers speak HTTP/1.1 —
+:class:`JumpPoseHttpServer` puts the same
+:class:`~repro.serving.service.JumpPoseService` behind a stdlib
+``ThreadingHTTPServer`` (no third-party dependencies) so commodity
+producers can submit clips with nothing but ``curl``:
+
+``POST /v1/analyze``
+    JSON body selecting exactly one input mode — ``{"clips": [...]}``
+    (base64 clip archives, the inline analog of the socket front's
+    ``analyze_clips``), ``{"paths": [...]}`` (server-visible archive
+    paths), or ``{"directory": "..."}``.  Replies
+    ``{"results": [...], "count": N, "latency_s": ...}`` with the same
+    per-clip wire rendering as the JPSE protocol, so decoded results are
+    bit-identical to a local ``JumpPoseAnalyzer.analyze_clips`` call.
+``GET /v1/healthz``
+    Liveness + model identification (the ``ping`` analog).
+``GET /v1/stats``
+    Service throughput/latency plus per-route gateway accounting.
+``POST /v1/shutdown``
+    Stops the gateway — guarded by a shared token (403 without it; the
+    endpoint is disabled entirely when no token was configured).
+
+Error taxonomy (see ``docs/protocol.md`` for the normative table): every
+failure is a JSON body ``{"error": {"code": ..., "message": ...}}``.
+Malformed request bytes map to 400 with the
+:class:`~repro.errors.ProtocolError` code preserved, library failures
+(missing path, unreadable archive) to 400 with the exception class as the
+code, :class:`~repro.errors.ModelError` to 500, unknown routes to 404,
+wrong methods to 405, oversized or unframed bodies to 413/411.  Hostile
+bodies never take the gateway down: the worst case closes one connection
+while the listener keeps serving.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hmac
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.errors import (
+    ConfigurationError,
+    ModelError,
+    ProtocolError,
+    ReproError,
+)
+from repro.perf.timing import ProfileReport, Timer
+from repro.serving.protocol import (
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    clip_result_to_wire,
+)
+from repro.serving.service import JumpPoseService
+
+#: Seconds a keep-alive connection may sit idle before it is dropped.
+DEFAULT_HTTP_IDLE_TIMEOUT_S = 300.0
+
+#: Default request-body ceiling.  Inline clips inflate by 4/3 under
+#: base64 (plus JSON quoting), so matching the JPSE front's payload
+#: capacity needs a correspondingly larger byte ceiling — without this,
+#: a batch the socket front accepts would 413 over HTTP.
+DEFAULT_MAX_BODY_BYTES = MAX_PAYLOAD_BYTES + MAX_PAYLOAD_BYTES // 3 + (1 << 20)
+
+#: Header carrying the shutdown token (the JSON body ``token`` field is
+#: accepted too, for clients that cannot set custom headers).
+SHUTDOWN_TOKEN_HEADER = "X-JPSE-Shutdown-Token"
+
+
+class _HttpFailure(Exception):
+    """One structured HTTP error reply, raised by routes and body parsing.
+
+    ``close`` marks failures where the request body was not (or could not
+    be) fully consumed, so HTTP/1.1 keep-alive framing is lost and the
+    connection must be closed after the reply.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, close: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.close = close
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that knows its owning gateway."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, gateway: "JumpPoseHttpServer") -> None:
+        self.gateway = gateway
+        super().__init__(address, handler)
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Per-connection handler; all logic lives on the gateway object."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "JumpPoseHttp/1"
+    # The stock handler writes unbuffered — one TCP segment per header
+    # line — which under Nagle + delayed ACK costs ~40ms per reply on
+    # loopback.  Buffer the whole reply and disable Nagle instead.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        """Apply the gateway's idle timeout before the stream opens."""
+        self.timeout = self.server.gateway.idle_timeout_s
+        super().setup()
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log (stats carry the counts)."""
+
+    def do_GET(self) -> None:
+        """Route GET requests (healthz, stats)."""
+        self.server.gateway._dispatch(self, "GET")
+
+    def do_POST(self) -> None:
+        """Route POST requests (analyze, shutdown)."""
+        self.server.gateway._dispatch(self, "POST")
+
+    def send_error(self, code, message=None, explain=None) -> None:
+        """Keep stdlib-generated failures on the JSON error contract.
+
+        The base handler answers unsupported methods (HEAD, PUT, ...)
+        and malformed request lines with an HTML error page; the
+        gateway's contract is that *every* failure is a structured JSON
+        body, so those paths are rerouted through the gateway too.
+        """
+        self.server.gateway._send_stdlib_error(self, code, message)
+
+    def handle(self) -> None:
+        """Serve the connection, swallowing peer-vanished errors.
+
+        A client that resets the connection before reading its reply
+        (load-balancers and health-checkers do this routinely) would
+        otherwise escape as ``ConnectionError`` out of the buffered
+        ``wfile.flush()`` and dump a traceback via
+        ``socketserver.handle_error``.
+        """
+        try:
+            super().handle()
+        except ConnectionError:
+            self.close_connection = True
+
+    def finish(self) -> None:
+        """Close the stream pair, tolerating an already-dead peer."""
+        try:
+            super().finish()
+        except ConnectionError:
+            pass
+
+
+class JumpPoseHttpServer:
+    """Serve one model artifact over HTTP/1.1 + JSON until told to stop.
+
+    Args:
+        artifact_path: saved model artifact (schema-checked eagerly).
+            Exactly one of ``artifact_path`` / ``service`` must be given.
+        service: an existing :class:`JumpPoseService` to front instead of
+            owning one — lets one service back several fronts.  A shared
+            service is *not* closed by :meth:`close`.
+        host: bind address; loopback by default.
+        port: bind port; 0 (the default) picks an ephemeral port — read
+            :attr:`address` after :meth:`start` for the real one.
+        jobs / batch_size / decode: forwarded to the owned
+            :class:`JumpPoseService` (rejected with ``service=``).
+        max_body_bytes: request-body ceiling; larger declared bodies are
+            rejected with 413 before a single byte is read.  The default
+            is the JPSE payload ceiling scaled for base64 inflation, so
+            both fronts accept the same inline clip batches.
+        shutdown_token: shared secret for ``POST /v1/shutdown``.  ``None``
+            (the default) disables remote shutdown entirely.
+        idle_timeout_s: per-connection socket timeout.
+
+    Use as a context manager, or :meth:`start` / :meth:`close`;
+    :meth:`serve_forever` blocks until a token-bearing shutdown request
+    (or :meth:`close` from another thread).
+
+    Raises:
+        ConfigurationError: neither/both of ``artifact_path`` and
+            ``service``, service knobs alongside ``service=``, or a
+            non-positive ``max_body_bytes``.
+    """
+
+    def __init__(
+        self,
+        artifact_path: "str | Path | None" = None,
+        *,
+        service: "JumpPoseService | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        batch_size: int = 4,
+        decode: "str | None" = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        shutdown_token: "str | None" = None,
+        idle_timeout_s: float = DEFAULT_HTTP_IDLE_TIMEOUT_S,
+    ) -> None:
+        if (artifact_path is None) == (service is None):
+            raise ConfigurationError(
+                "exactly one of artifact_path and service must be given"
+            )
+        if max_body_bytes < 1:
+            raise ConfigurationError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        if service is not None:
+            if jobs != 1 or batch_size != 4 or decode is not None:
+                raise ConfigurationError(
+                    "jobs/batch_size/decode configure an owned service; "
+                    "set them on the shared service instead"
+                )
+            self.service = service
+            self._owns_service = False
+        else:
+            self.service = JumpPoseService(
+                artifact_path, jobs=jobs, batch_size=batch_size, decode=decode
+            )
+            self._owns_service = True
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.shutdown_token = shutdown_token
+        self.idle_timeout_s = idle_timeout_s
+        #: wall-clock per route, reported by ``GET /v1/stats``
+        self.request_profile = ProfileReport()
+        self.requests_served = 0
+        self.errors_served = 0
+        self._profile_lock = threading.Lock()
+        self._httpd: "_GatewayHTTPServer | None" = None
+        self._serve_thread: "threading.Thread | None" = None
+        self._shutdown = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._httpd is None:
+            raise ConfigurationError("gateway is not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def is_running(self) -> bool:
+        """True while the listener accepts requests."""
+        return self._httpd is not None and not self._shutdown.is_set()
+
+    def start(self) -> "JumpPoseHttpServer":
+        """Bind the listener and serve on a background thread.
+
+        Returns:
+            This gateway, so ``JumpPoseHttpServer(...).start()`` chains.
+
+        Raises:
+            OSError: the bind failed (port taken, bad host); an owned
+                service is closed again before the error propagates.
+        """
+        if self._httpd is not None:
+            return self
+        self.service.start()
+        try:
+            httpd = _GatewayHTTPServer(
+                (self.host, self.port), _GatewayHandler, self
+            )
+        except OSError:
+            if self._owns_service:
+                self.service.close()
+            raise
+        self._shutdown.clear()
+        self._httpd = httpd
+        self._serve_thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="jumppose-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until a shutdown request arrives or :meth:`close`."""
+        self.start()
+        self._shutdown.wait()
+        self.close()
+
+    def close(self) -> None:
+        """Stop the listener, join the serving thread, close an owned service.
+
+        Idempotent, and safe to call while requests are in flight: the
+        accept loop stops first, in-flight handler threads are daemonic,
+        and a shared (``service=``) backend is left running for its owner.
+        """
+        self._shutdown.set()
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._serve_thread is not None:
+            if self._serve_thread is not threading.current_thread():
+                self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "JumpPoseHttpServer":
+        """Start on entry, so ``with JumpPoseHttpServer(...)`` serves."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close on exit, even when the body raised."""
+        self.close()
+
+    def _initiate_shutdown(self) -> None:
+        """Stop accepting and wake :meth:`serve_forever`, off-thread.
+
+        Called from a handler thread after the ``bye`` reply is on the
+        wire; ``httpd.shutdown()`` blocks until the accept loop exits, so
+        it runs on a helper thread instead of stalling the handler.
+        """
+        self._shutdown.set()
+        httpd = self._httpd
+        if httpd is not None:
+            threading.Thread(
+                target=httpd.shutdown, name="jumppose-http-stop", daemon=True
+            ).start()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    _ROUTES = {
+        "/v1/healthz": ("GET", "_route_healthz"),
+        "/v1/stats": ("GET", "_route_stats"),
+        "/v1/analyze": ("POST", "_route_analyze"),
+        "/v1/shutdown": ("POST", "_route_shutdown"),
+    }
+
+    def _dispatch(self, handler: _GatewayHandler, method: str) -> None:
+        """Resolve one request to a route, time it, and send the reply."""
+        path = handler.path.split("?", 1)[0]
+        route = self._ROUTES.get(path)
+        stage = path.rsplit("/", 1)[-1] if route is not None else "unrouted"
+        # a request we refuse to route may still carry a body; left
+        # unread it would corrupt keep-alive framing, so such refusals
+        # close the connection (POSTs always declare one)
+        declared = handler.headers.get("Content-Length")
+        body_unread = method == "POST" or (
+            declared is not None and declared.strip() not in ("", "0")
+        )
+        try:
+            if route is None:
+                raise _HttpFailure(
+                    404,
+                    "not-found",
+                    f"unknown route {path!r} "
+                    f"(expected one of {sorted(self._ROUTES)})",
+                    close=body_unread,
+                )
+            expected_method, route_name = route
+            if method != expected_method:
+                raise _HttpFailure(
+                    405,
+                    "method-not-allowed",
+                    f"{path} expects {expected_method}, got {method}",
+                    close=body_unread,
+                )
+            if method == "GET":
+                # a GET may legally carry a body; it means nothing here,
+                # but leaving it unread would corrupt keep-alive framing
+                # (the next request would be parsed from the stale bytes)
+                self._read_body(handler, required=False)
+            with Timer() as timer:
+                status, payload, then_shutdown = getattr(self, route_name)(
+                    handler
+                )
+        except _HttpFailure as failure:
+            self._send_error(handler, failure)
+            return
+        except ProtocolError as exc:
+            self._send_error(handler, _HttpFailure(400, exc.code, str(exc)))
+            return
+        except ModelError as exc:
+            # the model/service side broke, not the request
+            self._send_error(
+                handler, _HttpFailure(500, type(exc).__name__, str(exc))
+            )
+            return
+        except ReproError as exc:
+            # a library failure for this request (missing path, unreadable
+            # archive); the exception class is the code, as on the socket
+            self._send_error(
+                handler, _HttpFailure(400, type(exc).__name__, str(exc))
+            )
+            return
+        except Exception as exc:
+            # never let an unexpected bug kill the handler with a bare
+            # traceback; the request state is unknown, so close
+            self._send_error(
+                handler,
+                _HttpFailure(
+                    500,
+                    "internal-error",
+                    f"{type(exc).__name__}: {exc}",
+                    close=True,
+                ),
+            )
+            return
+        payload.setdefault("latency_s", timer.elapsed)
+        with self._profile_lock:
+            self.request_profile.add(stage, timer.elapsed)
+            self.requests_served += 1
+        self._send_json(handler, status, payload)
+        if then_shutdown:
+            # only after the reply is on the wire, so the requester gets
+            # its acknowledgement before the listener goes away
+            self._initiate_shutdown()
+
+    def _send_json(
+        self,
+        handler: _GatewayHandler,
+        status: int,
+        payload: "dict[str, object]",
+        close: bool = False,
+    ) -> None:
+        """Write one JSON response with explicit framing headers."""
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            if close:
+                handler.send_header("Connection", "close")
+                handler.close_connection = True
+            handler.end_headers()
+            handler.wfile.write(body)
+        except OSError:
+            handler.close_connection = True  # peer vanished mid-reply
+
+    def _send_error(
+        self, handler: _GatewayHandler, failure: _HttpFailure
+    ) -> None:
+        """Send one structured ``{"error": ...}`` reply and count it."""
+        with self._profile_lock:
+            self.errors_served += 1
+        self._send_json(
+            handler,
+            failure.status,
+            {"error": {"code": failure.code, "message": failure.message}},
+            close=failure.close,
+        )
+
+    #: JSON error codes for the statuses the stdlib handler generates
+    #: itself (before a do_* method ever runs).
+    _STDLIB_ERROR_CODES = {
+        501: "unsupported-method",
+        505: "unsupported-http-version",
+        400: "bad-request",
+        414: "oversized-uri",
+        431: "oversized-header",
+        408: "timeout",
+    }
+
+    def _send_stdlib_error(
+        self, handler: _GatewayHandler, status: int, message: "str | None"
+    ) -> None:
+        """JSON replacement for ``BaseHTTPRequestHandler.send_error``.
+
+        Covers failures the stdlib raises before routing — unsupported
+        methods (HEAD, PUT, ...), unparseable request lines, oversized
+        header blocks — so even those honour the JSON error contract.
+        The connection always closes: request framing is unknown here.
+        """
+        code = self._STDLIB_ERROR_CODES.get(status, "http-error")
+        self._send_error(
+            handler,
+            _HttpFailure(
+                status, code, message or f"HTTP {status}", close=True
+            ),
+        )
+
+    def _read_body(
+        self, handler: _GatewayHandler, required: bool = True
+    ) -> bytes:
+        """Read a bounded request body, enforcing explicit framing.
+
+        ``required=False`` treats a missing Content-Length as an empty
+        body (for GET routes, which only drain to preserve keep-alive
+        framing) instead of a 411.
+
+        Raises:
+            _HttpFailure: 411 without a Content-Length (chunked uploads
+                are not accepted), 400 for an unparseable length, 413
+                when the declared length exceeds ``max_body_bytes`` —
+                checked *before* any byte is read, so an oversized upload
+                costs the gateway no memory.
+        """
+        declared = handler.headers.get("Content-Length")
+        if declared is None:
+            if not required:
+                return b""
+            raise _HttpFailure(
+                411,
+                "length-required",
+                "requests must declare Content-Length "
+                "(chunked bodies are not accepted)",
+                close=True,
+            )
+        try:
+            length = int(declared)
+        except ValueError:
+            raise _HttpFailure(
+                400,
+                "bad-request",
+                f"Content-Length {declared!r} is not an integer",
+                close=True,
+            )
+        if length < 0:
+            raise _HttpFailure(
+                400,
+                "bad-request",
+                f"Content-Length must be >= 0, got {length}",
+                close=True,
+            )
+        if length > self.max_body_bytes:
+            raise _HttpFailure(
+                413,
+                "oversized-body",
+                f"declared body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+                close=True,
+            )
+        chunks: "list[bytes]" = []
+        remaining = length
+        while remaining:
+            chunk = handler.rfile.read(remaining)
+            if not chunk:
+                raise _HttpFailure(
+                    400,
+                    "truncated-body",
+                    f"connection closed mid-body "
+                    f"({length - remaining}/{length} bytes)",
+                    close=True,
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    @staticmethod
+    def _parse_json_object(body: bytes) -> "dict[str, object]":
+        """Decode a request body as one JSON object (400 otherwise)."""
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpFailure(
+                400, "bad-json", f"request body is not valid JSON: {exc}"
+            )
+        if not isinstance(parsed, dict):
+            raise _HttpFailure(
+                400,
+                "bad-request",
+                f"request body must be a JSON object, "
+                f"got {type(parsed).__name__}",
+            )
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Routes — each returns (status, payload, then_shutdown)
+    # ------------------------------------------------------------------
+    def _route_healthz(self, handler: _GatewayHandler):
+        """Liveness + model identification (the socket ``ping`` analog)."""
+        payload: "dict[str, object]" = {
+            "status": "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "model_schema": self.service.metadata.get("schema"),
+            "jobs": self.service.jobs,
+        }
+        return 200, payload, False
+
+    def _route_stats(self, handler: _GatewayHandler):
+        """Service throughput/latency plus per-route gateway counters."""
+        with self._profile_lock:
+            server_stats = {
+                "requests": self.requests_served,
+                "errors": self.errors_served,
+                "request_stages": self.request_profile.as_dict(),
+            }
+        payload = {
+            "service": self.service.stats_snapshot(),
+            "server": server_stats,
+        }
+        return 200, payload, False
+
+    def _route_analyze(self, handler: _GatewayHandler):
+        """Decode clips named by exactly one of clips/paths/directory."""
+        request = self._parse_json_object(self._read_body(handler))
+        selectors = [
+            key for key in ("clips", "paths", "directory") if key in request
+        ]
+        if len(selectors) != 1:
+            raise _HttpFailure(
+                400,
+                "bad-request",
+                "the request must carry exactly one of "
+                "'clips', 'paths', 'directory'; "
+                f"got {selectors or 'none of them'}",
+            )
+        selector = selectors[0]
+        if selector == "clips":
+            results = self.service.analyze_clips(
+                self._decode_clips(request["clips"])
+            )
+        elif selector == "paths":
+            paths = request["paths"]
+            if not isinstance(paths, list) or not all(
+                isinstance(path, str) for path in paths
+            ):
+                raise _HttpFailure(
+                    400, "bad-request", "'paths' must be a list of strings"
+                )
+            results = self.service.analyze_paths(paths)
+        else:
+            directory = request["directory"]
+            if not isinstance(directory, str):
+                raise _HttpFailure(
+                    400, "bad-request", "'directory' must be a string"
+                )
+            results = self.service.analyze_directory(directory)
+        payload = {
+            "results": [clip_result_to_wire(result) for result in results],
+            "count": len(results),
+        }
+        return 200, payload, False
+
+    @staticmethod
+    def _decode_clips(entries: object) -> list:
+        """Turn a list of base64 archive strings into clips (400 on junk)."""
+        from repro.synth.io import clip_from_bytes
+
+        if not isinstance(entries, list) or not all(
+            isinstance(entry, str) for entry in entries
+        ):
+            raise _HttpFailure(
+                400,
+                "bad-request",
+                "'clips' must be a list of base64-encoded archive strings",
+            )
+        clips = []
+        for index, entry in enumerate(entries):
+            try:
+                blob = base64.b64decode(entry.encode("ascii"), validate=True)
+            except (binascii.Error, UnicodeEncodeError) as exc:
+                raise _HttpFailure(
+                    400, "bad-base64", f"clip {index} is not valid base64: {exc}"
+                )
+            clips.append(clip_from_bytes(blob))  # DatasetError -> 400
+        return clips
+
+    def _route_shutdown(self, handler: _GatewayHandler):
+        """Stop the gateway iff the caller presents the shared token."""
+        body = self._read_body(handler)
+        presented = handler.headers.get(SHUTDOWN_TOKEN_HEADER)
+        if presented is None and body:
+            request = self._parse_json_object(body)
+            token_field = request.get("token")
+            if token_field is not None and not isinstance(token_field, str):
+                raise _HttpFailure(
+                    400, "bad-request", "'token' must be a string"
+                )
+            presented = token_field
+        if self.shutdown_token is None:
+            raise _HttpFailure(
+                403,
+                "shutdown-disabled",
+                "this gateway was started without a shutdown token",
+            )
+        if presented is None or not hmac.compare_digest(
+            presented.encode("utf-8"), self.shutdown_token.encode("utf-8")
+        ):
+            raise _HttpFailure(403, "bad-token", "shutdown token mismatch")
+        return 200, {"status": "bye"}, True

@@ -119,9 +119,16 @@ class JumpPoseServer:
 
     @property
     def is_running(self) -> bool:
+        """True while the listener accepts connections."""
         return self._listener is not None and not self._shutdown.is_set()
 
     def start(self) -> "JumpPoseServer":
+        """Bind the listener and accept on a background thread.
+
+        Idempotent; returns this server so construction chains.  Raises
+        ``OSError`` when the bind fails (port taken, bad host) — the
+        already-started service is closed again before it propagates.
+        """
         if self._listener is not None:
             return self
         self.service.start()
@@ -201,9 +208,11 @@ class JumpPoseServer:
         self.service.close()
 
     def __enter__(self) -> "JumpPoseServer":
+        """Start on entry, so ``with JumpPoseServer(...)`` serves."""
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
+        """Close on exit, even when the body raised."""
         self.close()
 
     # ------------------------------------------------------------------

@@ -115,15 +115,21 @@ class ServiceStats:
         return self.frames / self.wall_s if self.wall_s > 0 else 0.0
 
     def latency_quantile(self, q: float) -> float:
+        """Per-clip latency quantile ``q`` over the trailing window.
+
+        Returns 0.0 before any clip has been served.
+        """
         if not self.latencies_s:
             return 0.0
         return float(np.quantile(np.array(self.latencies_s), q))
 
     @property
     def latency_mean_s(self) -> float:
+        """Mean per-clip latency over the trailing window (0.0 if empty)."""
         return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
 
     def as_dict(self) -> "dict[str, object]":
+        """The machine-readable stats payload served by both fronts."""
         return {
             "clips": self.clips,
             "frames": self.frames,
@@ -208,9 +214,16 @@ class JumpPoseService:
     # ------------------------------------------------------------------
     @property
     def is_running(self) -> bool:
+        """True between :meth:`start` and :meth:`close`."""
         return self._analyzer is not None or self._pool is not None
 
     def start(self) -> "JumpPoseService":
+        """Load the analyzer (``jobs=1``) or spawn the worker pool.
+
+        Idempotent; returns this service so construction chains.  With
+        ``jobs > 1`` each worker process loads the artifact once in its
+        pool initializer — nothing is pickled per request.
+        """
         if self.is_running:
             return self
         if self.jobs == 1:

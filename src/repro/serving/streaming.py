@@ -76,10 +76,12 @@ class StreamingDecoder:
     # ------------------------------------------------------------------
     @property
     def frames_pushed(self) -> int:
+        """Frames consumed so far via :meth:`push`."""
         return self._frames_in
 
     @property
     def frames_emitted(self) -> int:
+        """Predictions returned so far (push and finish combined)."""
         return self._frames_out
 
     @property
@@ -204,4 +206,5 @@ class StreamingSession:
         return self.decoder.push(candidates)
 
     def finish(self) -> "list[FramePrediction]":
+        """Flush the decoder's lag window at end of stream."""
         return self.decoder.finish()

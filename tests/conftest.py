@@ -4,6 +4,24 @@ Training the full system is the expensive step (tens of seconds), so the
 pilot protocol (4 train / 2 test clips) is trained once and shared by
 every test that needs a working analyzer.  Tests that mutate nothing may
 use these session fixtures freely.
+
+Markers (registered in the repo-root ``conftest.py``; run with
+``--strict-markers`` to catch typos):
+
+``perf``
+    Full-scale benchmark — skipped unless ``pytest --perf`` is given.
+    The ``--perf`` runs assert speed floors and (re)write the
+    ``BENCH_*.json`` artifacts at the repo root; the smoke variants of
+    the same benchmarks always run in tier-1.  See
+    ``docs/serving.md#perf-harness``.
+``network``
+    Talks to a real socket (JPSE or HTTP, always loopback + ephemeral
+    ports).  Guarded by the per-test SIGALRM timeout below so a wedged
+    read fails fast instead of hanging tier-1; override the budget with
+    ``@pytest.mark.network(timeout=N)``.
+``slow``
+    Long-running (training-scale) test; no special gating, the marker
+    exists so a quick iteration loop can ``-m "not slow"``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,84 @@
+"""A stdlib link checker: README/ROADMAP/docs never point at nothing.
+
+The docs tree (``docs/``) is the written contract the serving stack is
+built against, and the README leans on it — so broken relative links are
+a docs regression the same way a failing assertion is a code regression.
+Every markdown link whose target is a repo-relative path must resolve to
+an existing file (anchors and external ``http(s)``/``mailto`` targets
+are out of scope: checking them needs the network, which tier-1 must not
+touch).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation surface under link control.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+
+
+def _without_fenced_code(text: str) -> str:
+    """Drop fenced code blocks — example snippets are not link targets."""
+    kept: "list[str]" = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def _relative_targets(path: Path) -> "list[str]":
+    targets = []
+    for match in _LINK.finditer(_without_fenced_code(path.read_text())):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def test_docs_tree_exists():
+    """The three normative pages the serving stack is documented by."""
+    for page in ("architecture.md", "protocol.md", "serving.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_doc_surface_is_nonempty():
+    assert len(DOC_FILES) >= 5  # README, ROADMAP, and the docs tree
+    for path in DOC_FILES:
+        assert path.read_text().strip(), f"{path} is empty"
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[p.relative_to(REPO_ROOT).as_posix() for p in DOC_FILES]
+)
+def test_relative_links_resolve(path):
+    broken = []
+    for target in _relative_targets(path):
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{path.relative_to(REPO_ROOT)} has broken relative links: {broken}"
+    )
+
+
+def test_docs_cross_link_each_other():
+    """Each docs page is reachable from the README's doc map."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in ("architecture.md", "protocol.md", "serving.md"):
+        assert f"docs/{page}" in readme, f"README does not link docs/{page}"
