@@ -27,6 +27,15 @@ HTTP (see ``docs/protocol.md``)::
     python -m repro.cli serve --model model.npz --http-port 8080
     python -m repro.cli analyze clips/clip-00.npz --connect-http 127.0.0.1:8080
 
+``serve --replicas N --port BASE`` scales the JPSE front out to N
+replicas of the same artifact (see ``docs/scaling.md``), and a
+comma-separated ``--connect`` shards through
+:class:`~repro.serving.client.RoutingClient`::
+
+    python -m repro.cli serve --model model.npz --replicas 3 --port 7345
+    python -m repro.cli analyze clips/clip-00.npz \
+        --connect 127.0.0.1:7345,127.0.0.1:7346,127.0.0.1:7347
+
 ``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
 without it they fall back to training a small throwaway model.
 """
@@ -80,9 +89,16 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("clip", type=Path)
     analyze.add_argument("--model", type=Path, default=None,
                          help="saved artifact (skips retraining)")
-    analyze.add_argument("--connect", metavar="HOST:PORT", default=None,
+    analyze.add_argument("--connect", metavar="HOST:PORT[,HOST:PORT...]",
+                         default=None,
                          help="send the clip to a running `serve --port` "
-                              "server instead of decoding locally")
+                              "server instead of decoding locally; several "
+                              "comma-separated replica endpoints route "
+                              "through RoutingClient")
+    analyze.add_argument("--policy", choices=["round-robin", "clip-hash"],
+                         default="round-robin",
+                         help="replica-picking policy with a multi-endpoint "
+                              "--connect")
     analyze.add_argument("--connect-http", metavar="HOST:PORT", default=None,
                          help="send the clip to a running `serve --http-port` "
                               "gateway instead of decoding locally")
@@ -120,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=None,
                        help="listen on this TCP port instead of serving "
                             "local clips (0 picks an ephemeral port)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="run this many JumpPoseServer replicas of the "
+                            "artifact (requires --port; replica i binds "
+                            "port+i, or all-ephemeral with --port 0)")
     serve.add_argument("--http-port", type=int, default=None,
                        help="listen on this port with the HTTP/JSON gateway "
                             "instead of the JPSE socket front (0 picks an "
@@ -206,6 +226,14 @@ def _parse_endpoint(endpoint: str, flag: str = "--connect") -> "tuple[str, int]"
     return host, int(port)
 
 
+def _parse_endpoints(value: str, flag: str = "--connect") -> "list[tuple[str, int]]":
+    """Split a comma-separated list of HOST:PORT replica endpoints."""
+    endpoints = [entry.strip() for entry in value.split(",") if entry.strip()]
+    if not endpoints:
+        raise ConfigurationError(f"{flag} expects at least one HOST:PORT")
+    return [_parse_endpoint(entry, flag) for entry in endpoints]
+
+
 def _print_clip_result(result) -> None:
     for frame in result.frames:
         marker = " " if frame.is_correct else "*"
@@ -224,7 +252,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
             "(pick one transport)"
         )
     if args.connect is not None or args.connect_http is not None:
-        from repro.serving.client import HttpJumpPoseClient, JumpPoseClient
+        from repro.serving.client import (
+            HttpJumpPoseClient,
+            JumpPoseClient,
+            RoutingClient,
+        )
 
         flag = "--connect" if args.connect is not None else "--connect-http"
         # decoding happens server-side with the server's model: local
@@ -235,7 +267,15 @@ def _command_analyze(args: argparse.Namespace) -> int:
                 f"apply (configure them on the `serve` process instead)"
             )
         if args.connect is not None:
-            host, port = _parse_endpoint(args.connect)
+            endpoints = _parse_endpoints(args.connect)
+            if len(endpoints) > 1:
+                with RoutingClient(
+                    endpoints, policy=args.policy, timeout_s=args.timeout
+                ) as router:
+                    result = router.analyze_clips([clip])[0]
+                _print_clip_result(result)
+                return 0
+            host, port = endpoints[0]
             client_type = JumpPoseClient
         else:
             host, port = _parse_endpoint(args.connect_http, "--connect-http")
@@ -295,6 +335,22 @@ def _command_serve(args: argparse.Namespace) -> int:
             "--shutdown-token only applies to the HTTP gateway "
             "(add --http-port)"
         )
+    if args.replicas < 1:
+        raise ConfigurationError(
+            f"--replicas must be >= 1, got {args.replicas}"
+        )
+    if args.replicas > 1:
+        if args.http_port is not None:
+            raise ConfigurationError(
+                "--replicas runs the JPSE front; it does not combine with "
+                "--http-port (front a shared service instead)"
+            )
+        if args.port is None:
+            raise ConfigurationError(
+                "--replicas requires --port (use --port 0 for "
+                "all-ephemeral replica ports)"
+            )
+        return _serve_cluster(args)
     if args.http_port is not None:
         return _serve_http(args)
     if args.port is not None:
@@ -339,6 +395,39 @@ def _serve_http(args: argparse.Namespace) -> int:
         gateway.close()
         print()
         print(gateway.service.stats.render())
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """Run N server replicas; block until one is shut down (or Ctrl-C)."""
+    from repro.serving.cluster import JumpPoseCluster
+
+    _reject_clips_dir_for("--replicas", args)
+    cluster = JumpPoseCluster(
+        args.model,
+        replicas=args.replicas,
+        host=args.host,
+        base_port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        decode=args.decode,
+    )
+    try:
+        cluster.start()
+        endpoints = ",".join(
+            f"{host}:{port}" for host, port in cluster.addresses
+        )
+        print(f"serving {args.model} on {args.replicas} replicas: "
+              f"{endpoints} (jobs={args.jobs}, "
+              f"batch-size={args.batch_size})")
+        print(f"route clients with: analyze CLIP --connect {endpoints}")
+        cluster.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.close()
+        print()
+        print(cluster.render_stats())
     return 0
 
 

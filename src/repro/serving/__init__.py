@@ -14,18 +14,22 @@ Three layers, bottom-up:
 * :mod:`repro.serving.protocol` — the versioned, length-prefixed
   JSON/binary wire format (frame codec, blob packing, result codec);
 * :mod:`repro.serving.net` — :class:`JumpPoseServer`, a threaded TCP
-  front over :class:`JumpPoseService`;
+  front over :class:`JumpPoseService` with protocol-v2 request
+  pipelining and per-frame streaming replies;
 * :mod:`repro.serving.http` — :class:`JumpPoseHttpServer`, the
   HTTP/1.1 + JSON gateway for producers that speak HTTP rather than
   JPSE frames (browsers, load-balancers, ``curl``);
-* :mod:`repro.serving.client` — :class:`JumpPoseClient` and
-  :class:`HttpJumpPoseClient`, the typed remote counterparts of
-  ``JumpPoseAnalyzer.analyze_clips`` with shared connect/retry/timeout
-  semantics.
+* :mod:`repro.serving.cluster` — :class:`JumpPoseCluster`, N server
+  replicas of one artifact with a per-replica stats roll-up and
+  graceful cluster-wide drain;
+* :mod:`repro.serving.client` — :class:`JumpPoseClient`,
+  :class:`HttpJumpPoseClient`, and the scale-out
+  :class:`RoutingClient` (client-side sharding + failover over many
+  replicas), all with shared connect/retry/timeout semantics.
 
-The architecture, wire protocol, and operational semantics are
-documented under ``docs/`` (``architecture.md``, ``protocol.md``,
-``serving.md``).
+The architecture, wire protocol, scale-out design, and operational
+semantics are documented under ``docs/`` (``architecture.md``,
+``protocol.md``, ``scaling.md``, ``serving.md``).
 """
 
 from repro.serving.artifacts import (
@@ -35,27 +39,42 @@ from repro.serving.artifacts import (
     read_artifact_metadata,
     save_analyzer,
 )
-from repro.serving.client import HttpJumpPoseClient, JumpPoseClient
+from repro.serving.client import (
+    HttpJumpPoseClient,
+    JumpPoseClient,
+    RoutingClient,
+)
+from repro.serving.cluster import JumpPoseCluster, merge_service_stats
 from repro.serving.http import JumpPoseHttpServer
 from repro.serving.net import JumpPoseServer
-from repro.serving.protocol import PROTOCOL_MAGIC, PROTOCOL_VERSION
+from repro.serving.protocol import (
+    MAX_INFLIGHT_REQUESTS,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+)
 from repro.serving.service import JumpPoseService, ServiceStats
 from repro.serving.streaming import StreamingDecoder, StreamingSession
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ARTIFACT_VERSION",
+    "MAX_INFLIGHT_REQUESTS",
     "PROTOCOL_MAGIC",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "load_analyzer",
     "read_artifact_metadata",
     "save_analyzer",
     "HttpJumpPoseClient",
     "JumpPoseClient",
+    "JumpPoseCluster",
     "JumpPoseHttpServer",
     "JumpPoseServer",
     "JumpPoseService",
+    "RoutingClient",
     "ServiceStats",
     "StreamingDecoder",
     "StreamingSession",
+    "merge_service_stats",
 ]

@@ -1,17 +1,22 @@
-"""Typed clients for both serving fronts: JPSE sockets and HTTP/JSON.
+"""Typed clients for the serving fronts: JPSE sockets, HTTP/JSON, clusters.
 
 :class:`JumpPoseClient` owns one TCP connection to a
 :class:`~repro.serving.net.JumpPoseServer` and speaks the framed JPSE
-protocol; :class:`HttpJumpPoseClient` targets a
+protocol — including the v2 capabilities: pipelined requests
+(:meth:`~JumpPoseClient.analyze_clips_pipelined`) and per-frame
+streaming replies (:meth:`~JumpPoseClient.stream_analyze`).
+:class:`HttpJumpPoseClient` targets a
 :class:`~repro.serving.http.JumpPoseHttpServer` over HTTP/1.1 with the
 same retry/timeout semantics (shared via :class:`RetryingClientBase`).
-Both expose the request surface as methods returning real library types
-— ``analyze_clips`` hands back
-:class:`~repro.core.results.ClipResult` objects that compare equal to
-what a local ``JumpPoseAnalyzer.analyze_clips`` produces (the
+:class:`RoutingClient` is the scale-out entry point: a client-side
+router sharding ``analyze_clips`` over many replicas with automatic
+failover (see ``docs/scaling.md``).  All of them expose the request
+surface as methods returning real library types — ``analyze_clips``
+hands back :class:`~repro.core.results.ClipResult` objects that compare
+equal to what a local ``JumpPoseAnalyzer.analyze_clips`` produces (the
 conformance suites pin this bit-for-bit).
 
-Failure taxonomy, identical for both transports:
+Failure taxonomy, identical for all transports:
 
 * :class:`~repro.errors.TransportError` — could not connect (after the
   configured retries), the socket timed out, or the peer vanished;
@@ -24,24 +29,34 @@ Failure taxonomy, identical for both transports:
 from __future__ import annotations
 
 import base64
+import bisect
+import hashlib
 import http.client
 import json
 import socket
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.errors import ProtocolError, RemoteError, TransportError
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    RemoteError,
+    TransportError,
+)
 from repro.serving.protocol import (
+    MAX_INFLIGHT_REQUESTS,
     Frame,
     clip_result_from_wire,
+    frame_result_from_wire,
     pack_blobs,
     read_frame,
     send_frame,
 )
 
 if TYPE_CHECKING:
-    from repro.core.results import ClipResult
+    from repro.core.results import ClipResult, FrameResult
     from repro.synth.dataset import JumpClip
 
 
@@ -132,6 +147,7 @@ class JumpPoseClient(RetryingClientBase):
         super().__init__(host, port, timeout_s, connect_retries, retry_delay_s)
         self._sock: "socket.socket | None" = None
         self._reader = None
+        self._next_request_id = 0
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -230,27 +246,181 @@ class JumpPoseClient(RetryingClientBase):
         self.close()
         return response
 
+    def analyze_clips_pipelined(
+        self,
+        batches: "list[list[JumpClip]]",
+        max_inflight: int = 8,
+    ) -> "list[list[ClipResult]]":
+        """Overlap many ``analyze_clips`` requests on this one connection.
+
+        Protocol-v2 pipelining: each batch goes out as its own
+        id-tagged request, up to ``max_inflight`` of them in flight at
+        once, without waiting for earlier replies.  The server answers
+        in completion order; replies are matched back to their request
+        by id, so the returned lists are in *batch* order regardless of
+        completion order — element ``i`` equals what
+        ``analyze_clips(batches[i])`` would have returned.
+
+        Args:
+            batches: one clip list per request.  An empty batch list is
+                legal and returns ``[]``.
+            max_inflight: pipelining window, capped by the protocol's
+                per-connection ceiling
+                (:data:`~repro.serving.protocol.MAX_INFLIGHT_REQUESTS`).
+
+        Returns:
+            One ``list[ClipResult]`` per batch, in batch order.
+
+        Raises:
+            ConfigurationError: ``max_inflight`` is out of range.
+            RemoteError: the server failed one of the requests; the
+                connection is closed (other replies may still be in
+                flight, so its state is not reusable).
+            TransportError: the connection died mid-pipeline.
+        """
+        from repro.synth.io import clip_to_bytes
+
+        if not 1 <= max_inflight <= MAX_INFLIGHT_REQUESTS:
+            raise ConfigurationError(
+                f"max_inflight must be in [1, {MAX_INFLIGHT_REQUESTS}], "
+                f"got {max_inflight}"
+            )
+        batches = [list(batch) for batch in batches]
+        if not batches:
+            return []
+        results: "dict[int, list[ClipResult]]" = {}
+        pending: "dict[int | str, int]" = {}  # request id -> batch index
+        next_batch = 0
+        try:
+            while len(results) < len(batches):
+                while next_batch < len(batches) and len(pending) < max_inflight:
+                    rid = self._take_id()
+                    payload = pack_blobs(
+                        [clip_to_bytes(clip) for clip in batches[next_batch]]
+                    )
+                    self._send_request(
+                        {"type": "analyze_clips", "id": rid}, payload
+                    )
+                    pending[rid] = next_batch
+                    next_batch += 1
+                response = self._read_reply("analyze_clips (pipelined)")
+                rid = response.header.get("id")
+                if response.header.get("type") == "error":
+                    self._raise_remote(response.header)
+                if rid not in pending:
+                    raise ProtocolError(
+                        f"pipelined reply carries unknown id {rid!r} "
+                        f"(awaiting {sorted(map(str, pending))})",
+                        code="bad-result",
+                    )
+                results[pending.pop(rid)] = self._results(response)
+        except (RemoteError, ProtocolError):
+            # replies for the remaining in-flight requests may still be
+            # inbound; the connection cannot be reused coherently
+            self.close()
+            raise
+        return [results[index] for index in range(len(batches))]
+
+    def stream_analyze(self, clip: "JumpClip"):
+        """Decode one clip remotely with per-frame partial results.
+
+        A generator over the protocol-v2 ``stream_analyze`` exchange:
+        it yields one :class:`~repro.core.results.FrameResult` per clip
+        frame *as the server decodes it* (causal ``filter``-mode
+        predictions — feedback arrives before the clip finishes), and
+        finally yields the complete
+        :class:`~repro.core.results.ClipResult`, which is bit-identical
+        to what ``analyze_clips([clip])[0]`` returns for the same
+        server.  The final item is always the ``ClipResult``::
+
+            *partials, final = client.stream_analyze(clip)
+
+        Abandoning the generator mid-stream closes the connection (the
+        unread partial frames would desynchronise later requests); the
+        next request reconnects lazily.
+
+        Args:
+            clip: the clip to ship inline and decode remotely.
+
+        Yields:
+            ``FrameResult`` per frame, then the final ``ClipResult``.
+
+        Raises:
+            RemoteError: the server rejected or failed the request
+                (possibly mid-stream, after some partials).
+            TransportError: the connection died mid-stream.
+        """
+        from repro.synth.io import clip_to_bytes
+
+        rid = self._take_id()
+        self._send_request(
+            {"type": "stream_analyze", "id": rid},
+            pack_blobs([clip_to_bytes(clip)]),
+        )
+        complete = False
+        try:
+            while True:
+                response = self._read_reply("stream_analyze")
+                header = response.header
+                if header.get("type") == "error":
+                    self._raise_remote(header)
+                if header.get("id") != rid:
+                    raise ProtocolError(
+                        f"stream reply carries id {header.get('id')!r}, "
+                        f"expected {rid!r}",
+                        code="bad-result",
+                    )
+                frame_type = header.get("type")
+                if frame_type == "stream_frame":
+                    entry = header.get("frame")
+                    if not isinstance(entry, dict):
+                        raise ProtocolError(
+                            "stream_frame reply is missing a 'frame' object",
+                            code="bad-result",
+                        )
+                    yield frame_result_from_wire(entry)
+                    continue
+                if frame_type == "result":
+                    results = self._results(response)
+                    if len(results) != 1:
+                        raise ProtocolError(
+                            f"stream_analyze final frame carries "
+                            f"{len(results)} results, expected 1",
+                            code="bad-result",
+                        )
+                    complete = True
+                    yield results[0]
+                    return
+                raise ProtocolError(
+                    f"unexpected {frame_type!r} frame inside a stream",
+                    code="bad-result",
+                )
+        finally:
+            if not complete:
+                self.close()
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _request(
+    def _take_id(self) -> int:
+        """The next request id for pipelined/streaming exchanges."""
+        self._next_request_id += 1
+        return self._next_request_id
+
+    @staticmethod
+    def _raise_remote(header: "dict[str, object]") -> None:
+        """Turn a structured ``error`` frame header into a RemoteError."""
+        code = str(header.get("code", "server-error"))
+        message = str(header.get("message", "(no message)"))
+        raise RemoteError(f"{code}: {message}", code=code)
+
+    def _send_request(
         self, header: "dict[str, object]", payload: bytes = b""
-    ) -> Frame:
+    ) -> None:
+        """Connect lazily and put one request frame on the wire."""
         self.connect()
         try:
             send_frame(self._sock, header, payload)
-            response = read_frame(self._reader)
-        except ProtocolError as exc:
-            # framing from the server is broken either way, so drop the
-            # connection; a truncated reply means the server died
-            # mid-send, which callers handle as a transport failure
-            self.close()
-            if exc.code == "truncated":
-                raise TransportError(
-                    f"server closed the connection mid-reply "
-                    f"({header.get('type')!r}): {exc}"
-                ) from exc
-            raise
         except socket.timeout as exc:
             self.close()
             raise TransportError(
@@ -262,16 +432,46 @@ class JumpPoseClient(RetryingClientBase):
             raise TransportError(
                 f"connection to {self.host}:{self.port} failed: {exc}"
             ) from exc
+
+    def _read_reply(self, context: str) -> Frame:
+        """Read one reply frame, mapping low-level failures to the taxonomy."""
+        try:
+            response = read_frame(self._reader)
+        except ProtocolError as exc:
+            # framing from the server is broken either way, so drop the
+            # connection; a truncated reply means the server died
+            # mid-send, which callers handle as a transport failure
+            self.close()
+            if exc.code == "truncated":
+                raise TransportError(
+                    f"server closed the connection mid-reply "
+                    f"({context!r}): {exc}"
+                ) from exc
+            raise
+        except socket.timeout as exc:
+            self.close()
+            raise TransportError(
+                f"request {context!r} timed out after {self.timeout_s}s"
+            ) from exc
+        except OSError as exc:
+            self.close()
+            raise TransportError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
         if response is None:
             self.close()
             raise TransportError(
-                f"server closed the connection mid-request "
-                f"({header.get('type')!r})"
+                f"server closed the connection mid-request ({context!r})"
             )
+        return response
+
+    def _request(
+        self, header: "dict[str, object]", payload: bytes = b""
+    ) -> Frame:
+        self._send_request(header, payload)
+        response = self._read_reply(str(header.get("type")))
         if response.header.get("type") == "error":
-            code = str(response.header.get("code", "server-error"))
-            message = str(response.header.get("message", "(no message)"))
-            raise RemoteError(f"{code}: {message}", code=code)
+            self._raise_remote(response.header)
         return response
 
     @staticmethod
@@ -540,3 +740,277 @@ class HttpJumpPoseClient(RetryingClientBase):
                 recoverable=True,
             )
         return [clip_result_from_wire(entry) for entry in results]
+
+
+#: Replica-picking policies understood by :class:`RoutingClient`.
+ROUTING_POLICIES = ("round-robin", "clip-hash")
+
+#: Hash-ring points per replica for the ``clip-hash`` policy.  More
+#: points smooth the load split; the count only affects balance, never
+#: results (every replica serves the same artifact).
+HASH_RING_POINTS = 64
+
+
+class RoutingClient:
+    """A client-side router sharding work over many server replicas.
+
+    The scale-out counterpart of :class:`JumpPoseClient`: given the
+    addresses of N :class:`~repro.serving.net.JumpPoseServer` replicas
+    (typically a :class:`~repro.serving.cluster.JumpPoseCluster`), it
+    shards each ``analyze_clips`` request across them, dispatches the
+    shards concurrently, and merges the replies back into input order —
+    **bit-identical** to what a single server (or a local
+    ``JumpPoseAnalyzer.analyze_clips``) returns, because every replica
+    serves the same artifact and order is restored by original index.
+
+    Replica-picking policies (``docs/scaling.md`` discusses the
+    trade-offs):
+
+    * ``round-robin`` — clip *i* of a request goes to alive replica
+      ``(start + i) % n``; the start rotates between requests so
+      successive small requests spread evenly.
+    * ``clip-hash`` — consistent hashing of ``clip_id`` over a ring of
+      :data:`HASH_RING_POINTS` points per replica: the same clip id
+      always lands on the same replica while that replica is alive, and
+      a dead replica's clips redistribute without remapping anyone
+      else's.
+
+    Failover: a replica that fails *transport-wise* (connection refused,
+    died mid-request, timed out) is marked dead and its shard is
+    re-dispatched to the survivors — transparently, inside the same
+    ``analyze_clips`` call.  Structured server errors
+    (:class:`~repro.errors.RemoteError`) are **not** failover: a request
+    the artifact itself rejects would fail identically everywhere, so
+    they propagate.
+
+    Args:
+        addresses: ``(host, port)`` pairs, one per replica.
+        policy: one of :data:`ROUTING_POLICIES`.
+        timeout_s / connect_retries / retry_delay_s: per-replica
+            :class:`JumpPoseClient` settings (the connect-retry policy
+            of :class:`RetryingClientBase`).
+
+    Use as a context manager, or call :meth:`close`.
+
+    Raises:
+        ConfigurationError: no addresses, or an unknown policy.
+    """
+
+    def __init__(
+        self,
+        addresses: "list[tuple[str, int]]",
+        policy: str = "round-robin",
+        timeout_s: float = 30.0,
+        connect_retries: int = 3,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        addresses = [(str(host), int(port)) for host, port in addresses]
+        if not addresses:
+            raise ConfigurationError(
+                "RoutingClient needs at least one replica address"
+            )
+        if policy not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {ROUTING_POLICIES}, got {policy!r}"
+            )
+        self.addresses = addresses
+        self.policy = policy
+        self._clients = [
+            JumpPoseClient(
+                host, port, timeout_s=timeout_s,
+                connect_retries=connect_retries, retry_delay_s=retry_delay_s,
+            )
+            for host, port in addresses
+        ]
+        self._alive = set(range(len(addresses)))
+        self._rr_start = 0
+        self._ring = self._build_ring()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive_addresses(self) -> "list[tuple[str, int]]":
+        """Addresses of replicas not yet marked dead by failover."""
+        return [self.addresses[index] for index in sorted(self._alive)]
+
+    def close(self) -> None:
+        """Drop every per-replica connection; safe to call twice."""
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "RoutingClient":
+        """No eager connect — replicas are dialled on first use."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close on exit, even when the body raised."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hash_point(key: str) -> int:
+        """A stable 64-bit ring position (process-seed independent)."""
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _build_ring(self) -> "list[tuple[int, int]]":
+        """The consistent-hash ring: sorted (point, replica index)."""
+        points: "list[tuple[int, int]]" = []
+        for index, (host, port) in enumerate(self.addresses):
+            for vnode in range(HASH_RING_POINTS):
+                points.append(
+                    (self._hash_point(f"{host}:{port}#{vnode}"), index)
+                )
+        points.sort()
+        return points
+
+    def _replica_for_clip(self, clip_id: str, alive: "set[int]") -> int:
+        """The ring successor of ``clip_id`` among alive replicas."""
+        start = bisect.bisect_right(
+            self._ring, (self._hash_point(clip_id), len(self.addresses))
+        )
+        for offset in range(len(self._ring)):
+            _, index = self._ring[(start + offset) % len(self._ring)]
+            if index in alive:
+                return index
+        raise TransportError("no alive replica on the hash ring")
+
+    def _assign(
+        self, pending: "list[tuple[int, JumpClip]]", alive: "list[int]"
+    ) -> "dict[int, list[tuple[int, JumpClip]]]":
+        """Split (original index, clip) pairs into per-replica shards."""
+        shards: "dict[int, list[tuple[int, JumpClip]]]" = {}
+        if self.policy == "round-robin":
+            start = self._rr_start % len(alive)
+            self._rr_start += len(pending)
+            for position, entry in enumerate(pending):
+                index = alive[(start + position) % len(alive)]
+                shards.setdefault(index, []).append(entry)
+        else:  # clip-hash
+            alive_set = set(alive)
+            for entry in pending:
+                index = self._replica_for_clip(entry[1].clip_id, alive_set)
+                shards.setdefault(index, []).append(entry)
+        return shards
+
+    # ------------------------------------------------------------------
+    # The request surface
+    # ------------------------------------------------------------------
+    def analyze_clips(
+        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+    ) -> "list[ClipResult]":
+        """Shard clips over the replicas and merge replies in input order.
+
+        Returns:
+            One :class:`~repro.core.results.ClipResult` per clip, in
+            input order — bit-identical to a single-server (or local)
+            ``analyze_clips`` of the same clips, with or without
+            mid-request replica failures.
+
+        Raises:
+            RemoteError: a replica rejected or failed a shard for
+                library reasons (not retried — see the class docs).
+            TransportError: every replica became unreachable before the
+                request completed.
+        """
+        clips = list(clips)
+        if not clips:
+            return []
+        results: "list[ClipResult | None]" = [None] * len(clips)
+        pending = list(enumerate(clips))
+        while pending:
+            alive = sorted(self._alive)
+            if not alive:
+                raise TransportError(
+                    f"all {len(self.addresses)} replicas are unreachable "
+                    f"({len(pending)} clips undelivered)"
+                )
+            shards = self._assign(pending, alive)
+            lock = threading.Lock()
+            redispatch: "list[tuple[int, JumpClip]]" = []
+            dead: "list[int]" = []
+            fatal: "list[Exception]" = []
+
+            def run_shard(index: int, shard) -> None:
+                client = self._clients[index]
+                try:
+                    shard_results = client.analyze_clips(
+                        [clip for _, clip in shard]
+                    )
+                except TransportError:
+                    with lock:
+                        dead.append(index)
+                        redispatch.extend(shard)
+                except Exception as exc:  # RemoteError, ProtocolError, ...
+                    with lock:
+                        fatal.append(exc)
+                else:
+                    with lock:
+                        for (original, _), result in zip(
+                            shard, shard_results
+                        ):
+                            results[original] = result
+
+            threads = [
+                threading.Thread(
+                    target=run_shard, args=(index, shard),
+                    name="jumppose-route", daemon=True,
+                )
+                for index, shard in sorted(shards.items())
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if fatal:
+                raise fatal[0]
+            for index in dead:
+                self._alive.discard(index)
+                self._clients[index].close()
+            pending = redispatch
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def ping(self) -> "dict[str, dict[str, object]]":
+        """Ping every alive replica; returns ``{"host:port": pong}``.
+
+        A replica that fails the ping is marked dead (and skipped on
+        subsequent requests) rather than raising.
+        """
+        pongs: "dict[str, dict[str, object]]" = {}
+        for index in sorted(self._alive):
+            host, port = self.addresses[index]
+            try:
+                pongs[f"{host}:{port}"] = self._clients[index].ping()
+            except TransportError:
+                self._alive.discard(index)
+                self._clients[index].close()
+        return pongs
+
+    def stats(self) -> "dict[str, dict[str, object]]":
+        """Per-replica stats roll-up, keyed ``"host:port"``.
+
+        Each value is that replica's full ``stats`` reply (service +
+        server accounting, including its ``replica_id`` when the server
+        was started with one).  Unreachable replicas are marked dead
+        and omitted.
+
+        Raises:
+            TransportError: no replica could be reached at all.
+        """
+        rollup: "dict[str, dict[str, object]]" = {}
+        for index in sorted(self._alive):
+            host, port = self.addresses[index]
+            try:
+                rollup[f"{host}:{port}"] = self._clients[index].stats()
+            except TransportError:
+                self._alive.discard(index)
+                self._clients[index].close()
+        if not rollup:
+            raise TransportError(
+                f"all {len(self.addresses)} replicas are unreachable"
+            )
+        return rollup

@@ -174,6 +174,11 @@ class JumpPoseHttpServer:
             :attr:`address` after :meth:`start` for the real one.
         jobs / batch_size / decode: forwarded to the owned
             :class:`JumpPoseService` (rejected with ``service=``).
+        replica_id: optional replica name, forwarded to an owned service
+            and surfaced by ``/v1/healthz`` and ``/v1/stats`` so a
+            load-balancer probing many gateways can attribute each
+            answer (with ``service=`` the shared service's own id is
+            reported instead).
         max_body_bytes: request-body ceiling; larger declared bodies are
             rejected with 413 before a single byte is read.  The default
             is the JPSE payload ceiling scaled for base64 inflation, so
@@ -202,6 +207,7 @@ class JumpPoseHttpServer:
         jobs: int = 1,
         batch_size: int = 4,
         decode: "str | None" = None,
+        replica_id: "str | None" = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         shutdown_token: "str | None" = None,
         idle_timeout_s: float = DEFAULT_HTTP_IDLE_TIMEOUT_S,
@@ -220,11 +226,17 @@ class JumpPoseHttpServer:
                     "jobs/batch_size/decode configure an owned service; "
                     "set them on the shared service instead"
                 )
+            if replica_id is not None:
+                raise ConfigurationError(
+                    "replica_id names an owned service; the shared "
+                    "service already carries its own"
+                )
             self.service = service
             self._owns_service = False
         else:
             self.service = JumpPoseService(
-                artifact_path, jobs=jobs, batch_size=batch_size, decode=decode
+                artifact_path, jobs=jobs, batch_size=batch_size,
+                decode=decode, replica_id=replica_id,
             )
             self._owns_service = True
         self.host = host
@@ -583,20 +595,30 @@ class JumpPoseHttpServer:
             "model_schema": self.service.metadata.get("schema"),
             "jobs": self.service.jobs,
         }
+        if self.service.replica_id is not None:
+            payload["replica_id"] = self.service.replica_id
         return 200, payload, False
 
     def _route_stats(self, handler: _GatewayHandler):
-        """Service throughput/latency plus per-route gateway counters."""
+        """Service throughput/latency plus per-route gateway counters.
+
+        The service block carries a ``replica_id`` when the backing
+        service was started with one, so stats scraped from many
+        replicas stay attributable after aggregation (see
+        ``docs/serving.md``).
+        """
         with self._profile_lock:
             server_stats = {
                 "requests": self.requests_served,
                 "errors": self.errors_served,
                 "request_stages": self.request_profile.as_dict(),
             }
-        payload = {
+        payload: "dict[str, object]" = {
             "service": self.service.stats_snapshot(),
             "server": server_stats,
         }
+        if self.service.replica_id is not None:
+            payload["replica_id"] = self.service.replica_id
         return 200, payload, False
 
     def _route_analyze(self, handler: _GatewayHandler):

@@ -12,12 +12,22 @@ behind the socket.
 
 Request types (see :mod:`repro.serving.protocol` for the frame layout):
 
-``ping``               liveness + server/model identification
+``ping``               liveness + server/model/replica identification
 ``analyze_clips``      payload carries packed inline clip archives
 ``analyze_paths``      header lists server-visible ``.npz`` paths
 ``analyze_directory``  header names a server-visible clip directory
+``stream_analyze``     one inline clip; per-frame partial replies (v2)
 ``stats``              service throughput/latency + per-request-type stats
 ``shutdown``           reply ``bye``, then stop accepting and drain
+
+Protocol-v2 requests may carry an ``id``, in which case they are
+*pipelined*: the read loop hands them to per-request daemon threads and
+keeps reading, replies go out in completion order (tagged with the
+request's ``id``), and up to
+:data:`~repro.serving.protocol.MAX_INFLIGHT_REQUESTS` may be in flight
+per connection.  Requests without an id — all v1 traffic included — are
+handled strictly in arrival order exactly as before, so v1 clients keep
+working against a v2 server.
 
 Malformed bytes never kill the server: recoverable protocol errors (the
 frame was fully consumed) get a structured ``error`` reply on the same
@@ -37,14 +47,43 @@ from pathlib import Path
 from repro.errors import ConfigurationError, ProtocolError, ReproError
 from repro.perf.timing import ProfileReport, Timer
 from repro.serving.protocol import (
+    MAX_INFLIGHT_REQUESTS,
     MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
     clip_result_to_wire,
+    frame_result_to_wire,
     read_frame,
     send_frame,
     unpack_blobs,
 )
 from repro.serving.service import JumpPoseService
+
+
+class _Connection:
+    """Per-connection state shared by the read loop and request threads.
+
+    ``send_lock`` serialises frame writes so pipelined replies (and
+    mid-stream partial frames) never interleave bytes; ``closing`` lets
+    a request thread tell the read loop to stop; ``inflight`` counts
+    id-bearing requests being handled on this connection (the
+    per-connection pipelining ceiling).
+    """
+
+    def __init__(self, conn: socket.socket) -> None:
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.state_lock = threading.Lock()
+        self.closing = threading.Event()
+        self.inflight = 0
+        self.threads: "list[threading.Thread]" = []
+
+    def hang_up(self) -> None:
+        """Stop the read loop, waking it if blocked in a read."""
+        self.closing.set()
+        try:
+            self.conn.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass  # already closed by the peer or the server
 
 #: Seconds a connection may sit idle mid-read before the server drops it.
 DEFAULT_IDLE_TIMEOUT_S = 300.0
@@ -59,6 +98,9 @@ class JumpPoseServer:
         port: bind port; 0 (the default) picks an ephemeral port — read
             :attr:`address` after :meth:`start` for the real one.
         jobs / batch_size / decode: forwarded to :class:`JumpPoseService`.
+        replica_id: optional replica name surfaced by ``ping`` and the
+            ``stats`` roll-up (set by
+            :class:`~repro.serving.cluster.JumpPoseCluster`).
         max_payload_bytes: per-request payload ceiling (oversized length
             prefixes are rejected before allocation).
         idle_timeout_s: per-connection socket timeout.
@@ -76,6 +118,7 @@ class JumpPoseServer:
         jobs: int = 1,
         batch_size: int = 4,
         decode: "str | None" = None,
+        replica_id: "str | None" = None,
         max_payload_bytes: int = MAX_PAYLOAD_BYTES,
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
         drain_timeout_s: float = 30.0,
@@ -85,8 +128,10 @@ class JumpPoseServer:
                 f"max_payload_bytes must be >= 1, got {max_payload_bytes}"
             )
         self.service = JumpPoseService(
-            artifact_path, jobs=jobs, batch_size=batch_size, decode=decode
+            artifact_path, jobs=jobs, batch_size=batch_size, decode=decode,
+            replica_id=replica_id,
         )
+        self.replica_id = replica_id
         self.host = host
         self.port = port
         self.max_payload_bytes = max_payload_bytes
@@ -236,24 +281,31 @@ class JumpPoseServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        state = _Connection(conn)
         try:
             with conn.makefile("rb") as reader:
-                while not self._shutdown.is_set():
+                while not self._shutdown.is_set() and not state.closing.is_set():
                     try:
                         frame = read_frame(
                             reader, max_payload_bytes=self.max_payload_bytes
                         )
                     except ProtocolError as exc:
-                        self._reply_error(conn, exc.code, str(exc))
+                        self._reply_error(state, exc.code, str(exc))
                         if exc.recoverable:
                             continue
                         break  # framing lost — drop this connection
                     if frame is None:
                         break  # clean end-of-stream
+                    if frame.request_id is not None:
+                        # v2 pipelining: hand off and keep reading
+                        self._dispatch_pipelined(state, frame)
+                        continue
+                    # id-less (v1-style) requests: strict arrival order,
+                    # reply before the next frame is read
                     with self._inflight_cv:
                         self._inflight += 1
                     try:
-                        keep_going = self._serve_frame(conn, frame)
+                        keep_going = self._serve_frame(state, frame)
                     finally:
                         with self._inflight_cv:
                             self._inflight -= 1
@@ -263,55 +315,134 @@ class JumpPoseServer:
         except OSError:
             pass  # peer vanished mid-write; nothing left to tell it
         finally:
+            with state.state_lock:
+                pending = list(state.threads)
+            for thread in pending:
+                thread.join(timeout=self.drain_timeout_s)
             with self._connections_lock:
                 self._connections.discard(conn)
             conn.close()
 
-    def _serve_frame(self, conn: socket.socket, frame) -> bool:
+    # ------------------------------------------------------------------
+    # v2 pipelining
+    # ------------------------------------------------------------------
+    def _dispatch_pipelined(self, state: _Connection, frame) -> None:
+        """Run one id-bearing request on its own thread, ceiling-gated."""
+        with state.state_lock:
+            state.threads = [t for t in state.threads if t.is_alive()]
+            if state.inflight >= MAX_INFLIGHT_REQUESTS:
+                overflow = True
+            else:
+                state.inflight += 1
+                overflow = False
+        if overflow:
+            self._reply_error(
+                state,
+                "pipeline-overflow",
+                f"more than {MAX_INFLIGHT_REQUESTS} requests in flight "
+                f"on one connection",
+                request_id=frame.request_id,
+                version=frame.version,
+            )
+            return
+        with self._inflight_cv:
+            self._inflight += 1
+        thread = threading.Thread(
+            target=self._run_pipelined,
+            args=(state, frame),
+            name="jumppose-pipeline",
+            daemon=True,
+        )
+        with state.state_lock:
+            state.threads.append(thread)
+        thread.start()
+
+    def _run_pipelined(self, state: _Connection, frame) -> None:
+        """Thread body for one pipelined request."""
+        try:
+            try:
+                keep_going = self._serve_frame(state, frame)
+            except OSError:
+                keep_going = False  # peer vanished mid-reply
+            if not keep_going:
+                state.hang_up()
+        finally:
+            with state.state_lock:
+                state.inflight -= 1
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def _send(
+        self,
+        state: _Connection,
+        header: "dict[str, object]",
+        payload: bytes,
+        version: int,
+    ) -> None:
+        """Write one frame under the connection's send lock."""
+        with state.send_lock:
+            send_frame(state.conn, header, payload, version=version)
+
+    def _serve_frame(self, state: _Connection, frame) -> bool:
         """Handle one well-framed request; False ends the connection."""
         request_type = frame.header.get("type")
+        rid = frame.request_id
+        version = frame.version
         if not isinstance(request_type, str):
             self._reply_error(
-                conn, "bad-request", "header is missing a string 'type'"
+                state, "bad-request", "header is missing a string 'type'",
+                request_id=rid, version=version,
             )
             return True
+        if request_type == "stream_analyze":
+            return self._serve_stream(state, frame)
         handler = self._HANDLERS.get(request_type)
         if handler is None:
             self._reply_error(
-                conn,
+                state,
                 "bad-request",
                 f"unknown request type {request_type!r} "
-                f"(expected one of {sorted(self._HANDLERS)})",
+                f"(expected one of "
+                f"{sorted([*self._HANDLERS, 'stream_analyze'])})",
+                request_id=rid,
+                version=version,
             )
             return True
         with Timer() as timer:
             try:
                 header, payload, keep_going = handler(self, frame)
             except ProtocolError as exc:
-                self._reply_error(conn, exc.code, str(exc))
+                self._reply_error(state, exc.code, str(exc),
+                                  request_id=rid, version=version)
                 return exc.recoverable
             except ReproError as exc:
                 # a library failure for this request, not a server failure
-                self._reply_error(conn, type(exc).__name__, str(exc))
+                self._reply_error(state, type(exc).__name__, str(exc),
+                                  request_id=rid, version=version)
                 return True
             except Exception as exc:
                 # never let an unexpected bug kill the connection thread
                 # with a bare traceback: report, then close (the request
                 # state is unknown, so the connection is not kept)
                 self._reply_error(
-                    conn, "internal-error", f"{type(exc).__name__}: {exc}"
+                    state, "internal-error", f"{type(exc).__name__}: {exc}",
+                    request_id=rid, version=version,
                 )
                 return False
+        if rid is not None:
+            header["id"] = rid
         header.setdefault("latency_s", timer.elapsed)
         with self._profile_lock:
             self.request_profile.add(request_type, timer.elapsed)
             self.requests_served += 1
         try:
-            send_frame(conn, header, payload)
+            self._send(state, header, payload, version)
         except ProtocolError as exc:
             # the reply itself is unshippable (e.g. a result set beyond
             # the payload ceiling): say so instead of dying silently
-            self._reply_error(conn, exc.code, str(exc))
+            self._reply_error(state, exc.code, str(exc),
+                              request_id=rid, version=version)
             return False
         if request_type == "shutdown":
             # only after the bye reply is on the wire: waking
@@ -320,15 +451,112 @@ class JumpPoseServer:
             self._initiate_shutdown()
         return keep_going
 
+    def _serve_stream(self, state: _Connection, frame) -> bool:
+        """Handle one ``stream_analyze`` request (v2 only).
+
+        Per-frame ``stream_frame`` partials go out as the clip decodes
+        (fed by the service's :meth:`~JumpPoseService.stream_clip`
+        generator), then the final ``result`` frame — bit-identical to
+        an ``analyze_clips`` of the same clip — ends the stream.  An
+        error mid-stream terminates it with a structured ``error`` frame
+        carrying the request id.
+        """
+        from repro.synth.io import clip_from_bytes
+
+        rid = frame.request_id
+        version = frame.version
+        if version < 2:
+            self._reply_error(
+                state, "bad-request",
+                "stream_analyze requires protocol version 2",
+                version=version,
+            )
+            return True
+        with Timer() as timer:
+            try:
+                blobs = unpack_blobs(frame.payload)
+                if len(blobs) != 1:
+                    raise ProtocolError(
+                        f"stream_analyze expects exactly one inline clip "
+                        f"archive, got {len(blobs)}",
+                        code="bad-request",
+                        recoverable=True,
+                    )
+                clip = clip_from_bytes(blobs[0])
+                stream = self.service.stream_clip(clip)
+                seq = 0
+                while True:
+                    try:
+                        partial = next(stream)
+                    except StopIteration as stop:
+                        final = stop.value
+                        break
+                    header: "dict[str, object]" = {
+                        "type": "stream_frame",
+                        "seq": seq,
+                        "frame": frame_result_to_wire(partial),
+                    }
+                    if rid is not None:
+                        header["id"] = rid
+                    self._send(state, header, b"", version)
+                    seq += 1
+                header, payload, keep_going = self._results_reply([final])
+            except ProtocolError as exc:
+                self._reply_error(state, exc.code, str(exc),
+                                  request_id=rid, version=version)
+                return exc.recoverable
+            except ReproError as exc:
+                self._reply_error(state, type(exc).__name__, str(exc),
+                                  request_id=rid, version=version)
+                return True
+            except OSError:
+                raise  # peer vanished mid-stream; handled by the caller
+            except Exception as exc:
+                self._reply_error(
+                    state, "internal-error", f"{type(exc).__name__}: {exc}",
+                    request_id=rid, version=version,
+                )
+                return False
+        if rid is not None:
+            header["id"] = rid
+        header.setdefault("latency_s", timer.elapsed)
+        with self._profile_lock:
+            self.request_profile.add("stream_analyze", timer.elapsed)
+            self.requests_served += 1
+        try:
+            self._send(state, header, payload, version)
+        except ProtocolError as exc:
+            self._reply_error(state, exc.code, str(exc),
+                              request_id=rid, version=version)
+            return False
+        return keep_going
+
     def _reply_error(
-        self, conn: socket.socket, code: str, message: str
+        self,
+        state: _Connection,
+        code: str,
+        message: str,
+        request_id: "int | str | None" = None,
+        version: int = 1,
     ) -> None:
+        """Send a structured ``error`` frame, best-effort.
+
+        Read-level failures (no decoded frame to mirror) default to a
+        version-1 error frame, which every peer can read; frame-level
+        failures pass the request's version and — for pipelined
+        requests — its ``id`` so the client can match the error to the
+        request it answers.
+        """
         with self._profile_lock:
             self.errors_served += 1
+        header: "dict[str, object]" = {
+            "type": "error", "code": code, "message": message,
+        }
+        if request_id is not None:
+            header["id"] = request_id
+            version = max(version, 2)  # ids only exist on v2 frames
         try:
-            send_frame(
-                conn, {"type": "error", "code": code, "message": message}
-            )
+            self._send(state, header, b"", version)
         except OSError:
             pass  # best effort: the peer may already be gone
 
@@ -342,6 +570,8 @@ class JumpPoseServer:
             "model_schema": self.service.metadata.get("schema"),
             "jobs": self.service.jobs,
         }
+        if self.replica_id is not None:
+            header["replica_id"] = self.replica_id
         if "echo" in frame.header:
             header["echo"] = frame.header["echo"]
         return header, b"", True
@@ -384,18 +614,29 @@ class JumpPoseServer:
             )
         return self._results_reply(self.service.analyze_directory(directory))
 
-    def _handle_stats(self, frame):
+    def server_stats_snapshot(self) -> "dict[str, object]":
+        """The front's request accounting, read under its lock.
+
+        Returns:
+            ``{"requests": ..., "errors": ..., "request_stages": ...}``
+            — the ``server`` block of the ``stats`` reply, also consumed
+            by the cluster roll-up so both views cannot diverge.
+        """
         with self._profile_lock:
-            server_stats = {
+            return {
                 "requests": self.requests_served,
                 "errors": self.errors_served,
                 "request_stages": self.request_profile.as_dict(),
             }
+
+    def _handle_stats(self, frame):
         header = {
             "type": "stats",
             "service": self.service.stats_snapshot(),
-            "server": server_stats,
+            "server": self.server_stats_snapshot(),
         }
+        if self.replica_id is not None:
+            header["replica_id"] = self.replica_id
         return header, b"", True
 
     def _initiate_shutdown(self) -> None:

@@ -3,16 +3,31 @@
 One *frame* carries one request or one response::
 
     0:4    magic        b"JPSE"
-    4:6    version      u16 big-endian (PROTOCOL_VERSION)
+    4:6    version      u16 big-endian (1 or 2; see below)
     6:10   header size  u32 big-endian (JSON object, UTF-8)
     10:18  payload size u64 big-endian (opaque binary, may be 0)
     18:    header bytes, then payload bytes
 
 The JSON header routes the frame (``{"type": "ping"}``,
 ``{"type": "analyze_paths", "paths": [...]}``, ...); the binary payload
-carries bulk data — inline clip archives on requests, nothing on today's
-responses.  Multiple binary blobs (one per clip) are packed with
+carries bulk data — inline clip archives on requests, result JSON on
+bulk responses.  Multiple binary blobs (one per clip) are packed with
 :func:`pack_blobs` / :func:`unpack_blobs`.
+
+Version 2 keeps the byte layout of version 1 and adds two capabilities
+on top of it (``docs/protocol.md`` is the normative spec):
+
+* **request ids / pipelining** — a v2 request header may carry an
+  ``id`` (JSON integer or string).  Replies echo the ``id`` verbatim,
+  which lets one connection keep up to
+  :data:`MAX_INFLIGHT_REQUESTS` requests in flight: the server answers
+  in *completion* order and the client reorders by id.  Requests
+  without an id (all v1 traffic included) are handled strictly in
+  arrival order, which is exactly the version-1 behaviour — a v2
+  server therefore still round-trips v1 clients unchanged.
+* **streaming replies** — a ``stream_analyze`` request is answered by
+  a sequence of per-frame ``stream_frame`` partial results followed by
+  one final ``result`` frame (see :func:`frame_result_to_wire`).
 
 Every malformed input maps to :class:`~repro.errors.ProtocolError` with a
 ``code`` and a ``recoverable`` flag: a frame whose bytes were fully
@@ -41,7 +56,16 @@ from repro.core.results import ClipResult, FrameResult
 from repro.errors import ProtocolError
 
 PROTOCOL_MAGIC = b"JPSE"
-PROTOCOL_VERSION = 1
+#: The version this side emits by default (request ids + streaming).
+PROTOCOL_VERSION = 2
+#: Every version this side still reads; replies mirror the request's
+#: version, so v1 peers keep seeing pure v1 traffic.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+
+#: Per-connection ceiling on id-bearing requests awaiting their reply.
+#: A request pipelined beyond it is answered with a recoverable
+#: ``pipeline-overflow`` error instead of being queued unboundedly.
+MAX_INFLIGHT_REQUESTS = 32
 
 #: Hard ceilings on declared sizes; a prefix above these is hostile or
 #: corrupt and is rejected before any allocation.
@@ -57,14 +81,29 @@ _BLOB_SIZE = struct.Struct(">Q")
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: routing header plus opaque payload."""
+    """One decoded frame: routing header, opaque payload, wire version."""
 
     header: "dict[str, object]"
     payload: bytes = b""
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def request_id(self) -> "int | str | None":
+        """The header's ``id`` field, if the frame carries one."""
+        rid = self.header.get("id")
+        return rid if isinstance(rid, (int, str)) else None
 
 
-def _frame_head(header: "dict[str, object]", payload: bytes) -> bytes:
+def _frame_head(
+    header: "dict[str, object]", payload: bytes, version: int
+) -> bytes:
     """Validate sizes and build the prefix + header bytes of one frame."""
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolError(
+            f"cannot emit protocol version {version} "
+            f"(supported: {SUPPORTED_PROTOCOL_VERSIONS})",
+            code="bad-version",
+        )
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     if len(header_bytes) > MAX_HEADER_BYTES:
         raise ProtocolError(
@@ -79,25 +118,33 @@ def _frame_head(header: "dict[str, object]", payload: bytes) -> bytes:
             code="oversized-payload",
         )
     prefix = _PREFIX.pack(
-        PROTOCOL_MAGIC, PROTOCOL_VERSION, len(header_bytes), len(payload)
+        PROTOCOL_MAGIC, version, len(header_bytes), len(payload)
     )
     return prefix + header_bytes
 
 
-def encode_frame(header: "dict[str, object]", payload: bytes = b"") -> bytes:
-    """Serialise one frame to wire bytes."""
-    return _frame_head(header, payload) + payload
+def encode_frame(
+    header: "dict[str, object]",
+    payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Serialise one frame to wire bytes (``version`` selects the tag)."""
+    return _frame_head(header, payload, version) + payload
 
 
 def send_frame(
-    sock: socket.socket, header: "dict[str, object]", payload: bytes = b""
+    sock: socket.socket,
+    header: "dict[str, object]",
+    payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
 ) -> None:
     """Write one frame to a connected socket.
 
     The payload is sent as-is rather than concatenated into one buffer,
-    so a near-ceiling payload is not copied a second time.
+    so a near-ceiling payload is not copied a second time.  ``version``
+    tags the frame — servers reply with the version the request used.
     """
-    sock.sendall(_frame_head(header, payload))
+    sock.sendall(_frame_head(header, payload, version))
     if payload:
         sock.sendall(payload)
 
@@ -138,10 +185,10 @@ def read_frame(
             f"bad magic {magic!r} (expected {PROTOCOL_MAGIC!r})",
             code="bad-magic",
         )
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
         raise ProtocolError(
-            f"unsupported protocol version {version} "
-            f"(this side speaks {PROTOCOL_VERSION})",
+            f"unsupported protocol version {version} (this side speaks "
+            f"{' and '.join(str(v) for v in SUPPORTED_PROTOCOL_VERSIONS)})",
             code="bad-version",
         )
     if header_size > MAX_HEADER_BYTES:
@@ -173,7 +220,23 @@ def read_frame(
             code="bad-header",
             recoverable=True,
         )
-    return Frame(header=header, payload=payload)
+    rid = header.get("id")
+    if rid is not None:
+        if version < 2:
+            raise ProtocolError(
+                "request ids require protocol version 2 "
+                f"(this frame is tagged version {version})",
+                code="bad-request",
+                recoverable=True,
+            )
+        if not isinstance(rid, (int, str)) or isinstance(rid, bool):
+            raise ProtocolError(
+                f"'id' must be a JSON integer or string, "
+                f"got {type(rid).__name__}",
+                code="bad-request",
+                recoverable=True,
+            )
+    return Frame(header=header, payload=payload, version=version)
 
 
 # ----------------------------------------------------------------------
@@ -227,43 +290,80 @@ def unpack_blobs(payload: bytes) -> "list[bytes]":
 
 
 # ----------------------------------------------------------------------
-# ClipResult codec
+# Result codecs (one frame, one clip)
 # ----------------------------------------------------------------------
+def frame_result_to_wire(frame: FrameResult) -> "dict[str, object]":
+    """A JSON-safe rendering of one frame result.
+
+    The per-frame unit of both codecs: ``clip_result_to_wire`` embeds a
+    list of these, and v2 ``stream_frame`` partial replies carry exactly
+    one.  Poses travel by enum name; the posterior as a JSON float
+    (``repr``-round-tripped, so it survives the wire bit-exactly).
+    """
+    return {
+        "index": frame.index,
+        "truth": frame.truth.name,
+        "predicted": (
+            None if frame.predicted is None else frame.predicted.name
+        ),
+        "posterior": float(frame.posterior),
+    }
+
+
+def frame_result_from_wire(entry: "dict[str, object]") -> FrameResult:
+    """Invert :func:`frame_result_to_wire`.
+
+    Raises:
+        ProtocolError: missing or ill-typed fields, unknown pose names
+            (code ``bad-result``, recoverable).
+    """
+    try:
+        return FrameResult(
+            index=int(entry["index"]),
+            truth=Pose[entry["truth"]],
+            predicted=(
+                None if entry["predicted"] is None
+                else Pose[entry["predicted"]]
+            ),
+            posterior=float(entry["posterior"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed frame result: {exc}",
+            code="bad-result",
+            recoverable=True,
+        ) from exc
+
+
 def clip_result_to_wire(result: ClipResult) -> "dict[str, object]":
     """A JSON-safe rendering of one clip result."""
     return {
         "clip_id": result.clip_id,
-        "frames": [
-            {
-                "index": frame.index,
-                "truth": frame.truth.name,
-                "predicted": (
-                    None if frame.predicted is None else frame.predicted.name
-                ),
-                "posterior": float(frame.posterior),
-            }
-            for frame in result.frames
-        ],
+        "frames": [frame_result_to_wire(frame) for frame in result.frames],
     }
 
 
 def clip_result_from_wire(payload: "dict[str, object]") -> ClipResult:
     """Invert :func:`clip_result_to_wire`."""
     try:
-        frames = tuple(
-            FrameResult(
-                index=int(entry["index"]),
-                truth=Pose[entry["truth"]],
-                predicted=(
-                    None if entry["predicted"] is None
-                    else Pose[entry["predicted"]]
-                ),
-                posterior=float(entry["posterior"]),
-            )
-            for entry in payload["frames"]
+        entries = payload["frames"]
+        clip_id = str(payload["clip_id"])
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(
+            f"malformed clip result: {exc}",
+            code="bad-result",
+            recoverable=True,
+        ) from exc
+    if not isinstance(entries, list):
+        raise ProtocolError(
+            f"'frames' must be a list, got {type(entries).__name__}",
+            code="bad-result",
+            recoverable=True,
         )
-        return ClipResult(clip_id=str(payload["clip_id"]), frames=frames)
-    except (KeyError, TypeError, ValueError) as exc:
+    frames = tuple(frame_result_from_wire(entry) for entry in entries)
+    try:
+        return ClipResult(clip_id=clip_id, frames=frames)
+    except Exception as exc:  # e.g. an empty frame tuple
         raise ProtocolError(
             f"malformed clip result: {exc}",
             code="bad-result",

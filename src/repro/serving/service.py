@@ -94,6 +94,14 @@ class ServiceStats:
     memory stays bounded — quantiles and the mean describe recent traffic.
     ``profile`` merges the workers' per-stage reports, so its totals are
     CPU-seconds across workers.
+
+    ``replica_id`` names the service these numbers belong to once many
+    replicas serve the same artifact (see
+    :class:`~repro.serving.cluster.JumpPoseCluster`): a roll-up that
+    merges stats across replicas would otherwise lose which replica did
+    the work.  ``None`` (the default) means a standalone, unnamed
+    service; when set, :meth:`as_dict` carries it so every stats payload
+    is attributable.
     """
 
     clips: int = 0
@@ -103,6 +111,7 @@ class ServiceStats:
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
     )
     profile: ProfileReport = field(default_factory=ProfileReport)
+    replica_id: "str | None" = None
 
     @property
     def clip_throughput(self) -> float:
@@ -130,7 +139,7 @@ class ServiceStats:
 
     def as_dict(self) -> "dict[str, object]":
         """The machine-readable stats payload served by both fronts."""
-        return {
+        payload: "dict[str, object]" = {
             "clips": self.clips,
             "frames": self.frames,
             "wall_s": self.wall_s,
@@ -141,6 +150,9 @@ class ServiceStats:
             "latency_p95_s": self.latency_quantile(0.95),
             "stages": self.profile.as_dict(),
         }
+        if self.replica_id is not None:
+            payload["replica_id"] = self.replica_id
+        return payload
 
     def render(self) -> str:
         """Human-readable summary for the CLI's ``serve`` command."""
@@ -173,6 +185,9 @@ class JumpPoseService:
             amortises task dispatch without hurting request ordering).
         decode: optional decode-mode override applied on top of the
             artifact's stored classifier configuration.
+        replica_id: optional name identifying this service instance in
+            stats payloads when many replicas serve the same artifact
+            (set by :class:`~repro.serving.cluster.JumpPoseCluster`).
 
     Results always come back in request order, whatever the completion
     order, so serving output is reproducible.  Use as a context manager,
@@ -185,6 +200,7 @@ class JumpPoseService:
         jobs: int = 1,
         batch_size: int = 4,
         decode: "str | None" = None,
+        replica_id: "str | None" = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -201,8 +217,14 @@ class JumpPoseService:
         self.jobs = jobs
         self.batch_size = batch_size
         self.decode = decode
-        self.stats = ServiceStats()
+        self.replica_id = replica_id
+        self.stats = ServiceStats(replica_id=replica_id)
         self._analyzer: "JumpPoseAnalyzer | None" = None
+        # lazily-loaded in-process analyzer for stream_clip (jobs > 1
+        # keeps the batch analyzers inside pool workers, where a
+        # frame-at-a-time generator cannot reach them)
+        self._stream_analyzer: "JumpPoseAnalyzer | None" = None
+        self._stream_analyzer_lock = threading.Lock()
         self._pool = None
         # one dispatch at a time: stats accumulation and pool.map are not
         # re-entrant, and the network front serves many connection threads
@@ -255,6 +277,8 @@ class JumpPoseService:
         with self._dispatch_lock:
             pool, self._pool = self._pool, None
             self._analyzer = None
+        with self._stream_analyzer_lock:
+            self._stream_analyzer = None
         if pool is None:
             return
         try:
@@ -305,6 +329,85 @@ class JumpPoseService:
         if not paths:
             raise ConfigurationError(f"no .npz clips under {directory}")
         return self.analyze_paths(paths)
+
+    def _streaming_analyzer(self) -> "JumpPoseAnalyzer":
+        """The in-process analyzer streaming requests decode with.
+
+        ``jobs == 1`` reuses the service's own analyzer; otherwise the
+        artifact is loaded once more in-process (it is a few kB) and
+        cached, since the pool workers' analyzers are unreachable from a
+        frame-at-a-time generator.
+        """
+        if self._analyzer is not None:
+            return self._analyzer
+        with self._stream_analyzer_lock:
+            if self._stream_analyzer is None:
+                if not self.is_running:
+                    raise ModelError(
+                        "service is not running; call start() first"
+                    )
+                self._stream_analyzer = load_analyzer(
+                    self.artifact_path, decode=self.decode
+                )
+            return self._stream_analyzer
+
+    def stream_clip(self, clip: "JumpClip"):
+        """Decode one clip frame-incrementally, yielding partial results.
+
+        A generator over the paper's per-frame pipeline: each of the
+        clip's frames runs the vision front-end and one causal
+        :class:`~repro.serving.streaming.StreamingDecoder` step
+        (``lag=0``, i.e. ``decode="filter"`` semantics), and the
+        corresponding :class:`~repro.core.results.FrameResult` is
+        yielded as soon as that frame is decoded — long clips produce
+        feedback before they finish.  When the stream is exhausted the
+        *final* :class:`~repro.core.results.ClipResult` — computed with
+        the service's configured decode mode over the same candidate
+        features, hence bit-identical to :meth:`analyze_clips` — is the
+        generator's return value (``StopIteration.value``).
+
+        Args:
+            clip: the materialised clip to decode.
+
+        Returns:
+            A generator yielding one ``FrameResult`` per frame and
+            returning the final ``ClipResult``.
+
+        Raises:
+            ModelError: the service is not running.
+        """
+        from repro.core.results import FrameResult
+        from repro.errors import FeatureError, ImageError, SkeletonError
+        from repro.serving.streaming import StreamingDecoder
+
+        analyzer = self._streaming_analyzer()
+        front_end = analyzer.front_end
+        with Timer() as wall:
+            subtractor = front_end.subtractor_for(clip.background)
+            decoder = StreamingDecoder(analyzer.classifier, lag=0)
+            candidates_per_frame = []
+            for index, rgb in enumerate(clip.frames):
+                try:
+                    skeleton = front_end.skeleton_of_frame(rgb, subtractor)
+                    candidates = front_end.candidate_features(skeleton)
+                except (ImageError, SkeletonError, FeatureError):
+                    candidates = []
+                candidates_per_frame.append(candidates)
+                (prediction,) = decoder.push(candidates)
+                yield FrameResult(
+                    index=index,
+                    truth=clip.labels[index],
+                    predicted=prediction.pose,
+                    posterior=prediction.posterior,
+                )
+            predictions = analyzer.classifier.classify(candidates_per_frame)
+            result = analyzer._result_for(clip, predictions)
+        with self._dispatch_lock:
+            self.stats.clips += 1
+            self.stats.frames += len(clip)
+            self.stats.latencies_s.append(wall.elapsed)
+            self.stats.wall_s += wall.elapsed
+        return result
 
     def _dispatch(self, items: list, pool_fn, inline_fn) -> "list[ClipResult]":
         if not items:

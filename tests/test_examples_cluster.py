@@ -1,0 +1,37 @@
+"""Smoke-execute the cluster round-trip example end to end.
+
+``examples/cluster_roundtrip.py`` asserts its own acceptance criteria
+(sharded and failed-over cluster output bit-identical to the local
+decode), so executing it is the test; this wrapper only pins the exit
+code and the wire-up (train → save → 3 replicas → route → kill one →
+verify) against drift in the example.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLE = (
+    Path(__file__).resolve().parents[1] / "examples" / "cluster_roundtrip.py"
+)
+
+
+@pytest.mark.slow
+@pytest.mark.network(timeout=300)  # trains a small model before serving
+def test_cluster_roundtrip_example_runs(capsys):
+    spec = importlib.util.spec_from_file_location("cluster_roundtrip", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert module.main() == 0
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert "bit-identical to the local decode" in out
+    assert "still bit-identical" in out
+    assert "cluster output == local output" in out

@@ -98,3 +98,30 @@ def test_docstrings_of_named_apis_state_their_raises():
     for client in (JumpPoseClient, HttpJumpPoseClient):
         assert "RemoteError" in inspect.getdoc(client.analyze_clips)
         assert "TransportError" in inspect.getdoc(client.connect)
+
+
+def test_scaleout_apis_state_their_contracts():
+    """The PR-5 surface: router, cluster, pipelining, streaming — every
+    entry point documents its failure modes and its ordering/identity
+    guarantees."""
+    from repro.serving.client import JumpPoseClient, RoutingClient
+    from repro.serving.cluster import JumpPoseCluster, merge_service_stats
+    from repro.serving.service import JumpPoseService
+
+    routed = inspect.getdoc(RoutingClient.analyze_clips)
+    assert "RemoteError" in routed and "TransportError" in routed
+    assert "input order" in routed  # the deterministic-merge guarantee
+    assert "failover" in inspect.getdoc(RoutingClient).lower()
+
+    piped = inspect.getdoc(JumpPoseClient.analyze_clips_pipelined)
+    assert "RemoteError" in piped and "TransportError" in piped
+    assert "completion order" in piped
+
+    streamed = inspect.getdoc(JumpPoseClient.stream_analyze)
+    assert "RemoteError" in streamed and "TransportError" in streamed
+    assert "ClipResult" in streamed
+
+    assert "OSError" in inspect.getdoc(JumpPoseCluster.start)
+    assert "ConfigurationError" in inspect.getdoc(JumpPoseCluster)
+    assert "quantile" in inspect.getdoc(merge_service_stats).lower()
+    assert "ModelError" in inspect.getdoc(JumpPoseService.stream_clip)

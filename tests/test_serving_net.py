@@ -10,6 +10,7 @@ client's connect/retry/timeout semantics.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
@@ -17,11 +18,18 @@ import time
 import pytest
 
 from repro.cli import main
+from repro.core.results import ClipResult, FrameResult
 from repro.errors import ConfigurationError, RemoteError, TransportError
 from repro.serving.client import JumpPoseClient
 from repro.serving.net import JumpPoseServer
-from repro.serving.protocol import PROTOCOL_VERSION
-from repro.synth.io import save_clip
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    clip_result_from_wire,
+    encode_frame,
+    pack_blobs,
+    read_frame,
+)
+from repro.synth.io import clip_to_bytes, save_clip
 
 pytestmark = pytest.mark.network
 
@@ -142,6 +150,127 @@ def test_concurrent_clients_get_per_client_order(server, analyzer, dataset):
     for thread in threads:
         thread.join()
     assert not failures, failures
+
+
+# ----------------------------------------------------------------------
+# Protocol v2: pipelining + streaming + v1 compatibility
+# ----------------------------------------------------------------------
+@pytest.mark.network(timeout=180)
+def test_pipelined_batches_bit_identical(client, analyzer, dataset):
+    """Overlapped id-tagged requests come back reordered into batch
+    order, each batch bit-identical to its serial counterpart."""
+    clips = list(dataset.test)
+    local = analyzer.analyze_clips(clips)
+    batches = [[clips[0]], [clips[1]], clips]
+    piped = client.analyze_clips_pipelined(batches, max_inflight=3)
+    assert piped == [[local[0]], [local[1]], local]
+    # the same connection keeps serving ordinary requests afterwards
+    assert client.ping()["type"] == "pong"
+
+
+def test_pipelined_empty_and_validation(client):
+    assert client.analyze_clips_pipelined([]) == []
+    with pytest.raises(ConfigurationError, match="max_inflight"):
+        client.analyze_clips_pipelined([[]], max_inflight=0)
+
+
+@pytest.mark.network(timeout=120)
+def test_pipelined_replies_come_in_completion_order(server, dataset):
+    """A fast ping pipelined behind a slow analyze overtakes it on the
+    wire — the v2 completion-order contract — and ids let the client
+    reattribute both."""
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=60.0)
+    try:
+        payload = pack_blobs([clip_to_bytes(dataset.test[0])])
+        sock.sendall(
+            encode_frame({"type": "analyze_clips", "id": 1}, payload)
+        )
+        sock.sendall(encode_frame({"type": "ping", "id": 2}))
+        with sock.makefile("rb") as reader:
+            first = read_frame(reader)
+            second = read_frame(reader)
+        # the decode takes ~a second; the ping completes immediately
+        assert first.header["type"] == "pong"
+        assert first.header["id"] == 2
+        assert second.header["type"] == "result"
+        assert second.header["id"] == 1
+    finally:
+        sock.close()
+
+
+@pytest.mark.network(timeout=120)
+def test_stream_analyze_yields_per_frame_then_final(client, analyzer, dataset):
+    """stream_analyze: one causal partial per frame, then a final
+    ClipResult bit-identical to analyze_clips."""
+    clip = dataset.test[0]
+    events = list(client.stream_analyze(clip))
+    *partials, final = events
+    assert isinstance(final, ClipResult)
+    assert final == analyzer.analyze_clips([clip])[0]
+    assert len(partials) == len(clip)
+    for index, partial in enumerate(partials):
+        assert isinstance(partial, FrameResult)
+        assert partial.index == index
+        assert partial.truth == clip.labels[index]
+    # partials are causal (filter-mode) predictions: posteriors are
+    # proper probabilities
+    assert all(0.0 <= p.posterior <= 1.0 for p in partials)
+    # the connection survives the stream
+    assert client.ping()["type"] == "pong"
+
+
+@pytest.mark.network(timeout=120)
+def test_v1_client_round_trips_against_v2_server(server, analyzer, dataset):
+    """Version negotiation: a pure v1 peer sends v1 frames and receives
+    v1 frames, with results bit-identical to local decoding."""
+    clip = dataset.test[0]
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=60.0)
+    try:
+        with sock.makefile("rb") as reader:
+            sock.sendall(encode_frame({"type": "ping"}, version=1))
+            pong = read_frame(reader)
+            assert pong.header["type"] == "pong"
+            assert pong.version == 1  # replies mirror the request version
+            sock.sendall(encode_frame(
+                {"type": "analyze_clips"},
+                pack_blobs([clip_to_bytes(clip)]),
+                version=1,
+            ))
+            reply = read_frame(reader)
+            assert reply.version == 1
+            assert reply.header["type"] == "result"
+            (entry,) = json.loads(reply.payload.decode("utf-8"))
+            assert clip_result_from_wire(entry) == analyzer.analyze_clip(clip)
+    finally:
+        sock.close()
+
+
+@pytest.mark.network(timeout=120)
+def test_pipeline_overflow_is_a_structured_error(artifact, dataset, monkeypatch):
+    """Requests beyond the in-flight ceiling get a recoverable
+    ``pipeline-overflow`` error carrying their id."""
+    monkeypatch.setattr("repro.serving.net.MAX_INFLIGHT_REQUESTS", 2)
+    with JumpPoseServer(artifact) as server:
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=60.0)
+        try:
+            payload = pack_blobs([clip_to_bytes(dataset.test[0])])
+            for rid in (1, 2, 3):
+                sock.sendall(encode_frame(
+                    {"type": "analyze_clips", "id": rid}, payload
+                ))
+            with sock.makefile("rb") as reader:
+                replies = [read_frame(reader) for _ in range(3)]
+            by_id = {frame.header["id"]: frame.header for frame in replies}
+            assert by_id[3]["type"] == "error"
+            assert by_id[3]["code"] == "pipeline-overflow"
+            # the two admitted requests still complete normally
+            assert by_id[1]["type"] == "result"
+            assert by_id[2]["type"] == "result"
+        finally:
+            sock.close()
 
 
 def test_shutdown_request_stops_the_server(artifact):

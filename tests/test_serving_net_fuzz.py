@@ -215,6 +215,115 @@ def test_malformed_blob_framing_gets_structured_error(server, raw):
         assert read_frame(reader).header["type"] == "pong"
 
 
+# ----------------------------------------------------------------------
+# Protocol-v2 fuzzing: ids, pipelining, streaming
+# ----------------------------------------------------------------------
+def test_ill_typed_request_id_keeps_connection(server, raw):
+    """An id that is neither integer nor string is a recoverable error."""
+    with raw.makefile("rb") as reader:
+        for bad_id in ([1, 2], {"n": 1}, 1.5, True):
+            junk = json.dumps({"type": "ping", "id": bad_id}).encode()
+            raw.sendall(_prefix(version=2, header_size=len(junk)) + junk)
+            response = read_frame(reader)
+            assert response.header["type"] == "error"
+            assert response.header["code"] == "bad-request"
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_id_on_a_v1_frame_is_rejected_recoverably(server, raw):
+    """v1 frames predate ids; one carrying an id is a malformed request,
+    not a framing loss."""
+    junk = json.dumps({"type": "ping", "id": 7}).encode()
+    raw.sendall(_prefix(version=1, header_size=len(junk)) + junk)
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "bad-request"
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_pipelined_errors_carry_the_request_id(server, raw):
+    """A failing id-tagged request is answered with an error frame
+    carrying that id, so a pipelining client can attribute it."""
+    payload = struct.pack(">I", 3)  # declares 3 blobs, supplies none
+    raw.sendall(encode_frame({"type": "analyze_clips", "id": 41}, payload))
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "bad-payload"
+        assert response.header["id"] == 41
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_unknown_pipelined_type_keeps_connection(server, raw):
+    raw.sendall(encode_frame({"type": "make-espresso", "id": "x-1"}))
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "bad-request"
+        assert response.header["id"] == "x-1"
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+
+
+def test_stream_analyze_garbage_archive_keeps_connection(server, raw):
+    payload = pack_blobs([b"definitely not an npz archive"])
+    raw.sendall(encode_frame({"type": "stream_analyze", "id": 9}, payload))
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "DatasetError"
+        assert response.header["id"] == 9
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_stream_analyze_wrong_blob_count_is_bad_request(server, raw):
+    raw.sendall(encode_frame({"type": "stream_analyze", "id": 10},
+                             pack_blobs([])))
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "bad-request"
+        assert "exactly one" in response.header["message"]
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+
+
+def test_stream_analyze_requires_v2(server, raw):
+    """A v1 frame asking for streaming gets a recoverable refusal."""
+    junk = json.dumps({"type": "stream_analyze"}).encode()
+    raw.sendall(_prefix(version=1, header_size=len(junk)) + junk)
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "error"
+        assert response.header["code"] == "bad-request"
+        assert "version 2" in response.header["message"]
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_mid_pipeline_disconnect_leaves_server_serving(server):
+    """A client that pipelines requests and vanishes before reading any
+    reply must not wedge the server."""
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10.0)
+    try:
+        for rid in range(4):
+            sock.sendall(encode_frame({"type": "ping", "id": rid}))
+    finally:
+        sock.close()  # without reading a single reply
+    _assert_alive(server)
+
+
 def test_random_junk_streams_never_kill_the_server(server):
     """Seeded junk blasts on fresh connections; the server outlives all."""
     rng = np.random.default_rng(0xFACE)
