@@ -30,6 +30,12 @@ def pytest_configure(config: "pytest.Config") -> None:
         "SIGALRM guard (tests/conftest.py, default 60s) fails it instead "
         "of letting a hung read wedge tier-1",
     )
+    config.addinivalue_line(
+        "markers",
+        "faultinject: exercises deliberate fault injection (crashes, "
+        "hangs, corrupt frames) against the serving stack; deselect with "
+        "-m 'not faultinject' when drills are unwanted",
+    )
 
 
 def pytest_collection_modifyitems(

@@ -36,6 +36,19 @@ comma-separated ``--connect`` shards through
     python -m repro.cli analyze clips/clip-00.npz \
         --connect 127.0.0.1:7345,127.0.0.1:7346,127.0.0.1:7347
 
+``serve --supervised`` upgrades the fleet to real OS processes under
+:class:`~repro.serving.supervisor.ReplicaSupervisor` — crashed or
+unresponsive replicas are restarted with exponential backoff and
+re-admitted after consecutive healthy probes — and ``--fault-spec``
+arms deterministic fault injection for drills (``docs/scaling.md``)::
+
+    python -m repro.cli serve --model model.npz --supervised \
+        --replicas 3 --port 7345
+
+``serve`` installs SIGTERM/SIGINT handlers on every bound front, so
+``kill`` (or ``docker stop``) triggers the same graceful drain a
+protocol shutdown request does.
+
 ``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
 without it they fall back to training a small throwaway model.
 """
@@ -43,6 +56,7 @@ without it they fall back to training a small throwaway model.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 
@@ -140,6 +154,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run this many JumpPoseServer replicas of the "
                             "artifact (requires --port; replica i binds "
                             "port+i, or all-ephemeral with --port 0)")
+    serve.add_argument("--supervised", action="store_true",
+                       help="run --replicas as real OS processes under "
+                            "ReplicaSupervisor: crash detection, backoff "
+                            "restarts, health-probe re-admission (requires "
+                            "--port; see docs/scaling.md)")
+    serve.add_argument("--restart-budget", type=int, default=None,
+                       help="with --supervised: restarts a replica may burn "
+                            "before it is marked failed (default 5; the "
+                            "budget refills after sustained health)")
+    serve.add_argument("--replica-id", default=None,
+                       help="name this server in stats/ping payloads (used "
+                            "by the supervisor when spawning replicas; "
+                            "single --port front only)")
+    serve.add_argument("--fault-spec", default=None,
+                       help="arm deterministic fault injection on the bound "
+                            "front, e.g. 'crash@3' or 'slow=0.2~0.5:analyze' "
+                            "(testing only; also read from $JPSE_FAULTS)")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="seed for probabilistic fault rules "
+                            "(default 0; requires --fault-spec)")
     serve.add_argument("--http-port", type=int, default=None,
                        help="listen on this port with the HTTP/JSON gateway "
                             "instead of the JPSE socket front (0 picks an "
@@ -339,7 +373,49 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"--replicas must be >= 1, got {args.replicas}"
         )
+    if args.fault_seed is not None and args.fault_spec is None:
+        raise ConfigurationError(
+            "--fault-seed only applies with --fault-spec "
+            "(nothing to seed otherwise)"
+        )
+    if args.fault_spec is not None and args.port is None \
+            and args.http_port is None:
+        # local serve has no request seam to inject into; a silently
+        # ignored spec would look armed without being so
+        raise ConfigurationError(
+            "--fault-spec needs a bound front (add --port or --http-port)"
+        )
+    if args.replica_id is not None and (
+        args.supervised or args.replicas > 1 or args.port is None
+    ):
+        raise ConfigurationError(
+            "--replica-id names a single --port server; replica fleets "
+            "name their members r0..r{N-1} themselves"
+        )
+    if args.restart_budget is not None and not args.supervised:
+        raise ConfigurationError(
+            "--restart-budget only applies with --supervised "
+            "(nothing restarts otherwise)"
+        )
+    if args.supervised:
+        if args.http_port is not None:
+            raise ConfigurationError(
+                "--supervised runs JPSE replicas; it does not combine "
+                "with --http-port"
+            )
+        if args.port is None:
+            raise ConfigurationError(
+                "--supervised requires --port (use --port 0 for "
+                "all-ephemeral replica ports)"
+            )
+        return _serve_supervised(args)
     if args.replicas > 1:
+        if args.fault_spec is not None:
+            raise ConfigurationError(
+                "--fault-spec with a replica fleet requires --supervised "
+                "(in-process replicas share a fate; a crash fault would "
+                "kill them all)"
+            )
         if args.http_port is not None:
             raise ConfigurationError(
                 "--replicas runs the JPSE front; it does not combine with "
@@ -368,6 +444,48 @@ def _reject_clips_dir_for(flag: str, args: argparse.Namespace) -> None:
         )
 
 
+def _install_drain_handlers(request_shutdown) -> None:
+    """SIGTERM/SIGINT run the same graceful drain a shutdown request does.
+
+    ``docker stop``, a supervisor's terminate, and Ctrl-C all deliver
+    signals, not protocol requests; without handlers the process dies
+    mid-reply.  The handler only sets a flag (``request_shutdown`` is
+    signal-safe on every front), so ``serve_forever`` returns and the
+    ``finally`` block drains in-flight work as usual.  Installing
+    handlers is skipped off the main thread (tests drive ``main()``
+    from worker threads, where CPython forbids ``signal.signal``).
+    """
+    def _handler(signum: int, frame: object) -> None:
+        request_shutdown()
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+    except ValueError:
+        pass  # not the main thread; Ctrl-C still raises KeyboardInterrupt
+
+
+def _fault_injector_for(args: argparse.Namespace):
+    """Build the serve front's FaultInjector, or None when unarmed.
+
+    ``--fault-spec`` wins; otherwise ``$JPSE_FAULTS`` is honoured (the
+    supervisor arms per-replica faults through the environment).  Prints
+    a loud notice when armed — an injector must never run silently.
+    """
+    from repro.serving.faults import FaultInjector
+
+    if args.fault_spec is not None:
+        injector = FaultInjector.from_spec(
+            args.fault_spec, seed=args.fault_seed or 0
+        )
+    else:
+        injector = FaultInjector.from_env()
+    if injector is not None:
+        spec = args.fault_spec or "$JPSE_FAULTS"
+        print(f"FAULT INJECTION ARMED ({spec}) -- testing only")
+    return injector
+
+
 def _serve_http(args: argparse.Namespace) -> int:
     """Bind the HTTP gateway; block until a shutdown request (or Ctrl-C)."""
     from repro.serving.http import JumpPoseHttpServer
@@ -381,7 +499,9 @@ def _serve_http(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         decode=args.decode,
         shutdown_token=args.shutdown_token,
+        fault_injector=_fault_injector_for(args),
     )
+    _install_drain_handlers(gateway.request_shutdown)
     try:
         gateway.start()
         host, port = gateway.address
@@ -412,6 +532,7 @@ def _serve_cluster(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         decode=args.decode,
     )
+    _install_drain_handlers(cluster.request_shutdown)
     try:
         cluster.start()
         endpoints = ",".join(
@@ -431,6 +552,60 @@ def _serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_supervised(args: argparse.Namespace) -> int:
+    """Run N replicas as supervised OS processes; block until a signal.
+
+    Unlike ``_serve_cluster``'s in-process replicas, these can crash
+    alone and come back: the supervisor restarts dead or unresponsive
+    replicas with backoff and re-admits them into rotation after
+    consecutive healthy probes (see ``docs/scaling.md``).
+    """
+    from repro.serving.supervisor import ReplicaSupervisor
+
+    _reject_clips_dir_for("--supervised", args)
+    fault_specs = None
+    if args.fault_spec is not None:
+        # the demo shape: every replica armed the same way (tests wanting
+        # per-replica specs construct ReplicaSupervisor directly)
+        fault_specs = {
+            f"r{index}": args.fault_spec for index in range(args.replicas)
+        }
+        print(f"FAULT INJECTION ARMED ({args.fault_spec}) -- testing only")
+    extra: "dict[str, object]" = {}
+    if args.restart_budget is not None:
+        extra["restart_budget"] = args.restart_budget
+    supervisor = ReplicaSupervisor(
+        args.model,
+        replicas=args.replicas,
+        host=args.host,
+        base_port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        decode=args.decode,
+        fault_specs=fault_specs,
+        fault_seed=args.fault_seed or 0,
+        **extra,
+    )
+    _install_drain_handlers(supervisor.request_shutdown)
+    try:
+        supervisor.start()
+        endpoints = ",".join(
+            f"{host}:{port}" for host, port in supervisor.addresses
+        )
+        print(f"supervising {args.model} on {args.replicas} replica "
+              f"processes: {endpoints} (jobs={args.jobs}, "
+              f"batch-size={args.batch_size})")
+        print(f"route clients with: analyze CLIP --connect {endpoints}")
+        supervisor.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.close()
+        print()
+        print(supervisor.render_health())
+    return 0
+
+
 def _serve_network(args: argparse.Namespace) -> int:
     """Bind a TCP front; block until a shutdown request (or Ctrl-C)."""
     from repro.serving.net import JumpPoseServer
@@ -444,7 +619,10 @@ def _serve_network(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         batch_size=args.batch_size,
         decode=args.decode,
+        replica_id=args.replica_id,
+        fault_injector=_fault_injector_for(args),
     )
+    _install_drain_handlers(server.request_shutdown)
     try:
         server.start()
         host, port = server.address

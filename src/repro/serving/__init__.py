@@ -22,6 +22,12 @@ Three layers, bottom-up:
 * :mod:`repro.serving.cluster` — :class:`JumpPoseCluster`, N server
   replicas of one artifact with a per-replica stats roll-up and
   graceful cluster-wide drain;
+* :mod:`repro.serving.supervisor` — :class:`ReplicaSupervisor`, the
+  process-level fleet: replicas as real OS processes, crash-detected,
+  restarted with backoff, health-probed back into rotation;
+* :mod:`repro.serving.faults` — :class:`FaultInjector`, deterministic
+  fault injection (crash/hang/slow/drop/corrupt) for supervision
+  drills and tests;
 * :mod:`repro.serving.client` — :class:`JumpPoseClient`,
   :class:`HttpJumpPoseClient`, and the scale-out
   :class:`RoutingClient` (client-side sharding + failover over many
@@ -44,7 +50,12 @@ from repro.serving.client import (
     JumpPoseClient,
     RoutingClient,
 )
-from repro.serving.cluster import JumpPoseCluster, merge_service_stats
+from repro.serving.cluster import (
+    JumpPoseCluster,
+    merge_service_stats,
+    rollup_health,
+)
+from repro.serving.faults import FaultInjector, FaultRule, parse_fault_spec
 from repro.serving.http import JumpPoseHttpServer
 from repro.serving.net import JumpPoseServer
 from repro.serving.protocol import (
@@ -55,6 +66,7 @@ from repro.serving.protocol import (
 )
 from repro.serving.service import JumpPoseService, ServiceStats
 from repro.serving.streaming import StreamingDecoder, StreamingSession
+from repro.serving.supervisor import ReplicaSupervisor
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -66,15 +78,20 @@ __all__ = [
     "load_analyzer",
     "read_artifact_metadata",
     "save_analyzer",
+    "FaultInjector",
+    "FaultRule",
     "HttpJumpPoseClient",
     "JumpPoseClient",
     "JumpPoseCluster",
     "JumpPoseHttpServer",
     "JumpPoseServer",
     "JumpPoseService",
+    "ReplicaSupervisor",
     "RoutingClient",
     "ServiceStats",
     "StreamingDecoder",
     "StreamingSession",
     "merge_service_stats",
+    "parse_fault_spec",
+    "rollup_health",
 ]

@@ -33,6 +33,7 @@ import bisect
 import hashlib
 import http.client
 import json
+import random
 import socket
 import threading
 import time
@@ -63,13 +64,28 @@ if TYPE_CHECKING:
 class RetryingClientBase:
     """Connect-with-retry and timeout policy shared by both clients.
 
+    The back-off between attempts is exponential, *capped*, and
+    *jittered*: attempt ``i`` waits
+    ``min(retry_delay_s * 2**(i-1), retry_max_delay_s)`` stretched by up
+    to ``retry_jitter_frac`` of itself.  The jitter matters at scale —
+    after a replica restart, every client that lost its connection
+    retries; pure exponential delays keep those clients in lock-step and
+    the reconnect storm re-arrives as a thundering herd each round,
+    while jittered delays spread it out.
+
     Args:
         host / port: the server's bound address.
         timeout_s: per-operation socket timeout (connect, send, receive).
         connect_retries: additional connection attempts after the first
             fails (covers the serve-process-still-starting race).
         retry_delay_s: initial back-off between attempts; doubles each
-            retry.
+            retry up to ``retry_max_delay_s``.
+        retry_max_delay_s: ceiling on the (pre-jitter) back-off delay.
+        retry_jitter_frac: each delay is stretched by a uniform random
+            fraction in ``[0, retry_jitter_frac]`` of itself; 0 disables
+            jitter.
+        retry_rng: the ``random.Random`` drawing the jitter (a fresh,
+            OS-seeded one by default — tests inject a seeded rng).
     """
 
     def __init__(
@@ -79,15 +95,28 @@ class RetryingClientBase:
         timeout_s: float = 30.0,
         connect_retries: int = 3,
         retry_delay_s: float = 0.1,
+        retry_max_delay_s: float = 2.0,
+        retry_jitter_frac: float = 0.25,
+        retry_rng: "random.Random | None" = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.connect_retries = connect_retries
         self.retry_delay_s = retry_delay_s
+        self.retry_max_delay_s = retry_max_delay_s
+        self.retry_jitter_frac = retry_jitter_frac
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
+
+    def _retry_sleep_s(self, attempt: int) -> float:
+        """The jittered, capped back-off before attempt ``attempt`` (1-based)."""
+        base = min(
+            self.retry_delay_s * (2 ** (attempt - 1)), self.retry_max_delay_s
+        )
+        return base * (1.0 + self.retry_jitter_frac * self._retry_rng.random())
 
     def _open_with_retry(self, open_once):
-        """Call ``open_once`` with exponential back-off on ``OSError``.
+        """Call ``open_once`` with capped, jittered back-off on ``OSError``.
 
         Returns:
             Whatever ``open_once`` returns, on the first success.
@@ -96,12 +125,10 @@ class RetryingClientBase:
             TransportError: every attempt failed; the last ``OSError``
                 is chained as the cause.
         """
-        delay = self.retry_delay_s
         last_error: "OSError | None" = None
         for attempt in range(self.connect_retries + 1):
             if attempt:
-                time.sleep(delay)
-                delay *= 2
+                time.sleep(self._retry_sleep_s(attempt))
             try:
                 return open_once()
             except OSError as exc:
@@ -143,8 +170,14 @@ class JumpPoseClient(RetryingClientBase):
         timeout_s: float = 30.0,
         connect_retries: int = 3,
         retry_delay_s: float = 0.1,
+        retry_max_delay_s: float = 2.0,
+        retry_jitter_frac: float = 0.25,
+        retry_rng: "random.Random | None" = None,
     ) -> None:
-        super().__init__(host, port, timeout_s, connect_retries, retry_delay_s)
+        super().__init__(
+            host, port, timeout_s, connect_retries, retry_delay_s,
+            retry_max_delay_s, retry_jitter_frac, retry_rng,
+        )
         self._sock: "socket.socket | None" = None
         self._reader = None
         self._next_request_id = 0
@@ -193,17 +226,41 @@ class JumpPoseClient(RetryingClientBase):
     # ------------------------------------------------------------------
     # The request surface
     # ------------------------------------------------------------------
-    def ping(self, echo: "object | None" = None) -> "dict[str, object]":
-        """Liveness probe; returns the server's ``pong`` header."""
+    def ping(
+        self,
+        echo: "object | None" = None,
+        deadline_s: "float | None" = None,
+    ) -> "dict[str, object]":
+        """Liveness probe; returns the server's ``pong`` header.
+
+        The header carries a ``supervision`` block (state, uptime,
+        restart count, last error) when the server runs under a
+        :class:`~repro.serving.supervisor.ReplicaSupervisor`.
+        ``deadline_s`` bounds the whole exchange (see
+        :meth:`analyze_clips`) — a ping that cannot answer inside the
+        deadline is a failed probe, whatever the socket timeout says.
+        """
         header: "dict[str, object]" = {"type": "ping"}
         if echo is not None:
             header["echo"] = echo
-        return self._request(header).header
+        return self._request(header, deadline_s=deadline_s).header
 
     def analyze_clips(
-        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+        self,
+        clips: "list[JumpClip] | tuple[JumpClip, ...]",
+        deadline_s: "float | None" = None,
     ) -> "list[ClipResult]":
         """Ship clips inline and decode them remotely, in request order.
+
+        Args:
+            clips: the clips to decode.
+            deadline_s: optional hard bound on the whole post-connect
+                exchange.  The per-operation ``timeout_s`` only fires on
+                a *silent* socket — a server replying one byte per
+                ``timeout_s`` never trips it — so deadline-bound callers
+                (failover routers, health probes) pass ``deadline_s``
+                and get a :class:`~repro.errors.TransportError` once the
+                budget is spent, however chatty the peer.
 
         Returns:
             One :class:`~repro.core.results.ClipResult` per clip,
@@ -212,13 +269,16 @@ class JumpPoseClient(RetryingClientBase):
 
         Raises:
             RemoteError: the server rejected or failed the request.
-            TransportError: the connection died mid-request.
+            TransportError: the connection died mid-request, or the
+                deadline expired first.
         """
         from repro.synth.io import clip_to_bytes
 
         payload = pack_blobs([clip_to_bytes(clip) for clip in clips])
         return self._results(
-            self._request({"type": "analyze_clips"}, payload)
+            self._request(
+                {"type": "analyze_clips"}, payload, deadline_s=deadline_s
+            )
         )
 
     def analyze_paths(
@@ -465,11 +525,46 @@ class JumpPoseClient(RetryingClientBase):
             )
         return response
 
+    def _apply_deadline(self, expiry: float, context: str) -> None:
+        """Shrink the socket timeout to the deadline's remaining budget.
+
+        Raises:
+            TransportError: the deadline has already expired (the
+                connection is closed first — its state mid-exchange is
+                unknown).
+        """
+        remaining = expiry - time.monotonic()
+        if remaining <= 0:
+            self.close()
+            raise TransportError(
+                f"request {context!r} exceeded its deadline"
+            )
+        if self._sock is not None:
+            self._sock.settimeout(min(remaining, self.timeout_s))
+
     def _request(
-        self, header: "dict[str, object]", payload: bytes = b""
+        self,
+        header: "dict[str, object]",
+        payload: bytes = b"",
+        deadline_s: "float | None" = None,
     ) -> Frame:
-        self._send_request(header, payload)
-        response = self._read_reply(str(header.get("type")))
+        context = str(header.get("type"))
+        if deadline_s is None:
+            self._send_request(header, payload)
+            response = self._read_reply(context)
+        else:
+            # the deadline bounds the post-connect exchange; connecting
+            # keeps the usual timeout + retry policy
+            expiry = time.monotonic() + deadline_s
+            self.connect()
+            try:
+                self._apply_deadline(expiry, context)
+                self._send_request(header, payload)
+                self._apply_deadline(expiry, context)
+                response = self._read_reply(context)
+            finally:
+                if self._sock is not None:
+                    self._sock.settimeout(self.timeout_s)
         if response.header.get("type") == "error":
             self._raise_remote(response.header)
         return response
@@ -519,8 +614,14 @@ class HttpJumpPoseClient(RetryingClientBase):
         timeout_s: float = 30.0,
         connect_retries: int = 3,
         retry_delay_s: float = 0.1,
+        retry_max_delay_s: float = 2.0,
+        retry_jitter_frac: float = 0.25,
+        retry_rng: "random.Random | None" = None,
     ) -> None:
-        super().__init__(host, port, timeout_s, connect_retries, retry_delay_s)
+        super().__init__(
+            host, port, timeout_s, connect_retries, retry_delay_s,
+            retry_max_delay_s, retry_jitter_frac, retry_rng,
+        )
         self._conn: "http.client.HTTPConnection | None" = None
 
     # ------------------------------------------------------------------
@@ -781,14 +882,25 @@ class RoutingClient:
     ``analyze_clips`` call.  Structured server errors
     (:class:`~repro.errors.RemoteError`) are **not** failover: a request
     the artifact itself rejects would fail identically everywhere, so
-    they propagate.
+    they propagate.  Failover is not forever: :meth:`readmit` puts a
+    recovered replica back in rotation (a
+    :class:`~repro.serving.supervisor.ReplicaSupervisor` calls it after
+    its consecutive-healthy-probe check) and :meth:`evict` takes one out
+    proactively; both are safe from other threads mid-request.
 
     Args:
         addresses: ``(host, port)`` pairs, one per replica.
         policy: one of :data:`ROUTING_POLICIES`.
-        timeout_s / connect_retries / retry_delay_s: per-replica
+        timeout_s / connect_retries / retry_delay_s /
+        retry_max_delay_s / retry_jitter_frac: per-replica
             :class:`JumpPoseClient` settings (the connect-retry policy
             of :class:`RetryingClientBase`).
+        request_deadline_s: optional hard per-shard deadline forwarded
+            to every :meth:`JumpPoseClient.analyze_clips` call.  Without
+            it, a replica that *hangs* (accepts, then never answers)
+            stalls its shard for the full socket timeout; with it, the
+            hang converts to a :class:`~repro.errors.TransportError`
+            after ``request_deadline_s`` and fails over like a death.
 
     Use as a context manager, or call :meth:`close`.
 
@@ -803,6 +915,9 @@ class RoutingClient:
         timeout_s: float = 30.0,
         connect_retries: int = 3,
         retry_delay_s: float = 0.1,
+        retry_max_delay_s: float = 2.0,
+        retry_jitter_frac: float = 0.25,
+        request_deadline_s: "float | None" = None,
     ) -> None:
         addresses = [(str(host), int(port)) for host, port in addresses]
         if not addresses:
@@ -813,16 +928,26 @@ class RoutingClient:
             raise ConfigurationError(
                 f"policy must be one of {ROUTING_POLICIES}, got {policy!r}"
             )
+        if request_deadline_s is not None and request_deadline_s <= 0:
+            raise ConfigurationError(
+                f"request_deadline_s must be > 0, got {request_deadline_s}"
+            )
         self.addresses = addresses
         self.policy = policy
+        self.request_deadline_s = request_deadline_s
         self._clients = [
             JumpPoseClient(
                 host, port, timeout_s=timeout_s,
                 connect_retries=connect_retries, retry_delay_s=retry_delay_s,
+                retry_max_delay_s=retry_max_delay_s,
+                retry_jitter_frac=retry_jitter_frac,
             )
             for host, port in addresses
         ]
         self._alive = set(range(len(addresses)))
+        # guards _alive: a supervisor's monitor thread readmits/evicts
+        # while request threads fail over
+        self._alive_lock = threading.Lock()
         self._rr_start = 0
         self._ring = self._build_ring()
 
@@ -832,7 +957,73 @@ class RoutingClient:
     @property
     def alive_addresses(self) -> "list[tuple[str, int]]":
         """Addresses of replicas not yet marked dead by failover."""
-        return [self.addresses[index] for index in sorted(self._alive)]
+        with self._alive_lock:
+            alive = sorted(self._alive)
+        return [self.addresses[index] for index in alive]
+
+    def _index_of(self, address: "tuple[str, int]") -> int:
+        """The replica index behind one address.
+
+        Raises:
+            ConfigurationError: the address is not one of this router's
+                replicas (readmission cannot grow the fleet).
+        """
+        address = (str(address[0]), int(address[1]))
+        try:
+            return self.addresses.index(address)
+        except ValueError:
+            raise ConfigurationError(
+                f"{address[0]}:{address[1]} is not one of this router's "
+                f"replicas"
+            ) from None
+
+    def readmit(self, address: "tuple[str, int]") -> bool:
+        """Put a recovered replica back into the routing rotation.
+
+        The replica's connection is dropped first (a socket that
+        predates the replica's death is stale even if the address came
+        back), so the next shard dials fresh.  Idempotent and safe from
+        another thread — a supervisor's monitor loop calls this on every
+        tick for every healthy replica.
+
+        Returns:
+            True when the replica was actually dead and is now back;
+            False when it was already in rotation (no-op).
+
+        Raises:
+            ConfigurationError: the address is not one of this router's
+                replicas.
+        """
+        index = self._index_of(address)
+        with self._alive_lock:
+            if index in self._alive:
+                return False
+            self._clients[index].close()
+            self._alive.add(index)
+            return True
+
+    def evict(self, address: "tuple[str, int]") -> bool:
+        """Take a replica out of rotation without waiting for failover.
+
+        The proactive twin of transport-failure failover: a supervisor
+        that *knows* a replica is down (dead process, failed probes)
+        evicts it so no shard has to fail first.  Idempotent.
+
+        Returns:
+            True when the replica was in rotation and is now out; False
+            when it was already out (no-op).
+
+        Raises:
+            ConfigurationError: the address is not one of this router's
+                replicas.
+        """
+        index = self._index_of(address)
+        with self._alive_lock:
+            if index not in self._alive:
+                return False
+            self._alive.discard(index)
+            self._clients[index].close()
+            return True
 
     def close(self) -> None:
         """Drop every per-replica connection; safe to call twice."""
@@ -922,7 +1113,8 @@ class RoutingClient:
         results: "list[ClipResult | None]" = [None] * len(clips)
         pending = list(enumerate(clips))
         while pending:
-            alive = sorted(self._alive)
+            with self._alive_lock:
+                alive = sorted(self._alive)
             if not alive:
                 raise TransportError(
                     f"all {len(self.addresses)} replicas are unreachable "
@@ -938,7 +1130,8 @@ class RoutingClient:
                 client = self._clients[index]
                 try:
                     shard_results = client.analyze_clips(
-                        [clip for _, clip in shard]
+                        [clip for _, clip in shard],
+                        deadline_s=self.request_deadline_s,
                     )
                 except TransportError:
                     with lock:
@@ -967,9 +1160,10 @@ class RoutingClient:
                 thread.join()
             if fatal:
                 raise fatal[0]
-            for index in dead:
-                self._alive.discard(index)
-                self._clients[index].close()
+            with self._alive_lock:
+                for index in dead:
+                    self._alive.discard(index)
+                    self._clients[index].close()
             pending = redispatch
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
@@ -981,13 +1175,16 @@ class RoutingClient:
         subsequent requests) rather than raising.
         """
         pongs: "dict[str, dict[str, object]]" = {}
-        for index in sorted(self._alive):
+        with self._alive_lock:
+            alive = sorted(self._alive)
+        for index in alive:
             host, port = self.addresses[index]
             try:
                 pongs[f"{host}:{port}"] = self._clients[index].ping()
             except TransportError:
-                self._alive.discard(index)
-                self._clients[index].close()
+                with self._alive_lock:
+                    self._alive.discard(index)
+                    self._clients[index].close()
         return pongs
 
     def stats(self) -> "dict[str, dict[str, object]]":
@@ -1002,13 +1199,16 @@ class RoutingClient:
             TransportError: no replica could be reached at all.
         """
         rollup: "dict[str, dict[str, object]]" = {}
-        for index in sorted(self._alive):
+        with self._alive_lock:
+            alive = sorted(self._alive)
+        for index in alive:
             host, port = self.addresses[index]
             try:
                 rollup[f"{host}:{port}"] = self._clients[index].stats()
             except TransportError:
-                self._alive.discard(index)
-                self._clients[index].close()
+                with self._alive_lock:
+                    self._alive.discard(index)
+                    self._clients[index].close()
         if not rollup:
             raise TransportError(
                 f"all {len(self.addresses)} replicas are unreachable"

@@ -24,15 +24,48 @@ closes every replica, and each :meth:`JumpPoseServer.close` drains its
 in-flight requests before dropping connections.  A ``shutdown`` request
 received by *any* replica stops the whole cluster once
 :meth:`serve_forever` notices (the CLI's ``serve --replicas N`` mode).
+
+In-process replicas share the GIL and a fate: none can crash alone and
+none can be restarted.  The production shape — replicas as real OS
+processes, crash-detected, restarted with backoff, health-probed back
+into rotation — lives in :mod:`repro.serving.supervisor` (the CLI's
+``serve --supervised`` mode); :func:`rollup_health` defines the shared
+fleet-health vocabulary both use.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.serving.net import JumpPoseServer
+
+
+def rollup_health(states: "list[str]") -> str:
+    """Fold per-replica states into one fleet status word.
+
+    The vocabulary shared by :meth:`JumpPoseCluster.health` and
+    :meth:`~repro.serving.supervisor.ReplicaSupervisor.health`:
+    ``"ok"`` only when *every* replica is ``healthy``; ``"down"`` only
+    when none is (an empty fleet included); ``"degraded"`` for anything
+    in between — a partially-failed fleet keeps serving and says so,
+    instead of dying or lying.
+
+    Args:
+        states: one state word per replica (``healthy`` counts as up;
+            ``starting``/``degraded``/``restarting``/``failed`` do not).
+
+    Returns:
+        ``"ok"``, ``"degraded"``, or ``"down"``.
+    """
+    healthy = sum(1 for state in states if state == "healthy")
+    if healthy == len(states) and states:
+        return "ok"
+    if healthy == 0:
+        return "down"
+    return "degraded"
 
 
 def merge_service_stats(
@@ -131,6 +164,7 @@ class JumpPoseCluster:
             for index in range(replicas)
         ]
         self._started = False
+        self._stop_requested = threading.Event()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -163,6 +197,7 @@ class JumpPoseCluster:
         """
         if self._started:
             return self
+        self._stop_requested.clear()
         started: "list[JumpPoseServer]" = []
         try:
             for server in self.servers:
@@ -181,13 +216,22 @@ class JumpPoseCluster:
         A remote ``shutdown`` request lands on one replica; this loop
         notices that replica going down and closes the whole cluster —
         one shutdown stops the fleet, each member draining gracefully.
+        :meth:`request_shutdown` (the CLI's signal handlers) stops it
+        the same way from this process.
         """
         self.start()
         try:
-            while all(server.is_running for server in self.servers):
+            while (
+                not self._stop_requested.is_set()
+                and all(server.is_running for server in self.servers)
+            ):
                 time.sleep(poll_s)
         finally:
             self.close()
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to drain and return; signal-safe."""
+        self._stop_requested.set()
 
     def close(self) -> None:
         """Gracefully stop every replica (drain, then drop); idempotent."""
@@ -210,6 +254,24 @@ class JumpPoseCluster:
         """Liveness by replica id (listener up and accepting)."""
         return {
             server.replica_id: server.is_running for server in self.servers
+        }
+
+    def health(self) -> "dict[str, object]":
+        """The fleet-status roll-up in the shared supervision vocabulary.
+
+        Returns:
+            ``{"status": "ok"|"degraded"|"down", "replicas": {rid:
+            "healthy"|"failed"}}`` via :func:`rollup_health` — in-process
+            replicas have no supervisor restarting them, so a down
+            listener is simply ``failed``.
+        """
+        states = {
+            server.replica_id: ("healthy" if server.is_running else "failed")
+            for server in self.servers
+        }
+        return {
+            "status": rollup_health(list(states.values())),
+            "replicas": states,
         }
 
     def stats(self) -> "dict[str, object]":

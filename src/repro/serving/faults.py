@@ -1,0 +1,355 @@
+"""Deterministic fault injection for the serving stack.
+
+Recovery code that has never seen a failure is decoration: this module
+makes the serving stack's failure paths *exercisable on demand*.  A
+:class:`FaultInjector` holds a list of :class:`FaultRule`\\ s — parsed
+from a compact spec string — and the server fronts
+(:class:`~repro.serving.net.JumpPoseServer`,
+:class:`~repro.serving.http.JumpPoseHttpServer`) and the service
+(:class:`~repro.serving.service.JumpPoseService`) consult it at their
+request seams.  Replica processes arm it via the ``JPSE_FAULTS`` /
+``JPSE_FAULT_SEED`` environment variables or the ``serve --fault-spec``
+CLI flag, which is how the supervisor's recovery paths (restart,
+backoff, re-admission) are driven end to end in tests.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``crash``
+    Die *mid-request*, hard — ``os._exit`` with
+    :data:`CRASH_EXIT_CODE`, no cleanup, no reply.  The process-level
+    analog of ``kill -9`` landing while a request is being served.
+``hang``
+    Sleep for ``delay_s`` (default :data:`DEFAULT_HANG_S`) before
+    handling — long enough that any sane client deadline fires first.
+``slow``
+    Sleep for ``delay_s`` (default :data:`DEFAULT_SLOW_S`), then handle
+    normally — a degraded-but-alive replica.
+``drop``
+    Close the connection without a reply — the peer sees a mid-request
+    disconnect (:class:`~repro.errors.TransportError` client-side).
+``corrupt``
+    Write garbage bytes where the reply frame belongs, then close — the
+    peer sees a framing violation
+    (:class:`~repro.errors.ProtocolError` client-side).
+
+Spec grammar — rules separated by commas, each::
+
+    KIND[=DELAY][@NTH | ~PROB][:REQUEST_TYPE]
+
+``@NTH`` fires on the NTH matching request (1-based) and never again
+(each rule counts its own matches); ``~PROB`` fires each matching
+request with probability ``PROB`` from a per-rule ``random.Random``
+seeded deterministically — same seed, same request sequence, same
+faults.  Without either, the rule fires on *every* matching request.
+``:REQUEST_TYPE`` restricts the rule to one request type (``ping``,
+``analyze_clips``, ...; the service seam matches ``dispatch``).
+Examples::
+
+    crash@3                  die on the 3rd request, any type
+    hang@1:analyze_clips     hang the first analyze_clips only
+    slow=0.25~0.5            half of all requests delayed 250 ms
+    drop@2:ping,corrupt@4    drop the 2nd ping; corrupt reply 4
+
+Determinism is the point: a seeded injector on a fixed request sequence
+fires the same faults at the same requests every run, so the fault
+matrix in ``tests/test_serving_supervisor.py`` is reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import ConfigurationError
+
+#: The fault kinds understood by the spec grammar, in documentation order.
+FAULT_KINDS = ("crash", "hang", "slow", "drop", "corrupt")
+
+#: Exit code of a ``crash`` fault — distinct from clean exits and from
+#: the 128+9 a real SIGKILL produces, so supervisor logs can tell an
+#: injected crash from an external kill.
+CRASH_EXIT_CODE = 70
+
+#: Default ``hang`` duration: far past any reasonable client deadline.
+DEFAULT_HANG_S = 600.0
+
+#: Default ``slow`` delay: noticeable, but inside default timeouts.
+DEFAULT_SLOW_S = 0.25
+
+#: Environment variables replica processes read their faults from
+#: (written by tests / the supervisor, parsed by ``serve``).
+FAULTS_ENV = "JPSE_FAULTS"
+FAULT_SEED_ENV = "JPSE_FAULT_SEED"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed fault rule: what fires, when, and against what.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        delay_s: sleep duration for ``hang``/``slow`` (ignored by the
+            other kinds).
+        nth: fire on the nth matching request (1-based) and never
+            again; ``None`` for probabilistic or always-on rules.
+        probability: fire each matching request with this probability;
+            ``None`` for nth or always-on rules.
+        request_type: only requests of this type match; ``None``
+            matches every request at the front seams (but never the
+            service's ``dispatch`` seam, which must be named
+            explicitly).
+    """
+
+    kind: str
+    delay_s: float
+    nth: "int | None" = None
+    probability: "float | None" = None
+    request_type: "str | None" = None
+
+    def matches(self, request_type: str, seam: str) -> bool:
+        """Whether this rule applies to one request at one seam."""
+        if self.request_type is not None:
+            return self.request_type == request_type
+        return seam == "request"
+
+
+def _parse_rule(text: str) -> FaultRule:
+    """Parse one ``KIND[=DELAY][@NTH|~PROB][:TYPE]`` rule."""
+    original = text
+    request_type: "str | None" = None
+    if ":" in text:
+        text, _, request_type = text.partition(":")
+        if not request_type:
+            raise ConfigurationError(
+                f"fault rule {original!r} has an empty request type"
+            )
+    nth: "int | None" = None
+    probability: "float | None" = None
+    if "@" in text and "~" in text:
+        raise ConfigurationError(
+            f"fault rule {original!r} mixes @NTH and ~PROB (pick one)"
+        )
+    if "@" in text:
+        text, _, raw = text.partition("@")
+        try:
+            nth = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault rule {original!r}: @NTH must be an integer, "
+                f"got {raw!r}"
+            ) from None
+        if nth < 1:
+            raise ConfigurationError(
+                f"fault rule {original!r}: @NTH must be >= 1, got {nth}"
+            )
+    elif "~" in text:
+        text, _, raw = text.partition("~")
+        try:
+            probability = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault rule {original!r}: ~PROB must be a float, "
+                f"got {raw!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"fault rule {original!r}: ~PROB must be in [0, 1], "
+                f"got {probability}"
+            )
+    delay_s: "float | None" = None
+    if "=" in text:
+        text, _, raw = text.partition("=")
+        try:
+            delay_s = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault rule {original!r}: =DELAY must be a float, "
+                f"got {raw!r}"
+            ) from None
+        if delay_s < 0:
+            raise ConfigurationError(
+                f"fault rule {original!r}: =DELAY must be >= 0, "
+                f"got {delay_s}"
+            )
+    kind = text.strip()
+    if kind not in FAULT_KINDS:
+        raise ConfigurationError(
+            f"fault rule {original!r}: unknown kind {kind!r} "
+            f"(expected one of {FAULT_KINDS})"
+        )
+    if delay_s is None:
+        delay_s = DEFAULT_HANG_S if kind == "hang" else DEFAULT_SLOW_S
+    return FaultRule(
+        kind=kind,
+        delay_s=delay_s,
+        nth=nth,
+        probability=probability,
+        request_type=request_type,
+    )
+
+
+def parse_fault_spec(spec: str) -> "tuple[FaultRule, ...]":
+    """Parse a comma-separated fault spec into rules.
+
+    Returns:
+        The parsed rules, in spec order (order matters: the first rule
+        that fires for a request wins).
+
+    Raises:
+        ConfigurationError: empty spec, unknown kind, malformed or
+            out-of-range parameters.
+    """
+    rules = tuple(
+        _parse_rule(part.strip())
+        for part in spec.split(",")
+        if part.strip()
+    )
+    if not rules:
+        raise ConfigurationError(f"fault spec {spec!r} contains no rules")
+    return rules
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What one fired rule asks the seam to do.
+
+    ``kind`` is the rule's kind; ``delay_s`` its sleep duration (only
+    meaningful for ``hang``/``slow``).
+    """
+
+    kind: str
+    delay_s: float
+
+
+class FaultInjector:
+    """A seeded, thread-safe fault trigger shared by the serving seams.
+
+    The server fronts call :meth:`on_request` once per request (the
+    service calls it with ``request_type="dispatch"``, ``seam="dispatch"``);
+    the injector counts matches per rule under a lock and returns the
+    first firing rule's :class:`FaultAction` — or ``None``, the hot-path
+    answer.  ``crash`` faults are executed *here* (via the injectable
+    ``crash`` callable, ``os._exit`` by default) so no seam can forget
+    to honour them; the other kinds are returned for the seam to apply,
+    because only the seam knows its socket.
+
+    Args:
+        rules: parsed :class:`FaultRule` tuple (see
+            :func:`parse_fault_spec`).
+        seed: base seed for the per-rule ``~PROB`` generators — rule
+            *i* draws from ``Random(seed + i)``, so rules are
+            independent and the whole schedule is reproducible.
+        spec: the original spec string, kept for observability (the
+            fronts surface it in ping/healthz supervision detail).
+        crash: the ``crash`` executor; tests inject a recorder here,
+            production uses ``os._exit(CRASH_EXIT_CODE)``.
+    """
+
+    def __init__(
+        self,
+        rules: "tuple[FaultRule, ...]",
+        seed: int = 0,
+        spec: "str | None" = None,
+        crash=None,
+    ) -> None:
+        self.rules = tuple(rules)
+        self.seed = seed
+        self.spec = spec
+        self._crash = crash if crash is not None else self._default_crash
+        self._lock = threading.Lock()
+        self._counts = [0] * len(self.rules)
+        self._rngs = [Random(seed + index) for index in range(len(self.rules))]
+
+    @staticmethod
+    def _default_crash() -> None:
+        """Die without cleanup, as an injected mid-request crash."""
+        os._exit(CRASH_EXIT_CODE)
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, seed: int = 0, crash=None
+    ) -> "FaultInjector":
+        """Build an injector from a spec string (see the module docs).
+
+        Raises:
+            ConfigurationError: the spec does not parse.
+        """
+        return cls(parse_fault_spec(spec), seed=seed, spec=spec, crash=crash)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultInjector | None":
+        """Build an injector from ``JPSE_FAULTS`` / ``JPSE_FAULT_SEED``.
+
+        Returns:
+            ``None`` when ``JPSE_FAULTS`` is unset or empty — the
+            overwhelmingly common case — so callers can pass the result
+            straight to a server's ``fault_injector`` argument.
+
+        Raises:
+            ConfigurationError: the environment spec does not parse (a
+                replica must refuse to start half-armed).
+        """
+        environ = os.environ if environ is None else environ
+        spec = environ.get(FAULTS_ENV, "").strip()
+        if not spec:
+            return None
+        raw_seed = environ.get(FAULT_SEED_ENV, "0").strip() or "0"
+        try:
+            seed = int(raw_seed)
+        except ValueError:
+            raise ConfigurationError(
+                f"{FAULT_SEED_ENV} must be an integer, got {raw_seed!r}"
+            ) from None
+        return cls.from_spec(spec, seed=seed)
+
+    def on_request(
+        self, request_type: str, seam: str = "request"
+    ) -> "FaultAction | None":
+        """Count one request against every matching rule; fire at most one.
+
+        ``crash`` rules do not return — the process dies here.  ``hang``
+        and ``slow`` sleep here (the seam needs no socket for a sleep)
+        and ``slow`` then reports itself so the seam can keep handling;
+        ``drop``/``corrupt`` are returned for the seam to apply to its
+        connection.
+
+        Args:
+            request_type: the request's wire type (or ``"dispatch"`` at
+                the service seam).
+            seam: ``"request"`` for the network fronts, ``"dispatch"``
+                for the service — untyped rules only match the fronts.
+
+        Returns:
+            The fired rule's action, or ``None`` (no fault this time).
+        """
+        fired: "FaultAction | None" = None
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not rule.matches(request_type, seam):
+                    continue
+                self._counts[index] += 1
+                if fired is not None:
+                    continue  # later rules still count their matches
+                if rule.nth is not None:
+                    if self._counts[index] != rule.nth:
+                        continue
+                elif rule.probability is not None:
+                    if self._rngs[index].random() >= rule.probability:
+                        continue
+                fired = FaultAction(kind=rule.kind, delay_s=rule.delay_s)
+        if fired is None:
+            return None
+        if fired.kind == "crash":
+            self._crash()
+            return None  # unreachable in production; tests stub _crash
+        if fired.kind in ("hang", "slow"):
+            time.sleep(fired.delay_s)
+        return fired
+
+    def counts(self) -> "list[int]":
+        """Per-rule match counts so far (diagnostics and tests)."""
+        with self._lock:
+            return list(self._counts)

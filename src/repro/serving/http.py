@@ -186,6 +186,12 @@ class JumpPoseHttpServer:
         shutdown_token: shared secret for ``POST /v1/shutdown``.  ``None``
             (the default) disables remote shutdown entirely.
         idle_timeout_s: per-connection socket timeout.
+        fault_injector: optional
+            :class:`~repro.serving.faults.FaultInjector` consulted once
+            per routed request (request types are the route stems:
+            ``healthz``, ``stats``, ``analyze``, ``shutdown``) — the
+            same testing seam the socket front carries.  Forwarded to an
+            owned service; ``None`` costs nothing.
 
     Use as a context manager, or :meth:`start` / :meth:`close`;
     :meth:`serve_forever` blocks until a token-bearing shutdown request
@@ -211,6 +217,7 @@ class JumpPoseHttpServer:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         shutdown_token: "str | None" = None,
         idle_timeout_s: float = DEFAULT_HTTP_IDLE_TIMEOUT_S,
+        fault_injector=None,
     ) -> None:
         if (artifact_path is None) == (service is None):
             raise ConfigurationError(
@@ -237,8 +244,10 @@ class JumpPoseHttpServer:
             self.service = JumpPoseService(
                 artifact_path, jobs=jobs, batch_size=batch_size,
                 decode=decode, replica_id=replica_id,
+                fault_injector=fault_injector,
             )
             self._owns_service = True
+        self.fault_injector = fault_injector
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
@@ -346,6 +355,16 @@ class JumpPoseHttpServer:
                 target=httpd.shutdown, name="jumppose-http-stop", daemon=True
             ).start()
 
+    def request_shutdown(self) -> None:
+        """Start the graceful shutdown from this process; signal-safe.
+
+        The local counterpart of ``POST /v1/shutdown`` (no token needed
+        — the caller is already inside the process): stops the listener
+        and wakes :meth:`serve_forever`.  The ``serve`` CLI's
+        SIGTERM/SIGINT handlers call this.
+        """
+        self._initiate_shutdown()
+
     # ------------------------------------------------------------------
     # Request plumbing
     # ------------------------------------------------------------------
@@ -390,6 +409,8 @@ class JumpPoseHttpServer:
                 # but leaving it unread would corrupt keep-alive framing
                 # (the next request would be parsed from the stale bytes)
                 self._read_body(handler, required=False)
+            if not self._apply_fault(handler, stage):
+                return
             with Timer() as timer:
                 status, payload, then_shutdown = getattr(self, route_name)(
                     handler
@@ -435,6 +456,28 @@ class JumpPoseHttpServer:
             # only after the reply is on the wire, so the requester gets
             # its acknowledgement before the listener goes away
             self._initiate_shutdown()
+
+    def _apply_fault(self, handler: _GatewayHandler, stage: str) -> bool:
+        """Consult the fault injector for one routed request.
+
+        Mirrors the socket front's seam: ``crash`` never returns,
+        ``hang``/``slow`` have already slept inside the injector,
+        ``drop`` closes the connection without a reply, and ``corrupt``
+        writes non-HTTP garbage where the status line belongs before
+        closing.  Returns False when the request must not be handled.
+        """
+        if self.fault_injector is None:
+            return True
+        action = self.fault_injector.on_request(stage)
+        if action is None or action.kind in ("hang", "slow"):
+            return True
+        handler.close_connection = True
+        if action.kind == "corrupt":
+            try:
+                handler.wfile.write(b"\xff\x00GARBAGE-NOT-HTTP\r\n" * 3)
+            except OSError:
+                pass  # the peer is already gone; the drop stands
+        return False
 
     def _send_json(
         self,
@@ -597,6 +640,7 @@ class JumpPoseHttpServer:
         }
         if self.service.replica_id is not None:
             payload["replica_id"] = self.service.replica_id
+        payload["supervision"] = self.service.supervision_snapshot()
         return 200, payload, False
 
     def _route_stats(self, handler: _GatewayHandler):

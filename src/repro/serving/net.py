@@ -104,6 +104,11 @@ class JumpPoseServer:
         max_payload_bytes: per-request payload ceiling (oversized length
             prefixes are rejected before allocation).
         idle_timeout_s: per-connection socket timeout.
+        fault_injector: optional
+            :class:`~repro.serving.faults.FaultInjector` consulted once
+            per well-framed request — the testing seam the supervisor's
+            recovery paths are exercised through.  ``None`` (the
+            default) costs nothing on the hot path.
 
     Use as a context manager, or :meth:`start` / :meth:`close`;
     :meth:`serve_forever` blocks until a ``shutdown`` request (or
@@ -122,6 +127,7 @@ class JumpPoseServer:
         max_payload_bytes: int = MAX_PAYLOAD_BYTES,
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
         drain_timeout_s: float = 30.0,
+        fault_injector=None,
     ) -> None:
         if max_payload_bytes < 1:
             raise ConfigurationError(
@@ -129,7 +135,7 @@ class JumpPoseServer:
             )
         self.service = JumpPoseService(
             artifact_path, jobs=jobs, batch_size=batch_size, decode=decode,
-            replica_id=replica_id,
+            replica_id=replica_id, fault_injector=fault_injector,
         )
         self.replica_id = replica_id
         self.host = host
@@ -137,6 +143,7 @@ class JumpPoseServer:
         self.max_payload_bytes = max_payload_bytes
         self.idle_timeout_s = idle_timeout_s
         self.drain_timeout_s = drain_timeout_s
+        self.fault_injector = fault_injector
         #: wall-clock per request type, reported by the ``stats`` request
         self.request_profile = ProfileReport()
         self.requests_served = 0
@@ -395,6 +402,8 @@ class JumpPoseServer:
                 request_id=rid, version=version,
             )
             return True
+        if not self._apply_fault(state, request_type):
+            return False
         if request_type == "stream_analyze":
             return self._serve_stream(state, frame)
         handler = self._HANDLERS.get(request_type)
@@ -531,6 +540,28 @@ class JumpPoseServer:
             return False
         return keep_going
 
+    def _apply_fault(self, state: _Connection, request_type: str) -> bool:
+        """Consult the fault injector for one request; False drops the
+        connection.
+
+        ``crash`` never returns (the injector kills the process);
+        ``hang``/``slow`` have already slept inside the injector by the
+        time it returns; ``drop`` closes without a reply; ``corrupt``
+        writes garbage where the reply frame belongs, then closes.
+        """
+        if self.fault_injector is None:
+            return True
+        action = self.fault_injector.on_request(request_type)
+        if action is None or action.kind in ("hang", "slow"):
+            return True
+        if action.kind == "corrupt":
+            with state.send_lock:
+                try:
+                    state.conn.sendall(b"\xff\x00GARBAGE-NOT-A-FRAME" * 3)
+                except OSError:
+                    pass  # the peer is already gone; the drop stands
+        return False  # drop and corrupt both end the connection
+
     def _reply_error(
         self,
         state: _Connection,
@@ -572,6 +603,7 @@ class JumpPoseServer:
         }
         if self.replica_id is not None:
             header["replica_id"] = self.replica_id
+        header["supervision"] = self.service.supervision_snapshot()
         if "echo" in frame.header:
             header["echo"] = frame.header["echo"]
         return header, b"", True
@@ -645,6 +677,18 @@ class JumpPoseServer:
         listener = self._listener
         if listener is not None:
             self._close_listener(listener)
+
+    def request_shutdown(self) -> None:
+        """Start the graceful shutdown from this process; signal-safe.
+
+        The local counterpart of the wire ``shutdown`` request: stops
+        the accept loop and wakes :meth:`serve_forever`, whose
+        :meth:`close` then drains in-flight requests.  The ``serve``
+        CLI's SIGTERM/SIGINT handlers call this, so a supervisor (or
+        ``docker stop``) terminates the server without cutting replies
+        mid-frame.
+        """
+        self._initiate_shutdown()
 
     def _handle_shutdown(self, frame):
         # the actual shutdown runs in _serve_frame, after the reply is

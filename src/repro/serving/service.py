@@ -16,7 +16,9 @@ the request list.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,6 +35,13 @@ from repro.serving.artifacts import load_analyzer, read_artifact_metadata
 
 if TYPE_CHECKING:
     from repro.synth.dataset import JumpClip
+
+#: Environment variables a supervisor sets when (re)spawning a replica
+#: process, surfaced back through ``ping``/``healthz`` supervision
+#: detail so operators can read a replica's restart history from the
+#: replica itself (see :mod:`repro.serving.supervisor`).
+SUPERVISION_RESTARTS_ENV = "JPSE_RESTARTS"
+SUPERVISION_LAST_ERROR_ENV = "JPSE_LAST_ERROR"
 
 #: Per-worker analyzer, installed once by the pool initializer.
 _WORKER_ANALYZER: "JumpPoseAnalyzer | None" = None
@@ -188,6 +197,11 @@ class JumpPoseService:
         replica_id: optional name identifying this service instance in
             stats payloads when many replicas serve the same artifact
             (set by :class:`~repro.serving.cluster.JumpPoseCluster`).
+        fault_injector: optional
+            :class:`~repro.serving.faults.FaultInjector` consulted once
+            per dispatch (request type ``"dispatch"``, which only
+            explicitly-typed ``:dispatch`` rules match) — lets tests
+            fault the service layer itself, below the network fronts.
 
     Results always come back in request order, whatever the completion
     order, so serving output is reproducible.  Use as a context manager,
@@ -201,6 +215,7 @@ class JumpPoseService:
         batch_size: int = 4,
         decode: "str | None" = None,
         replica_id: "str | None" = None,
+        fault_injector=None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -218,7 +233,9 @@ class JumpPoseService:
         self.batch_size = batch_size
         self.decode = decode
         self.replica_id = replica_id
+        self.fault_injector = fault_injector
         self.stats = ServiceStats(replica_id=replica_id)
+        self._started_at: "float | None" = None
         self._analyzer: "JumpPoseAnalyzer | None" = None
         # lazily-loaded in-process analyzer for stream_clip (jobs > 1
         # keeps the batch analyzers inside pool workers, where a
@@ -248,6 +265,7 @@ class JumpPoseService:
         """
         if self.is_running:
             return self
+        self._started_at = time.monotonic()
         if self.jobs == 1:
             self._analyzer = load_analyzer(
                 self.artifact_path, decode=self.decode
@@ -321,6 +339,36 @@ class JumpPoseService:
         """
         with self._dispatch_lock:
             return self.stats.as_dict()
+
+    def supervision_snapshot(self) -> "dict[str, object]":
+        """Supervision detail for ``ping``/``healthz`` payloads.
+
+        Returns:
+            ``{"state", "uptime_s", "restarts", "last_error"}`` — the
+            replica's own view of its supervised life.  ``state`` is
+            ``"healthy"`` while the service runs and ``"failed"``
+            otherwise; ``restarts`` and ``last_error`` come from the
+            :data:`SUPERVISION_RESTARTS_ENV` /
+            :data:`SUPERVISION_LAST_ERROR_ENV` environment a supervisor
+            set when it (re)spawned this process — 0 and ``None`` for an
+            unsupervised server, so the block is always present and
+            stable for clients to parse.
+        """
+        try:
+            restarts = int(os.environ.get(SUPERVISION_RESTARTS_ENV, "0"))
+        except ValueError:
+            restarts = 0
+        uptime_s = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None and self.is_running
+            else 0.0
+        )
+        return {
+            "state": "healthy" if self.is_running else "failed",
+            "uptime_s": uptime_s,
+            "restarts": restarts,
+            "last_error": os.environ.get(SUPERVISION_LAST_ERROR_ENV) or None,
+        }
 
     def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
         """Serve every ``*.npz`` clip under ``directory``, sorted by name."""
@@ -412,6 +460,10 @@ class JumpPoseService:
     def _dispatch(self, items: list, pool_fn, inline_fn) -> "list[ClipResult]":
         if not items:
             return []
+        if self.fault_injector is not None:
+            # the dispatch seam: only rules typed `:dispatch` match, and
+            # only crash/hang/slow make sense here (no socket to drop)
+            self.fault_injector.on_request("dispatch", seam="dispatch")
         with self._dispatch_lock:
             # checked under the lock: a concurrent close() drains here and
             # then nulls the pool, so a stale is_running answer can't let

@@ -22,6 +22,10 @@ Markers (registered in the repo-root ``conftest.py``; run with
 ``slow``
     Long-running (training-scale) test; no special gating, the marker
     exists so a quick iteration loop can ``-m "not slow"``.
+``faultinject``
+    Deliberately crashes, hangs, or corrupts parts of the serving stack
+    (always scoped to the test's own processes); ``-m "not faultinject"``
+    skips the drills.
 """
 
 from __future__ import annotations

@@ -1,0 +1,212 @@
+"""Timeout hygiene, enforced statically: no unbounded socket in serving.
+
+A serving stack earns its robustness claims one bounded call at a time —
+a single ``recv`` without a timeout is a hang waiting for a wedged peer.
+Rather than trusting review to catch regressions, this suite walks the
+AST of every module under ``repro/serving/`` and asserts:
+
+* every ``socket.create_connection`` call passes ``timeout=``;
+* every ``HTTPConnection`` construction passes ``timeout=``;
+* every function that builds a raw ``socket.socket`` also bounds it —
+  ``settimeout`` for I/O sockets, ``listen`` for accept-loop listeners
+  (which are unblocked by closing the listener, the server's shutdown
+  path) — unless explicitly allowlisted with a reason;
+* every function that ``accept``\\ s connections sets a timeout on them.
+
+The jittered retry back-off (the other half of the client's timeout
+policy) is unit-tested here too, with an injected rng.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+from pathlib import Path
+
+import pytest
+
+import repro.serving
+from repro.errors import TransportError
+from repro.serving.client import JumpPoseClient
+
+SERVING_DIR = Path(repro.serving.__file__).resolve().parent
+
+#: ``module.py::function`` sites allowed to build a socket without
+#: bounding it, each with the reason the suite accepts.
+UNBOUNDED_SOCKET_ALLOWLIST = {
+    # binds and immediately releases an ephemeral port; no I/O ever
+    # happens on the socket, so there is nothing to bound
+    "supervisor.py::_reserve_port",
+}
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (``socket.create_connection``, ...)."""
+    parts: "list[str]" = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _keywords(node: ast.Call) -> "set[str]":
+    return {keyword.arg for keyword in node.keywords if keyword.arg}
+
+
+def _functions(tree: ast.Module):
+    """Every (async) function in a module, with its name."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _calls_in(function: ast.AST):
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@pytest.fixture(scope="module")
+def serving_trees():
+    return {
+        path.name: ast.parse(path.read_text(), filename=str(path))
+        for path in sorted(SERVING_DIR.glob("*.py"))
+    }
+
+
+def test_create_connection_always_has_a_timeout(serving_trees):
+    violations = []
+    for name, tree in serving_trees.items():
+        for call in _calls_in(tree):
+            if _call_name(call).endswith("create_connection"):
+                if "timeout" not in _keywords(call):
+                    violations.append(f"{name}:{call.lineno}")
+    assert not violations, (
+        f"socket.create_connection without timeout=: {violations}"
+    )
+
+
+def test_http_connections_always_have_a_timeout(serving_trees):
+    violations = []
+    for name, tree in serving_trees.items():
+        for call in _calls_in(tree):
+            if _call_name(call).endswith("HTTPConnection"):
+                if "timeout" not in _keywords(call):
+                    violations.append(f"{name}:{call.lineno}")
+    assert not violations, f"HTTPConnection without timeout=: {violations}"
+
+
+def test_raw_sockets_are_bounded_or_allowlisted(serving_trees):
+    violations = []
+    seen_allowlisted = set()
+    for name, tree in serving_trees.items():
+        for function in _functions(tree):
+            calls = [_call_name(call) for call in _calls_in(function)]
+            if not any(c == "socket.socket" for c in calls):
+                continue
+            site = f"{name}::{function.name}"
+            if site in UNBOUNDED_SOCKET_ALLOWLIST:
+                seen_allowlisted.add(site)
+                continue
+            bounded = any(
+                c.endswith(".settimeout") or c.endswith(".listen")
+                for c in calls
+            )
+            if not bounded:
+                violations.append(site)
+    assert not violations, (
+        f"raw socket.socket without settimeout/listen (add a timeout, or "
+        f"allowlist with a reason): {violations}"
+    )
+    # a stale allowlist hides future violations at the same site
+    assert seen_allowlisted == UNBOUNDED_SOCKET_ALLOWLIST, (
+        f"allowlist entries no longer present in the code: "
+        f"{UNBOUNDED_SOCKET_ALLOWLIST - seen_allowlisted}"
+    )
+
+
+def test_accepted_connections_get_a_timeout(serving_trees):
+    violations = []
+    for name, tree in serving_trees.items():
+        for function in _functions(tree):
+            calls = [_call_name(call) for call in _calls_in(function)]
+            if not any(c.endswith(".accept") for c in calls):
+                continue
+            if not any(c.endswith(".settimeout") for c in calls):
+                violations.append(f"{name}::{function.name}")
+    assert not violations, (
+        f"accept() without settimeout on the accepted socket: {violations}"
+    )
+
+
+def test_every_serving_module_is_checked(serving_trees):
+    """The walker must keep covering the whole package as it grows."""
+    assert {"client.py", "net.py", "http.py", "supervisor.py"} <= set(
+        serving_trees
+    )
+
+
+# ----------------------------------------------------------------------
+# Jittered retry back-off (the dynamic half of the timeout policy)
+# ----------------------------------------------------------------------
+def make_client(**overrides):
+    settings = dict(
+        timeout_s=1.0,
+        connect_retries=3,
+        retry_delay_s=0.1,
+        retry_max_delay_s=2.0,
+        retry_jitter_frac=0.25,
+        retry_rng=random.Random(42),
+    )
+    settings.update(overrides)
+    return JumpPoseClient("127.0.0.1", 1, **settings)
+
+
+def test_retry_backoff_doubles_caps_and_jitters():
+    client = make_client()
+    for attempt in range(1, 10):
+        base = min(0.1 * 2 ** (attempt - 1), 2.0)
+        sleep = client._retry_sleep_s(attempt)
+        assert base <= sleep <= base * 1.25, (attempt, sleep)
+    # the cap holds even with jitter at its maximum
+    assert client._retry_sleep_s(50) <= 2.0 * 1.25
+
+
+def test_retry_backoff_is_seeded_deterministic_and_spread():
+    seq = [make_client()._retry_sleep_s(a) for a in range(1, 6)]
+    assert seq == [make_client()._retry_sleep_s(a) for a in range(1, 6)]
+    other = [
+        make_client(retry_rng=random.Random(7))._retry_sleep_s(a)
+        for a in range(1, 6)
+    ]
+    assert seq != other  # different clients don't retry in lock-step
+
+
+def test_zero_jitter_is_exactly_exponential():
+    client = make_client(retry_jitter_frac=0.0)
+    assert [client._retry_sleep_s(a) for a in range(1, 7)] == [
+        0.1, 0.2, 0.4, 0.8, 1.6, 2.0
+    ]
+
+
+def test_open_with_retry_sleeps_the_jittered_schedule(monkeypatch):
+    slept = []
+    monkeypatch.setattr(
+        "repro.serving.client.time.sleep", slept.append
+    )
+    client = make_client(connect_retries=3)
+    reference = make_client(connect_retries=3)  # same seed, own rng stream
+    expected = [reference._retry_sleep_s(a) for a in (1, 2, 3)]
+    attempts = []
+
+    def refuse():
+        attempts.append(1)
+        raise OSError("connection refused")
+
+    with pytest.raises(TransportError, match="after 4 attempts"):
+        client._open_with_retry(refuse)
+    assert len(attempts) == 4  # first try + connect_retries
+    assert slept == expected   # same seed, same jittered schedule
