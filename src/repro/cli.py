@@ -1,6 +1,6 @@
-"""Command-line interface: generate, train, analyze, evaluate, report, serve.
+"""CLI: generate, train, analyze, evaluate, report, serve, stats.
 
-Six subcommands mirror how a PE department would actually use the
+The subcommands mirror how a PE department would actually use the
 system::
 
     python -m repro.cli generate --out clips/ --clips 5 --seed 3
@@ -49,6 +49,15 @@ arms deterministic fault injection for drills (``docs/scaling.md``)::
 ``kill`` (or ``docker stop``) triggers the same graceful drain a
 protocol shutdown request does.
 
+``stats --connect`` queries a live fleet and prints the merged stats,
+health, and pose-quality roll-up (``--metrics`` appends each replica's
+Prometheus scrape; ``--json`` emits one machine-readable document), and
+``--log-json PATH`` on ``serve``/``analyze`` appends structured JSON
+events — requests with trace ids and stage timings, restarts,
+failovers, armed faults — to a file (``docs/observability.md``)::
+
+    python -m repro.cli stats --connect 127.0.0.1:7345,127.0.0.1:7346
+
 ``analyze`` and ``report`` accept ``--model`` to reuse a saved artifact;
 without it they fall back to training a small throwaway model.
 """
@@ -56,13 +65,15 @@ without it they fall back to training a small throwaway model.
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 from pathlib import Path
 
 from repro.core.dbnclassifier import DECODE_MODES, ClassifierConfig
 from repro.core.pipeline import AnalyzerSettings, JumpPoseAnalyzer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransportError
+from repro.obs.events import configure_event_log, emit_event
 from repro.perf.timing import ProfileReport, Timer
 from repro.scoring.evaluator import JumpEvaluator
 from repro.scoring.report import render_report
@@ -119,6 +130,9 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--timeout", type=float, default=30.0,
                          help="socket timeout in seconds (with --connect "
                               "or --connect-http)")
+    analyze.add_argument("--log-json", type=Path, default=None,
+                         help="append structured JSON events (one per "
+                              "routed request) to this file")
     analyze.add_argument("--train-seed", type=int, default=0)
     analyze.add_argument("--train-clips", type=int, default=4)
     analyze.add_argument("--decode", choices=DECODE_MODES, default=None)
@@ -190,6 +204,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="clips per worker task (micro-batching)")
     serve.add_argument("--decode", choices=DECODE_MODES, default=None,
                        help="override the artifact's decode mode")
+    serve.add_argument("--log-json", type=Path, default=None,
+                       help="append structured JSON events (requests, "
+                            "restarts, failovers, armed faults) to this "
+                            "file; with --supervised each replica logs to "
+                            "a per-replica derivation (NAME.rI.jsonl)")
+
+    stats = commands.add_parser(
+        "stats", help="dump stats, health, and metrics from a live fleet"
+    )
+    stats.add_argument("--connect", metavar="HOST:PORT[,HOST:PORT...]",
+                       required=True,
+                       help="the JPSE endpoints of the replicas to query")
+    stats.add_argument("--timeout", type=float, default=10.0,
+                       help="socket timeout per replica in seconds")
+    stats.add_argument("--metrics", action="store_true",
+                       help="append each replica's Prometheus scrape text")
+    stats.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON document "
+                            "instead of the human-readable summary")
     return parser
 
 
@@ -250,6 +283,13 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_event_log(args: argparse.Namespace) -> None:
+    """Point the process-global JSON event log at ``--log-json``, if given."""
+    log_json = getattr(args, "log_json", None)
+    if log_json is not None:
+        configure_event_log(log_json)
+
+
 def _parse_endpoint(endpoint: str, flag: str = "--connect") -> "tuple[str, int]":
     """Split an ``analyze --connect[-http]`` HOST:PORT argument."""
     host, separator, port = endpoint.rpartition(":")
@@ -279,6 +319,7 @@ def _print_clip_result(result) -> None:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
+    _configure_event_log(args)
     clip = load_clip(args.clip)
     if args.connect is not None and args.connect_http is not None:
         raise ConfigurationError(
@@ -357,6 +398,7 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    _configure_event_log(args)
     if args.port is not None and args.http_port is not None:
         raise ConfigurationError(
             "--port and --http-port are mutually exclusive (run two serve "
@@ -483,6 +525,10 @@ def _fault_injector_for(args: argparse.Namespace):
     if injector is not None:
         spec = args.fault_spec or "$JPSE_FAULTS"
         print(f"FAULT INJECTION ARMED ({spec}) -- testing only")
+        fields: "dict[str, object]" = {"spec": spec}
+        if getattr(args, "replica_id", None) is not None:
+            fields["replica_id"] = args.replica_id
+        emit_event("fault_armed", **fields)
     return injector
 
 
@@ -571,6 +617,9 @@ def _serve_supervised(args: argparse.Namespace) -> int:
             f"r{index}": args.fault_spec for index in range(args.replicas)
         }
         print(f"FAULT INJECTION ARMED ({args.fault_spec}) -- testing only")
+        emit_event(
+            "fault_armed", spec=args.fault_spec, replicas=args.replicas
+        )
     extra: "dict[str, object]" = {}
     if args.restart_budget is not None:
         extra["restart_budget"] = args.restart_budget
@@ -584,6 +633,7 @@ def _serve_supervised(args: argparse.Namespace) -> int:
         decode=args.decode,
         fault_specs=fault_specs,
         fault_seed=args.fault_seed or 0,
+        log_json=args.log_json,
         **extra,
     )
     _install_drain_handlers(supervisor.request_shutdown)
@@ -604,6 +654,89 @@ def _serve_supervised(args: argparse.Namespace) -> int:
         print()
         print(supervisor.render_health())
     return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """Query a live fleet's JPSE endpoints; print the merged view.
+
+    One ``stats`` + (optionally) one ``metrics`` request per endpoint;
+    unreachable replicas are reported as ``failed`` rather than aborting
+    the dump — an operator asking "how is the fleet?" needs an answer
+    precisely when part of it is down.
+    """
+    from repro.serving.client import JumpPoseClient
+    from repro.serving.cluster import merge_service_stats, rollup_health
+
+    endpoints = _parse_endpoints(args.connect)
+    replicas: "dict[str, dict[str, object]]" = {}
+    scrapes: "dict[str, str]" = {}
+    states: "list[str]" = []
+    for host, port in endpoints:
+        key = f"{host}:{port}"
+        try:
+            with JumpPoseClient(
+                host, port, timeout_s=args.timeout, connect_retries=0
+            ) as client:
+                payload = client.stats()
+                if args.metrics:
+                    scrapes[key] = client.metrics()
+        except TransportError as exc:
+            states.append("failed")
+            replicas[key] = {"error": str(exc)}
+            continue
+        states.append("healthy")
+        replicas[key] = payload
+    service_snapshots = {
+        key: block["service"]
+        for key, block in replicas.items()
+        if isinstance(block.get("service"), dict)
+    }
+    merged = merge_service_stats(service_snapshots)
+    rollup: "dict[str, object]" = {
+        "status": rollup_health(states),
+        "cluster": merged,
+        "replicas": replicas,
+    }
+    if args.json:
+        if scrapes:
+            rollup["metrics"] = scrapes
+        print(json.dumps(rollup, indent=2, sort_keys=True))
+        return 0 if states.count("healthy") else 1
+    quality = merged["quality"]
+    print(
+        f"fleet status: {rollup['status']} "
+        f"({states.count('healthy')}/{len(endpoints)} replicas reachable)"
+    )
+    print(
+        f"cluster: {merged['clips']} clips / {merged['frames']} frames "
+        f"in {merged['wall_s']:.3f} busy-seconds"
+    )
+    print(
+        f"quality: alert={quality['alert']} "
+        f"flagged={quality['flagged_clips']}/{quality['clips']} clips, "
+        f"{quality['pose_jumps']} pose jumps, "
+        f"{quality['stage_violations']} stage violations, "
+        f"{quality['low_likelihood_frames']} low-likelihood frames"
+    )
+    for key, block in replicas.items():
+        if "error" in block:
+            print(f"  {key}: UNREACHABLE ({block['error']})")
+            continue
+        service = block["service"]
+        server = block["server"]
+        rid = block.get("replica_id")
+        name = f"{key} ({rid})" if rid else key
+        print(
+            f"  {name}: {service['clips']} clips, "
+            f"{server['requests']} requests, {server['errors']} errors, "
+            f"p95 latency {service['latency_p95_s']:.4f}s, "
+            f"quality alert {service['quality']['alert']}"
+        )
+    for key, scrape in scrapes.items():
+        print()
+        print(f"# ---- metrics from {key} ----")
+        print(scrape, end="")
+    return 0 if states.count("healthy") else 1
 
 
 def _serve_network(args: argparse.Namespace) -> int:
@@ -685,6 +818,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "report": _command_report,
     "serve": _command_serve,
+    "stats": _command_stats,
 }
 
 

@@ -54,6 +54,30 @@ class ClipResult:
     def unknown_rate(self) -> float:
         return sum(f.is_unknown for f in self.frames) / len(self.frames)
 
+    def quality(self, thresholds=None):
+        """Pose-quality diagnostics for this clip (see :mod:`repro.obs.quality`).
+
+        Derived deterministically from :attr:`frames`, so the signals
+        never enter equality or the wire codec's identity contract:
+        local, served, and routed copies of the same result agree on
+        them by construction.
+
+        Args:
+            thresholds: optional
+                :class:`~repro.obs.quality.QualityThresholds`; the
+                serving-wide defaults apply when omitted.
+
+        Returns:
+            A :class:`~repro.obs.quality.ClipQuality` with
+            low-likelihood, pose-teleport, and stage-violation counts
+            plus the ``flagged`` verdict.
+        """
+        # Imported lazily: core must not hard-depend on the telemetry
+        # subsystem (mirrors the serving.artifacts pattern above).
+        from repro.obs.quality import clip_quality
+
+        return clip_quality(self.frames, thresholds)
+
     def error_runs(self) -> "list[int]":
         """Lengths of maximal runs of consecutive misclassified frames."""
         runs: list[int] = []

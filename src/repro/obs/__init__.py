@@ -1,0 +1,67 @@
+"""Telemetry for the serving stack: traces, metrics, events, quality.
+
+``repro.obs`` is the observability subsystem threaded through every
+serving layer (PR 7).  It has four parts, each usable on its own:
+
+- :mod:`repro.obs.trace` — request-scoped :class:`TraceContext`
+  propagation: one ``trace_id`` per logical call, a fresh span per hop,
+  carried on JPSE v2 headers and the ``X-Request-Id`` HTTP header.
+- :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and fixed-bucket histograms rendered as Prometheus text
+  exposition (``GET /v1/metrics`` and the ``metrics`` JPSE request).
+- :mod:`repro.obs.events` — a structured JSON-lines event log (one
+  line per request / restart / failover / fault-armed event), enabled
+  with the ``--log-json PATH`` CLI flag.
+- :mod:`repro.obs.quality` — per-clip pose-quality diagnostics
+  (low-likelihood frames, pose teleports, stage-order violations)
+  computed deterministically from decoded frames, plus the
+  threshold-driven alert rollup surfaced in ``/v1/stats``.
+
+Everything here is stdlib-only: no Prometheus client, no tracing SDK.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    NullEventLog,
+    configure_event_log,
+    emit_event,
+    get_event_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.obs.quality import (
+    ClipQuality,
+    QualityThresholds,
+    alert_state,
+    clip_quality,
+    merge_quality,
+)
+from repro.obs.trace import TraceContext, new_trace, parse_trace_header
+
+__all__ = [
+    "ClipQuality",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullEventLog",
+    "QualityThresholds",
+    "TraceContext",
+    "alert_state",
+    "clip_quality",
+    "configure_event_log",
+    "emit_event",
+    "get_event_log",
+    "get_registry",
+    "merge_quality",
+    "new_trace",
+    "parse_trace_header",
+    "render_prometheus",
+]

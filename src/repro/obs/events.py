@@ -1,0 +1,115 @@
+"""Structured JSON-lines event log for the serving stack.
+
+One event is one line of JSON with a fixed envelope::
+
+    {"ts": <unix seconds>, "event": "<type>", ...fields}
+
+Event types emitted by the stack (the full schema lives in
+``docs/observability.md``): ``request`` (one per served JPSE/HTTP
+request, with trace ids, outcome, latency, and per-stage spans),
+``route_dispatch`` / ``route_failover`` / ``route_complete`` (router
+side), ``replica_spawn`` / ``replica_restart`` / ``replica_condemned``
+(supervisor), ``fault_armed`` (fault injector), and
+``replica_disagreement`` (redundant routing).
+
+The sink is process-global and off by default: :func:`get_event_log`
+returns a :class:`NullEventLog` whose :meth:`~NullEventLog.emit` is a
+single attribute lookup and return, so instrumented code never checks
+a flag.  ``--log-json PATH`` (or :func:`configure_event_log`) swaps in
+a real :class:`EventLog` that appends to ``PATH``.  Writes are
+line-atomic under a lock; a failing write disables the sink rather
+than taking the serving path down — observability is best-effort by
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+
+class NullEventLog:
+    """Do-nothing sink used when JSON event logging is not configured."""
+
+    path: "Path | None" = None
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+class EventLog:
+    """Append-only JSON-lines sink; one :meth:`emit` is one line.
+
+    Lines are written under a lock and flushed immediately so other
+    processes (tests, ``tail -f``, the supervisor's drill audits) see
+    events as they happen.  Any OS error while writing permanently
+    disables the sink for this process — telemetry must never raise
+    into the serving path.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._broken = False
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event line: ``ts`` + ``event`` + ``fields``."""
+        record: "dict[str, object]" = {"ts": time.time(), "event": event}
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            line = json.dumps({"ts": record["ts"], "event": event,
+                               "error": "unserializable-event"})
+        with self._lock:
+            if self._broken:
+                return
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except OSError:
+                self._broken = True
+
+    def close(self) -> None:
+        """Flush and close the underlying file; later emits are dropped."""
+        with self._lock:
+            self._broken = True
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+
+
+_SINK_LOCK = threading.Lock()
+_SINK: "EventLog | NullEventLog" = NullEventLog()
+
+
+def configure_event_log(path: "str | Path | None") -> "EventLog | NullEventLog":
+    """Install the process-global sink; ``None`` disables logging.
+
+    Returns the installed sink.  The previous sink (if any) is closed,
+    so reconfiguring mid-process is safe.
+    """
+    global _SINK
+    sink: "EventLog | NullEventLog"
+    sink = NullEventLog() if path is None else EventLog(path)
+    with _SINK_LOCK:
+        previous, _SINK = _SINK, sink
+    previous.close()
+    return sink
+
+
+def get_event_log() -> "EventLog | NullEventLog":
+    """The process-global sink (a :class:`NullEventLog` by default)."""
+    return _SINK
+
+
+def emit_event(event: str, **fields: object) -> None:
+    """Emit one event through the process-global sink."""
+    _SINK.emit(event, **fields)

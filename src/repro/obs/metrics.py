@@ -1,0 +1,317 @@
+"""A tiny, stdlib-only metrics registry with Prometheus text output.
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(settable), and :class:`Histogram` (fixed cumulative buckets) — live in
+a :class:`MetricsRegistry` and render to the Prometheus text exposition
+format (``text/plain; version=0.0.4``) via :func:`render_prometheus`.
+
+Design constraints, in order:
+
+1. **Cheap when hot.**  Recording is one lock acquisition and a dict
+   update; the serving hot path (per-request, per-clip) can afford it
+   (the ``BENCH_obs.json`` benchmark pins the ceiling at 5%).
+2. **Bounded cardinality.**  Each metric accepts at most
+   :data:`MAX_LABEL_SETS` distinct label combinations; further ones
+   collapse into a single ``other`` series instead of growing without
+   bound under junk labels.
+3. **No dependencies.**  The exposition format is hand-rolled; the
+   conformance test in ``tests/test_obs_metrics.py`` parses it back.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from repro.errors import ConfigurationError
+
+#: Hard ceiling on distinct label sets per metric; see module docstring.
+MAX_LABEL_SETS = 64
+
+#: Default latency buckets (seconds) for request/stage histograms.
+LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value; integral floats print as integers."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared plumbing: name, help, label keys, bounded label sets."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: "tuple[str, ...]"):
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"bad metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ConfigurationError(f"bad label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: "dict[tuple[str, ...], object]" = {}
+
+    def _key(self, labels: "dict[str, str]") -> "tuple[str, ...]":
+        """Resolve labels to a series key, folding overflow into 'other'."""
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        if key not in self._series and len(self._series) >= MAX_LABEL_SETS:
+            key = tuple("other" for _ in self.labelnames)
+        return key
+
+    def _label_suffix(self, key: "tuple[str, ...]", extra: str = "") -> str:
+        parts = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def samples(self) -> "list[str]":
+        """Exposition lines for this metric (without HELP/TYPE header)."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            key = self._key(labels)
+            self._series[key] = float(self._series.get(key, 0.0)) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 if never incremented)."""
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def samples(self) -> "list[str]":
+        with self._lock:
+            items = sorted(self._series.items())
+        return [
+            f"{self.name}{self._label_suffix(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (in-flight requests, queue depth)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        with self._lock:
+            key = self._key(labels)
+            self._series[key] = float(self._series.get(key, 0.0)) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 if never set)."""
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def samples(self) -> "list[str]":
+        with self._lock:
+            items = sorted(self._series.items())
+        return [
+            f"{self.name}{self._label_suffix(key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    Each labelled series keeps per-bucket counts plus ``_sum`` and
+    ``_count``; buckets are cumulative on render (``le`` is an upper
+    bound), with an implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "tuple[str, ...]" = (),
+        buckets: "tuple[float, ...]" = LATENCY_BUCKETS_S,
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} needs strictly increasing buckets"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        value = float(value)
+        with self._lock:
+            key = self._key(labels)
+            series = self._series.get(key)
+            if series is None:
+                series = [0] * (len(self.buckets) + 1), [0.0, 0]
+                self._series[key] = series
+            counts, totals = series
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            counts[index] += 1
+            totals[0] += value
+            totals[1] += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations recorded in the labelled series."""
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return int(series[1][1]) if series else 0
+
+    def samples(self) -> "list[str]":
+        with self._lock:
+            items = sorted(
+                (key, ([*counts], [*totals]))
+                for key, (counts, totals) in self._series.items()
+            )
+        lines: "list[str]" = []
+        for key, (counts, totals) in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                suffix = self._label_suffix(key, f'le="{_format_value(bound)}"')
+                lines.append(f"{self.name}_bucket{suffix} {cumulative}")
+            cumulative += counts[-1]
+            suffix = self._label_suffix(key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{suffix} {cumulative}")
+            plain = self._label_suffix(key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(totals[0])}")
+            lines.append(f"{self.name}_count{plain} {int(totals[1])}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named collection of metrics; the unit Prometheus rendering walks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "dict[str, _Metric]" = {}
+
+    def _register(self, kind: type, name: str, **kwargs) -> "_Metric":
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind.kind}"
+                    )
+                return existing
+            metric = kind(name=name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: "tuple[str, ...]" = ()
+    ) -> Counter:
+        """Get-or-create a :class:`Counter` (idempotent by name)."""
+        return self._register(
+            Counter, name, help_text=help_text, labelnames=labelnames
+        )
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: "tuple[str, ...]" = ()
+    ) -> Gauge:
+        """Get-or-create a :class:`Gauge` (idempotent by name)."""
+        return self._register(
+            Gauge, name, help_text=help_text, labelnames=labelnames
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "tuple[str, ...]" = (),
+        buckets: "tuple[float, ...]" = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get-or-create a :class:`Histogram` (idempotent by name)."""
+        return self._register(
+            Histogram, name, help_text=help_text, labelnames=labelnames,
+            buckets=buckets,
+        )
+
+    def metrics(self) -> "list[_Metric]":
+        """All registered metrics, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+
+#: Process-global default registry the serving layers record into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry used by the serving stack."""
+    return _REGISTRY
+
+
+def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
+    """Render a registry as Prometheus text exposition (version 0.0.4).
+
+    Every metric contributes a ``# HELP`` line, a ``# TYPE`` line, and
+    its samples; the whole document ends with a newline as the format
+    requires.  With no metrics registered the result is empty.
+    """
+    registry = registry if registry is not None else _REGISTRY
+    lines: "list[str]" = []
+    for metric in registry.metrics():
+        help_text = metric.help_text.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {metric.name} {help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        lines.extend(metric.samples())
+    return "\n".join(lines) + "\n" if lines else ""

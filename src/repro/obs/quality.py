@@ -1,0 +1,201 @@
+"""Pose-quality diagnostics: flag suspect decodes in live traffic.
+
+In the spirit of "Mining Automatically Estimated Poses from Video
+Recordings of Top Athletes" (PAPERS.md), bad predictions should be
+detected automatically, not in a notebook.  Three per-clip signals are
+computed deterministically from the decoded frame sequence — the same
+function runs locally, in service workers, and on routed results, so
+every path agrees on what is suspect:
+
+- **Low-likelihood frames** — posterior below
+  :attr:`QualityThresholds.low_posterior` (Unknown frames, which carry
+  posterior 0.0, always qualify).
+- **Pose jumps (teleports)** — adjacent predicted poses whose index
+  distance is at least :attr:`QualityThresholds.pose_jump_span`; the
+  22-pose vocabulary is ordered by jump progression, so a large jump
+  between consecutive frames is physically implausible.
+- **Stage-order violations** — adjacent predictions whose stages break
+  :func:`repro.core.poses.stage_can_follow` (a jump never rewinds).
+
+A clip is *flagged* when it has any teleport or stage violation, or
+when at least :attr:`QualityThresholds.low_fraction_flag` of its
+frames are low-likelihood.  Fleet-level rollups turn flagged-clip
+fractions into an alert state (``ok`` / ``warn`` / ``alert``) surfaced
+by ``/v1/stats`` and ``/v1/healthz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.poses import POSE_STAGE, stage_can_follow
+
+if TYPE_CHECKING:  # results imports stay type-only: no core ↔ obs cycle
+    from repro.core.results import FrameResult
+
+#: Alert states in increasing severity, as surfaced in ``/v1/stats``.
+ALERT_STATES = ("ok", "warn", "alert")
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """Tunable limits that decide when decodes become suspect.
+
+    Attributes:
+        low_posterior: frames with posterior strictly below this are
+            low-likelihood (Unknown frames always are).
+        pose_jump_span: minimum index distance between adjacent
+            predicted poses counted as a teleport.  The default (8)
+            deliberately clears the ~7-position skips a wobbly but
+            plausible decode can produce between adjacent stages of the
+            22-pose vocabulary; only cross-stage teleports flag.
+        low_fraction_flag: flag a clip when at least this fraction of
+            its frames is low-likelihood (even with no teleports).
+        warn_flagged_fraction: fleet flagged-clip fraction at which the
+            alert state becomes ``warn``.
+        alert_flagged_fraction: fleet flagged-clip fraction at which
+            the alert state becomes ``alert``.
+    """
+
+    low_posterior: float = 0.2
+    pose_jump_span: int = 8
+    low_fraction_flag: float = 0.5
+    warn_flagged_fraction: float = 0.05
+    alert_flagged_fraction: float = 0.25
+
+
+#: Default thresholds used across the serving stack.
+DEFAULT_THRESHOLDS = QualityThresholds()
+
+
+@dataclass(frozen=True)
+class ClipQuality:
+    """Quality signals for one decoded clip.
+
+    Attributes:
+        frames: total frames in the clip.
+        low_likelihood: frames with sub-threshold posterior (Unknown
+            included).
+        pose_jumps: adjacent-frame pose teleports.
+        stage_violations: adjacent-frame stage-order violations.
+        flagged: whether this clip is suspect under the thresholds it
+            was computed with.
+    """
+
+    frames: int
+    low_likelihood: int
+    pose_jumps: int
+    stage_violations: int
+    flagged: bool
+
+    @property
+    def low_likelihood_fraction(self) -> float:
+        """Fraction of frames that are low-likelihood."""
+        return self.low_likelihood / self.frames if self.frames else 0.0
+
+    def as_dict(self) -> "dict[str, object]":
+        """JSON-safe mapping, carried on wire results and stats."""
+        return {
+            "frames": self.frames,
+            "low_likelihood": self.low_likelihood,
+            "pose_jumps": self.pose_jumps,
+            "stage_violations": self.stage_violations,
+            "flagged": self.flagged,
+        }
+
+
+def clip_quality(
+    frames: "Sequence[FrameResult]",
+    thresholds: "QualityThresholds | None" = None,
+) -> ClipQuality:
+    """Compute :class:`ClipQuality` from a decoded frame sequence.
+
+    Pure and deterministic: the same frames yield the same signals on
+    every path (local analyzer, service worker, routed client), which
+    is what lets the bit-identity conformance suite compare them.
+    """
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    low = 0
+    jumps = 0
+    violations = 0
+    previous = None
+    for frame in frames:
+        pose = frame.predicted
+        if pose is None or frame.posterior < thresholds.low_posterior:
+            low += 1
+        if pose is not None and previous is not None:
+            if abs(int(pose) - int(previous)) >= thresholds.pose_jump_span:
+                jumps += 1
+            if not stage_can_follow(POSE_STAGE[pose], POSE_STAGE[previous]):
+                violations += 1
+        if pose is not None:
+            previous = pose
+    total = len(frames)
+    flagged = (
+        jumps > 0
+        or violations > 0
+        or (total > 0 and low / total >= thresholds.low_fraction_flag)
+    )
+    return ClipQuality(
+        frames=total,
+        low_likelihood=low,
+        pose_jumps=jumps,
+        stage_violations=violations,
+        flagged=flagged,
+    )
+
+
+def alert_state(
+    clips: int,
+    flagged_clips: int,
+    thresholds: "QualityThresholds | None" = None,
+) -> str:
+    """Map a flagged-clip fraction to ``ok`` / ``warn`` / ``alert``."""
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    if clips <= 0:
+        return "ok"
+    fraction = flagged_clips / clips
+    if fraction >= thresholds.alert_flagged_fraction:
+        return "alert"
+    if fraction >= thresholds.warn_flagged_fraction:
+        return "warn"
+    return "ok"
+
+
+def empty_quality_totals() -> "dict[str, object]":
+    """Zeroed fleet-level quality block (the shape stats rollups emit)."""
+    return {
+        "clips": 0,
+        "flagged_clips": 0,
+        "low_likelihood_frames": 0,
+        "pose_jumps": 0,
+        "stage_violations": 0,
+        "alert": "ok",
+    }
+
+
+def merge_quality(
+    blocks: "Iterable[dict | None]",
+    thresholds: "QualityThresholds | None" = None,
+) -> "dict[str, object]":
+    """Sum per-replica quality blocks and recompute the alert state.
+
+    Blocks missing or ``None`` (replicas predating this telemetry) are
+    skipped; non-numeric fields are treated as zero so a malformed
+    snapshot cannot break a fleet rollup.
+    """
+    totals = empty_quality_totals()
+    keys = ("clips", "flagged_clips", "low_likelihood_frames",
+            "pose_jumps", "stage_violations")
+    for block in blocks:
+        if not isinstance(block, dict):
+            continue
+        for key in keys:
+            value = block.get(key, 0)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] = int(totals[key]) + int(value)
+    totals["alert"] = alert_state(
+        int(totals["clips"]), int(totals["flagged_clips"]), thresholds
+    )
+    return totals

@@ -1,0 +1,145 @@
+"""Trace propagation: one ``trace_id`` per call, one span per hop.
+
+A :class:`TraceContext` is a tiny W3C-flavoured trace triple —
+``trace_id`` (32 hex chars, shared by every hop of one logical call),
+``span_id`` (16 hex chars, unique per hop), and ``parent_id`` (the
+span that caused this one, or ``None`` at the root).  Routing clients
+mint one context per ``analyze_clips`` call; every request they send
+carries a child span, replicas echo the context on replies and stamp
+it on log events, so a single id follows the call through router
+shard → replica → service micro-batch → worker stage timings.
+
+On the wire the context rides as a plain JSON object under the
+``trace`` key of a JPSE header, and as ``X-Request-Id`` over HTTP
+(``<trace_id>-<span_id>``).  Parsing is deliberately lenient: junk,
+oversized, or ill-typed trace fields decode to ``None`` (the request
+simply goes untraced) instead of erroring — observability must never
+take a request down with it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Exact hex-digit lengths of the two id fields.
+TRACE_ID_HEX = 32
+SPAN_ID_HEX = 16
+
+#: Upper bound on any single id field accepted off the wire.  Anything
+#: longer is junk by construction and parses to ``None``.
+MAX_ID_CHARS = 64
+
+#: Header key the context travels under in JPSE request/reply headers.
+TRACE_HEADER_KEY = "trace"
+
+#: HTTP request/response header carrying ``<trace_id>-<span_id>``.
+HTTP_TRACE_HEADER = "X-Request-Id"
+
+_HEX = set("0123456789abcdef")
+
+
+def _hex_token(n_chars: int) -> str:
+    """Random lowercase hex string of ``n_chars`` from ``os.urandom``."""
+    return os.urandom((n_chars + 1) // 2).hex()[:n_chars]
+
+
+def _is_id(value: object, n_chars: int) -> bool:
+    """True when ``value`` is a sane id: hex-ish string, bounded length."""
+    if not isinstance(value, str):
+        return False
+    if not value or len(value) > MAX_ID_CHARS:
+        return False
+    # Accept foreign id shapes (different lengths) but insist on hex so
+    # log lines and metrics labels stay printable and bounded.
+    return set(value.lower()) <= _HEX and len(value) >= 1 and n_chars > 0
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace triple carried across serving hops.
+
+    Attributes:
+        trace_id: id shared by every span of one logical call.
+        span_id: id of this hop.
+        parent_id: span that spawned this one (``None`` at the root).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: "str | None" = None
+
+    def child(self) -> "TraceContext":
+        """New span under the same trace, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_hex_token(SPAN_ID_HEX),
+            parent_id=self.span_id,
+        )
+
+    def to_header(self) -> "dict[str, str]":
+        """JSON-safe mapping for the ``trace`` key of a JPSE header."""
+        header = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            header["parent_id"] = self.parent_id
+        return header
+
+    def to_http_header(self) -> str:
+        """``X-Request-Id`` value: ``<trace_id>-<span_id>``."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    def event_fields(self) -> "dict[str, str]":
+        """Fields every log event stamped with this context carries."""
+        fields = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            fields["parent_id"] = self.parent_id
+        return fields
+
+
+def new_trace() -> TraceContext:
+    """Mint a fresh root context (new trace_id, new span, no parent)."""
+    return TraceContext(
+        trace_id=_hex_token(TRACE_ID_HEX),
+        span_id=_hex_token(SPAN_ID_HEX),
+        parent_id=None,
+    )
+
+
+def parse_trace_header(value: object) -> "TraceContext | None":
+    """Decode a ``trace`` header field; junk yields ``None``, never an error.
+
+    Accepts the dict shape written by :meth:`TraceContext.to_header` or
+    the ``X-Request-Id`` string shape from
+    :meth:`TraceContext.to_http_header`.  Anything else — wrong type,
+    missing ids, non-hex ids, oversized ids — parses to ``None`` so a
+    malformed trace never rejects an otherwise valid request.
+    """
+    if isinstance(value, str):
+        if not value or len(value) > 2 * MAX_ID_CHARS + 1:
+            return None
+        trace_id, sep, span_id = value.partition("-")
+        if not sep:
+            # Bare id: treat the whole token as the trace id with a
+            # fresh span, so HTTP callers can send any opaque id.
+            if not _is_id(trace_id, TRACE_ID_HEX):
+                return None
+            return TraceContext(
+                trace_id=trace_id.lower(), span_id=_hex_token(SPAN_ID_HEX)
+            )
+        if not _is_id(trace_id, TRACE_ID_HEX) or not _is_id(span_id, SPAN_ID_HEX):
+            return None
+        return TraceContext(trace_id=trace_id.lower(), span_id=span_id.lower())
+    if not isinstance(value, dict):
+        return None
+    trace_id = value.get("trace_id")
+    span_id = value.get("span_id")
+    parent_id = value.get("parent_id")
+    if not _is_id(trace_id, TRACE_ID_HEX) or not _is_id(span_id, SPAN_ID_HEX):
+        return None
+    if parent_id is not None and not _is_id(parent_id, SPAN_ID_HEX):
+        parent_id = None
+    return TraceContext(
+        trace_id=trace_id.lower(),
+        span_id=span_id.lower(),
+        parent_id=parent_id.lower() if isinstance(parent_id, str) else None,
+    )

@@ -86,6 +86,20 @@ class ProfileReport:
             for name, s in self.stages.items()
         }
 
+    def as_spans(self) -> "list[dict[str, object]]":
+        """The stages as an ordered span list for structured log events.
+
+        Same numbers as :meth:`as_dict`, but as a list of
+        ``{"name", "total_s", "calls"}`` records in recording order —
+        the shape the JSON event log (:mod:`repro.obs.events`) attaches
+        to per-request events so one traced request carries its own
+        stage timings.
+        """
+        return [
+            {"name": name, "total_s": s.total, "calls": s.calls}
+            for name, s in self.stages.items()
+        ]
+
     def render(self) -> str:
         """Fixed-width table, one row per stage plus a total row."""
         if not self.stages:

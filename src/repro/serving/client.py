@@ -46,6 +46,9 @@ from repro.errors import (
     RemoteError,
     TransportError,
 )
+from repro.obs.events import emit_event
+from repro.obs.metrics import get_registry
+from repro.obs.trace import HTTP_TRACE_HEADER, TraceContext, new_trace
 from repro.serving.protocol import (
     MAX_INFLIGHT_REQUESTS,
     Frame,
@@ -59,6 +62,19 @@ from repro.serving.protocol import (
 if TYPE_CHECKING:
     from repro.core.results import ClipResult, FrameResult
     from repro.synth.dataset import JumpClip
+
+# Client-side routing instruments.  The registry is process-global, so
+# an in-process router and its servers report into one scrape; across
+# real processes each side exposes its own copy.
+_METRICS = get_registry()
+_ROUTE_FAILOVERS = _METRICS.counter(
+    "jpse_route_failovers_total",
+    "Shards re-dispatched after a replica transport failure.",
+)
+_REPLICA_DISAGREEMENTS = _METRICS.counter(
+    "jpse_replica_disagreements_total",
+    "Clips whose redundantly-routed replicas returned different results.",
+)
 
 
 class RetryingClientBase:
@@ -107,6 +123,22 @@ class RetryingClientBase:
         self.retry_max_delay_s = retry_max_delay_s
         self.retry_jitter_frac = retry_jitter_frac
         self._retry_rng = retry_rng if retry_rng is not None else random.Random()
+        self._trace_root: "TraceContext | None" = None
+
+    def _span(self, trace: "TraceContext | None" = None) -> "TraceContext":
+        """A fresh per-request span under ``trace`` (or this client's root).
+
+        Every outbound request gets its own span id so replies and log
+        events can be matched hop by hop.  Requests of one client share
+        a lazily-minted root trace id unless the caller supplies a
+        context — a :class:`RoutingClient` does exactly that, so every
+        shard of one routed call carries one trace id end to end.
+        """
+        if trace is None:
+            if self._trace_root is None:
+                self._trace_root = new_trace()
+            trace = self._trace_root
+        return trace.child()
 
     def _retry_sleep_s(self, attempt: int) -> float:
         """The jittered, capped back-off before attempt ``attempt`` (1-based)."""
@@ -249,6 +281,7 @@ class JumpPoseClient(RetryingClientBase):
         self,
         clips: "list[JumpClip] | tuple[JumpClip, ...]",
         deadline_s: "float | None" = None,
+        trace: "TraceContext | None" = None,
     ) -> "list[ClipResult]":
         """Ship clips inline and decode them remotely, in request order.
 
@@ -261,6 +294,10 @@ class JumpPoseClient(RetryingClientBase):
                 (failover routers, health probes) pass ``deadline_s``
                 and get a :class:`~repro.errors.TransportError` once the
                 budget is spent, however chatty the peer.
+            trace: optional trace context to issue this request's span
+                under (instead of this client's own root trace) — a
+                router passes its per-call context here so all shards
+                share one trace id.
 
         Returns:
             One :class:`~repro.core.results.ClipResult` per clip,
@@ -277,7 +314,10 @@ class JumpPoseClient(RetryingClientBase):
         payload = pack_blobs([clip_to_bytes(clip) for clip in clips])
         return self._results(
             self._request(
-                {"type": "analyze_clips"}, payload, deadline_s=deadline_s
+                {"type": "analyze_clips"},
+                payload,
+                deadline_s=deadline_s,
+                trace=trace,
             )
         )
 
@@ -299,6 +339,35 @@ class JumpPoseClient(RetryingClientBase):
     def stats(self) -> "dict[str, object]":
         """Service + server accounting (throughput, latency, errors)."""
         return self._request({"type": "stats"}).header
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format.
+
+        Returns:
+            The scrape body (the same text ``GET /v1/metrics`` serves on
+            the HTTP gateway) — counters, gauges, and latency
+            histograms; see ``docs/observability.md`` for the catalog.
+
+        Raises:
+            ProtocolError: the reply was not a ``metrics`` frame or its
+                payload was not UTF-8 text.
+        """
+        response = self._request({"type": "metrics"})
+        if response.header.get("type") != "metrics":
+            raise ProtocolError(
+                f"expected a metrics frame, got "
+                f"{response.header.get('type')!r}",
+                code="bad-result",
+                recoverable=True,
+            )
+        try:
+            return response.payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"metrics payload is not UTF-8 text: {exc}",
+                code="bad-result",
+                recoverable=True,
+            ) from exc
 
     def shutdown(self) -> "dict[str, object]":
         """Ask the server to stop; returns its ``bye`` header."""
@@ -477,7 +546,15 @@ class JumpPoseClient(RetryingClientBase):
     def _send_request(
         self, header: "dict[str, object]", payload: bytes = b""
     ) -> None:
-        """Connect lazily and put one request frame on the wire."""
+        """Connect lazily and put one request frame on the wire.
+
+        Every request leaves with a ``trace`` header (a fresh span under
+        this client's root trace) unless the caller already attached
+        one; servers echo it on the reply and stamp it on their log
+        events, so a request is followable across processes.
+        """
+        if "trace" not in header:
+            header["trace"] = self._span().to_header()
         self.connect()
         try:
             send_frame(self._sock, header, payload)
@@ -547,8 +624,11 @@ class JumpPoseClient(RetryingClientBase):
         header: "dict[str, object]",
         payload: bytes = b"",
         deadline_s: "float | None" = None,
+        trace: "TraceContext | None" = None,
     ) -> Frame:
         context = str(header.get("type"))
+        if trace is not None:
+            header["trace"] = self._span(trace).to_header()
         if deadline_s is None:
             self._send_request(header, payload)
             response = self._read_reply(context)
@@ -713,6 +793,19 @@ class HttpJumpPoseClient(RetryingClientBase):
         """Service + gateway accounting (throughput, latency, errors)."""
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — Prometheus text exposition format.
+
+        Returns:
+            The scrape body as text (``docs/observability.md`` catalogs
+            the metric names and labels).
+
+        Raises:
+            RemoteError: the gateway rejected the request.
+            TransportError: the connection died mid-request.
+        """
+        return self._request("GET", "/v1/metrics", raw=True)
+
     def shutdown(self, token: str) -> "dict[str, object]":
         """Ask the gateway to stop, presenting the shared token.
 
@@ -735,7 +828,9 @@ class HttpJumpPoseClient(RetryingClientBase):
         method: str,
         path: str,
         body: "dict[str, object] | None" = None,
-    ) -> "dict[str, object]":
+        trace: "TraceContext | None" = None,
+        raw: bool = False,
+    ) -> "dict[str, object] | str":
         if self._conn is not None and self._conn.sock is None:
             # http.client dropped the socket after a Connection: close
             # reply; reconnect through connect() rather than letting its
@@ -752,7 +847,13 @@ class HttpJumpPoseClient(RetryingClientBase):
                 method,
                 path,
                 body=payload,
-                headers={"Content-Type": "application/json"},
+                headers={
+                    "Content-Type": "application/json",
+                    # every gateway request is traced: a fresh span under
+                    # this client's root (or the caller's context),
+                    # echoed back on the X-Request-Id reply header
+                    HTTP_TRACE_HEADER: self._span(trace).to_http_header(),
+                },
             )
             response = self._conn.getresponse()
             status = response.status
@@ -781,6 +882,10 @@ class HttpJumpPoseClient(RetryingClientBase):
                     f"{method} {path}: {exc}"
                 ) from exc
             status, data = salvaged
+        if raw and status < 400:
+            # a text endpoint (the Prometheus scrape); errors still
+            # arrive as structured JSON and go through _parse_reply
+            return data.decode("utf-8", errors="replace")
         return self._parse_reply(method, path, status, data)
 
     def _salvage_early_reply(self) -> "tuple[int, bytes] | None":
@@ -1090,10 +1195,30 @@ class RoutingClient:
     # ------------------------------------------------------------------
     # The request surface
     # ------------------------------------------------------------------
+    def _address_of(self, index: int) -> str:
+        """One replica's address as the ``host:port`` log/event key."""
+        host, port = self.addresses[index]
+        return f"{host}:{port}"
+
     def analyze_clips(
-        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+        self,
+        clips: "list[JumpClip] | tuple[JumpClip, ...]",
+        trace: "TraceContext | None" = None,
     ) -> "list[ClipResult]":
         """Shard clips over the replicas and merge replies in input order.
+
+        The whole routed call runs under **one trace context** (minted
+        here unless the caller supplies one): every shard request — and
+        every re-dispatched shard after a failover — carries a child
+        span of the same trace id, so the call is followable through
+        the router's own ``route_dispatch`` / ``route_failover`` /
+        ``route_complete`` log events *and* each replica's request
+        events (see ``docs/observability.md``).
+
+        Args:
+            clips: the clips to decode.
+            trace: optional trace context to route under; minted fresh
+                per call when omitted.
 
         Returns:
             One :class:`~repro.core.results.ClipResult` per clip, in
@@ -1110,6 +1235,8 @@ class RoutingClient:
         clips = list(clips)
         if not clips:
             return []
+        if trace is None:
+            trace = new_trace()
         results: "list[ClipResult | None]" = [None] * len(clips)
         pending = list(enumerate(clips))
         while pending:
@@ -1121,6 +1248,16 @@ class RoutingClient:
                     f"({len(pending)} clips undelivered)"
                 )
             shards = self._assign(pending, alive)
+            emit_event(
+                "route_dispatch",
+                policy=self.policy,
+                clips=len(pending),
+                shards={
+                    self._address_of(index): len(shard)
+                    for index, shard in sorted(shards.items())
+                },
+                **trace.event_fields(),
+            )
             lock = threading.Lock()
             redispatch: "list[tuple[int, JumpClip]]" = []
             dead: "list[int]" = []
@@ -1132,8 +1269,17 @@ class RoutingClient:
                     shard_results = client.analyze_clips(
                         [clip for _, clip in shard],
                         deadline_s=self.request_deadline_s,
+                        trace=trace,
                     )
-                except TransportError:
+                except TransportError as exc:
+                    _ROUTE_FAILOVERS.inc()
+                    emit_event(
+                        "route_failover",
+                        replica=self._address_of(index),
+                        clips=len(shard),
+                        reason=str(exc),
+                        **trace.event_fields(),
+                    )
                     with lock:
                         dead.append(index)
                         redispatch.extend(shard)
@@ -1166,7 +1312,127 @@ class RoutingClient:
                     self._clients[index].close()
             pending = redispatch
         assert all(result is not None for result in results)
+        emit_event(
+            "route_complete",
+            clips=len(clips),
+            **trace.event_fields(),
+        )
         return results  # type: ignore[return-value]
+
+    def analyze_clips_redundant(
+        self,
+        clips: "list[JumpClip] | tuple[JumpClip, ...]",
+        redundancy: int = 2,
+        trace: "TraceContext | None" = None,
+    ) -> "tuple[list[ClipResult], list[str]]":
+        """Send the *same* clips to several replicas and cross-check.
+
+        Redundant routing trades throughput for a quality signal no
+        single replica can produce: every replica serves the same
+        artifact, so any divergence between their results means a
+        replica is corrupting data (bad memory, truncated artifact,
+        injected ``corrupt`` fault).  Each disagreement increments
+        ``jpse_replica_disagreements_total`` and emits a
+        ``replica_disagreement`` event naming the clip and replicas.
+
+        Args:
+            clips: the clips to decode (each replica decodes all of
+                them).
+            redundancy: how many distinct replicas to ask, ``>= 2``;
+                capped at the alive fleet size.
+            trace: optional trace context; minted fresh when omitted.
+
+        Returns:
+            ``(results, disagreeing_clip_ids)`` — results come from the
+            lowest-indexed replica that answered and are in input order;
+            the id list is empty when every copy agreed.
+
+        Raises:
+            ConfigurationError: ``redundancy < 2``.
+            RemoteError: a replica rejected the request for library
+                reasons.
+            TransportError: fewer than two replicas answered (one
+                answer cannot be cross-checked).
+        """
+        clips = list(clips)
+        if redundancy < 2:
+            raise ConfigurationError(
+                f"redundancy must be >= 2, got {redundancy}"
+            )
+        if not clips:
+            return [], []
+        if trace is None:
+            trace = new_trace()
+        with self._alive_lock:
+            alive = sorted(self._alive)
+        chosen = alive[:redundancy]
+        if len(chosen) < 2:
+            raise TransportError(
+                f"redundant routing needs >= 2 alive replicas, "
+                f"have {len(chosen)}"
+            )
+        lock = threading.Lock()
+        outcomes: "dict[int, list[ClipResult]]" = {}
+        dead: "list[int]" = []
+        fatal: "list[Exception]" = []
+
+        def run_copy(index: int) -> None:
+            try:
+                copy = self._clients[index].analyze_clips(
+                    clips, deadline_s=self.request_deadline_s, trace=trace
+                )
+            except TransportError:
+                with lock:
+                    dead.append(index)
+            except Exception as exc:  # RemoteError, ProtocolError, ...
+                with lock:
+                    fatal.append(exc)
+            else:
+                with lock:
+                    outcomes[index] = copy
+
+        threads = [
+            threading.Thread(
+                target=run_copy, args=(index,),
+                name="jumppose-route-redundant", daemon=True,
+            )
+            for index in chosen
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if fatal:
+            raise fatal[0]
+        with self._alive_lock:
+            for index in dead:
+                self._alive.discard(index)
+                self._clients[index].close()
+        if len(outcomes) < 2:
+            raise TransportError(
+                f"redundant routing got {len(outcomes)} answers from "
+                f"{len(chosen)} replicas; cannot cross-check"
+            )
+        reference_index = min(outcomes)
+        reference = outcomes[reference_index]
+        disagreements: "list[str]" = []
+        for position, clip in enumerate(clips):
+            dissenters = [
+                self._address_of(index)
+                for index, copy in sorted(outcomes.items())
+                if copy[position] != reference[position]
+            ]
+            if dissenters:
+                disagreements.append(clip.clip_id)
+                _REPLICA_DISAGREEMENTS.inc()
+                emit_event(
+                    "replica_disagreement",
+                    clip_id=clip.clip_id,
+                    reference=self._address_of(reference_index),
+                    dissenters=dissenters,
+                    **trace.event_fields(),
+                )
+        return reference, disagreements
 
     def ping(self) -> "dict[str, dict[str, object]]":
         """Ping every alive replica; returns ``{"host:port": pong}``.

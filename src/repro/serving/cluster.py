@@ -40,6 +40,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.obs.quality import merge_quality
 from repro.serving.net import JumpPoseServer
 
 
@@ -80,15 +81,19 @@ def merge_service_stats(
     and the recomputed throughput is a *conservative* cluster rate.
     Latency quantiles are omitted on purpose: quantiles measured over
     different windows cannot be merged, so they remain in the
-    per-replica blocks.
+    per-replica blocks.  Pose-quality counters *do* compose: the
+    per-replica ``quality`` blocks are summed by
+    :func:`repro.obs.quality.merge_quality` and the fleet-level alert
+    state is recomputed from the merged flagged-clip fraction, so one
+    replica decoding garbage flips the whole rollup's ``alert``.
 
     Args:
         snapshots: ``replica_id -> ServiceStats.as_dict()`` payloads.
 
     Returns:
         A dict with ``clips``, ``frames``, ``wall_s``,
-        ``clip_throughput``, ``frame_throughput``, and ``replicas``
-        (the count merged over).
+        ``clip_throughput``, ``frame_throughput``, ``replicas``
+        (the count merged over), and the merged ``quality`` block.
     """
     clips = sum(int(snap.get("clips", 0)) for snap in snapshots.values())
     frames = sum(int(snap.get("frames", 0)) for snap in snapshots.values())
@@ -100,6 +105,9 @@ def merge_service_stats(
         "wall_s": wall_s,
         "clip_throughput": clips / wall_s if wall_s > 0 else 0.0,
         "frame_throughput": frames / wall_s if wall_s > 0 else 0.0,
+        "quality": merge_quality(
+            snap.get("quality") for snap in snapshots.values()
+        ),
     }
 
 
@@ -261,17 +269,26 @@ class JumpPoseCluster:
 
         Returns:
             ``{"status": "ok"|"degraded"|"down", "replicas": {rid:
-            "healthy"|"failed"}}`` via :func:`rollup_health` — in-process
-            replicas have no supervisor restarting them, so a down
-            listener is simply ``failed``.
+            "healthy"|"failed"}, "quality_alert": "ok"|"warn"|"alert"}``
+            via :func:`rollup_health` — in-process replicas have no
+            supervisor restarting them, so a down listener is simply
+            ``failed``.  ``quality_alert`` is the fleet-merged
+            pose-quality alert state (:func:`repro.obs.quality.merge_quality`),
+            so liveness and decode quality are read in one probe.
         """
         states = {
             server.replica_id: ("healthy" if server.is_running else "failed")
             for server in self.servers
         }
+        quality = merge_quality(
+            server.service.stats_snapshot().get("quality")
+            for server in self.servers
+            if server.is_running
+        )
         return {
             "status": rollup_health(list(states.values())),
             "replicas": states,
+            "quality_alert": quality["alert"],
         }
 
     def stats(self) -> "dict[str, object]":

@@ -16,9 +16,13 @@ producers can submit clips with nothing but ``curl``:
     per-clip wire rendering as the JPSE protocol, so decoded results are
     bit-identical to a local ``JumpPoseAnalyzer.analyze_clips`` call.
 ``GET /v1/healthz``
-    Liveness + model identification (the ``ping`` analog).
+    Liveness + model identification (the ``ping`` analog), plus the
+    pose-quality ``quality_alert`` state.
 ``GET /v1/stats``
     Service throughput/latency plus per-route gateway accounting.
+``GET /v1/metrics``
+    Prometheus text exposition of the process-global metrics registry
+    (``text/plain; version=0.0.4`` — the gateway's one non-JSON reply).
 ``POST /v1/shutdown``
     Stops the gateway — guarded by a shared token (403 without it; the
     endpoint is disabled entirely when no token was configured).
@@ -50,6 +54,9 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro.obs.events import emit_event
+from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.trace import HTTP_TRACE_HEADER, parse_trace_header
 from repro.perf.timing import ProfileReport, Timer
 from repro.serving.protocol import (
     MAX_PAYLOAD_BYTES,
@@ -57,6 +64,25 @@ from repro.serving.protocol import (
     clip_result_to_wire,
 )
 from repro.serving.service import JumpPoseService
+
+# Shared with the socket front (get-or-create by name): both fronts in
+# one process report into the same series.  Route stems are the `type`
+# label — server-chosen vocabulary, so cardinality stays bounded.
+_METRICS = get_registry()
+_REQUESTS_TOTAL = _METRICS.counter(
+    "jpse_requests_total",
+    "Requests served by the network fronts, by type and outcome.",
+    ("type", "outcome"),
+)
+_REQUEST_LATENCY = _METRICS.histogram(
+    "jpse_request_latency_seconds",
+    "Whole-request wall-clock at the network fronts, by request type.",
+    ("type",),
+)
+_SUPERVISED_RESTARTS = _METRICS.gauge(
+    "jpse_supervised_restarts",
+    "Restart count the supervisor stamped on this replica's environment.",
+)
 
 #: Seconds a keep-alive connection may sit idle before it is dropped.
 DEFAULT_HTTP_IDLE_TIMEOUT_S = 300.0
@@ -371,6 +397,7 @@ class JumpPoseHttpServer:
     _ROUTES = {
         "/v1/healthz": ("GET", "_route_healthz"),
         "/v1/stats": ("GET", "_route_stats"),
+        "/v1/metrics": ("GET", "_route_metrics"),
         "/v1/analyze": ("POST", "_route_analyze"),
         "/v1/shutdown": ("POST", "_route_shutdown"),
     }
@@ -380,6 +407,13 @@ class JumpPoseHttpServer:
         path = handler.path.split("?", 1)[0]
         route = self._ROUTES.get(path)
         stage = path.rsplit("/", 1)[-1] if route is not None else "unrouted"
+        # Trace context off the X-Request-Id header: lenient (junk means
+        # untraced, never a rejection), echoed on every reply below, and
+        # stamped on the request's event-log line.
+        handler.jpse_trace = parse_trace_header(
+            handler.headers.get(HTTP_TRACE_HEADER)
+        )
+        handler.jpse_stage = stage
         # a request we refuse to route may still carry a body; left
         # unread it would corrupt keep-alive framing, so such refusals
         # close the connection (POSTs always declare one)
@@ -447,15 +481,48 @@ class JumpPoseHttpServer:
                 ),
             )
             return
-        payload.setdefault("latency_s", timer.elapsed)
         with self._profile_lock:
             self.request_profile.add(stage, timer.elapsed)
             self.requests_served += 1
-        self._send_json(handler, status, payload)
+        _REQUESTS_TOTAL.inc(type=stage, outcome="ok")
+        _REQUEST_LATENCY.observe(timer.elapsed, type=stage)
+        self._emit_request_event(handler, stage, "ok", timer.elapsed)
+        if isinstance(payload, str):
+            # the metrics route replies with Prometheus text exposition,
+            # not JSON — the one non-JSON body the gateway serves
+            self._send_text(handler, status, payload)
+        else:
+            payload.setdefault("latency_s", timer.elapsed)
+            self._send_json(handler, status, payload)
         if then_shutdown:
             # only after the reply is on the wire, so the requester gets
             # its acknowledgement before the listener goes away
             self._initiate_shutdown()
+
+    def _emit_request_event(
+        self,
+        handler: _GatewayHandler,
+        stage: str,
+        outcome: str,
+        latency_s: "float | None",
+        code: "str | None" = None,
+    ) -> None:
+        """One ``request`` line in the JSON event log (no-op when off)."""
+        fields: "dict[str, object]" = {
+            "type": stage,
+            "outcome": outcome,
+            "transport": "http",
+        }
+        if self.service.replica_id is not None:
+            fields["replica_id"] = self.service.replica_id
+        if latency_s is not None:
+            fields["latency_s"] = latency_s
+        trace = getattr(handler, "jpse_trace", None)
+        if trace is not None:
+            fields.update(trace.event_fields())
+        if code is not None:
+            fields["code"] = code
+        emit_event("request", **fields)
 
     def _apply_fault(self, handler: _GatewayHandler, stage: str) -> bool:
         """Consult the fault injector for one routed request.
@@ -479,6 +546,30 @@ class JumpPoseHttpServer:
                 pass  # the peer is already gone; the drop stands
         return False
 
+    def _send_body(
+        self,
+        handler: _GatewayHandler,
+        status: int,
+        body: bytes,
+        content_type: str,
+        close: bool = False,
+    ) -> None:
+        """Write one response with explicit framing + the trace echo."""
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", content_type)
+            handler.send_header("Content-Length", str(len(body)))
+            trace = getattr(handler, "jpse_trace", None)
+            if trace is not None:
+                handler.send_header(HTTP_TRACE_HEADER, trace.to_http_header())
+            if close:
+                handler.send_header("Connection", "close")
+                handler.close_connection = True
+            handler.end_headers()
+            handler.wfile.write(body)
+        except OSError:
+            handler.close_connection = True  # peer vanished mid-reply
+
     def _send_json(
         self,
         handler: _GatewayHandler,
@@ -488,17 +579,18 @@ class JumpPoseHttpServer:
     ) -> None:
         """Write one JSON response with explicit framing headers."""
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-        try:
-            handler.send_response(status)
-            handler.send_header("Content-Type", "application/json")
-            handler.send_header("Content-Length", str(len(body)))
-            if close:
-                handler.send_header("Connection", "close")
-                handler.close_connection = True
-            handler.end_headers()
-            handler.wfile.write(body)
-        except OSError:
-            handler.close_connection = True  # peer vanished mid-reply
+        self._send_body(handler, status, body, "application/json", close)
+
+    def _send_text(
+        self, handler: _GatewayHandler, status: int, text: str
+    ) -> None:
+        """Write one plain-text response (the Prometheus exposition)."""
+        self._send_body(
+            handler,
+            status,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
     def _send_error(
         self, handler: _GatewayHandler, failure: _HttpFailure
@@ -506,6 +598,10 @@ class JumpPoseHttpServer:
         """Send one structured ``{"error": ...}`` reply and count it."""
         with self._profile_lock:
             self.errors_served += 1
+        stage = getattr(handler, "jpse_stage", "unframed")
+        _REQUESTS_TOTAL.inc(type=stage, outcome="error")
+        self._emit_request_event(handler, stage, "error", None,
+                                 code=failure.code)
         self._send_json(
             handler,
             failure.status,
@@ -631,17 +727,39 @@ class JumpPoseHttpServer:
     # Routes — each returns (status, payload, then_shutdown)
     # ------------------------------------------------------------------
     def _route_healthz(self, handler: _GatewayHandler):
-        """Liveness + model identification (the socket ``ping`` analog)."""
+        """Liveness + model identification (the socket ``ping`` analog).
+
+        Carries ``quality_alert`` — the service's pose-quality alert
+        state (see :mod:`repro.obs.quality`) — read without the dispatch
+        lock (plain integer counters; a probe must answer even while a
+        long dispatch holds the lock), so the value may trail an
+        in-flight dispatch by a few clips.
+        """
         payload: "dict[str, object]" = {
             "status": "ok",
             "protocol_version": PROTOCOL_VERSION,
             "model_schema": self.service.metadata.get("schema"),
             "jobs": self.service.jobs,
+            "quality_alert": self.service.stats.quality_dict()["alert"],
         }
         if self.service.replica_id is not None:
             payload["replica_id"] = self.service.replica_id
         payload["supervision"] = self.service.supervision_snapshot()
         return 200, payload, False
+
+    def _route_metrics(self, handler: _GatewayHandler):
+        """Prometheus text exposition of the process-global registry.
+
+        The one non-JSON route: the reply body is ``text/plain;
+        version=0.0.4``.  The supervision gauge is refreshed at scrape
+        time (the restart count lives in this replica's environment, so
+        reading it per scrape keeps it off every hot path).
+        """
+        supervision = self.service.supervision_snapshot()
+        restarts = supervision.get("restarts", 0)
+        if isinstance(restarts, int):
+            _SUPERVISED_RESTARTS.set(restarts)
+        return 200, render_prometheus(), False
 
     def _route_stats(self, handler: _GatewayHandler):
         """Service throughput/latency plus per-route gateway counters.

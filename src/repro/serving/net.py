@@ -18,7 +18,14 @@ Request types (see :mod:`repro.serving.protocol` for the frame layout):
 ``analyze_directory``  header names a server-visible clip directory
 ``stream_analyze``     one inline clip; per-frame partial replies (v2)
 ``stats``              service throughput/latency + per-request-type stats
+``metrics``            Prometheus text exposition in the reply payload
 ``shutdown``           reply ``bye``, then stop accepting and drain
+
+Observability (PR 7): a v2 request header may carry a ``trace`` object
+(see :mod:`repro.obs.trace`); it is echoed on the reply and stamped on
+the per-request line of the JSON event log, request counters and
+latency histograms feed the process-global metrics registry, and junk
+trace fields are ignored rather than rejected.
 
 Protocol-v2 requests may carry an ``id``, in which case they are
 *pipelined*: the read loop hands them to per-request daemon threads and
@@ -45,6 +52,9 @@ import threading
 from pathlib import Path
 
 from repro.errors import ConfigurationError, ProtocolError, ReproError
+from repro.obs.events import emit_event
+from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.trace import parse_trace_header
 from repro.perf.timing import ProfileReport, Timer
 from repro.serving.protocol import (
     MAX_INFLIGHT_REQUESTS,
@@ -57,6 +67,26 @@ from repro.serving.protocol import (
     unpack_blobs,
 )
 from repro.serving.service import JumpPoseService
+
+# Request accounting exported at /v1/metrics and the `metrics` request.
+# Labels are always server-chosen vocabulary (validated request types,
+# "unknown", "unframed"), never raw wire bytes, so cardinality is bounded
+# by construction on top of the registry's own MAX_LABEL_SETS ceiling.
+_METRICS = get_registry()
+_REQUESTS_TOTAL = _METRICS.counter(
+    "jpse_requests_total",
+    "Requests served by the network fronts, by type and outcome.",
+    ("type", "outcome"),
+)
+_REQUEST_LATENCY = _METRICS.histogram(
+    "jpse_request_latency_seconds",
+    "Whole-request wall-clock at the network fronts, by request type.",
+    ("type",),
+)
+_SUPERVISED_RESTARTS = _METRICS.gauge(
+    "jpse_supervised_restarts",
+    "Restart count the supervisor stamped on this replica's environment.",
+)
 
 
 class _Connection:
@@ -396,10 +426,14 @@ class JumpPoseServer:
         request_type = frame.header.get("type")
         rid = frame.request_id
         version = frame.version
+        # Lenient by contract: a junk/oversized/ill-typed trace field
+        # parses to None and the request runs untraced (see
+        # repro.obs.trace); only the trace goes missing, never the reply.
+        trace = parse_trace_header(frame.header.get("trace"))
         if not isinstance(request_type, str):
             self._reply_error(
                 state, "bad-request", "header is missing a string 'type'",
-                request_id=rid, version=version,
+                request_id=rid, version=version, trace=trace,
             )
             return True
         if not self._apply_fault(state, request_type):
@@ -416,6 +450,8 @@ class JumpPoseServer:
                 f"{sorted([*self._HANDLERS, 'stream_analyze'])})",
                 request_id=rid,
                 version=version,
+                request_type="unknown",
+                trace=trace,
             )
             return True
         with Timer() as timer:
@@ -423,12 +459,14 @@ class JumpPoseServer:
                 header, payload, keep_going = handler(self, frame)
             except ProtocolError as exc:
                 self._reply_error(state, exc.code, str(exc),
-                                  request_id=rid, version=version)
+                                  request_id=rid, version=version,
+                                  request_type=request_type, trace=trace)
                 return exc.recoverable
             except ReproError as exc:
                 # a library failure for this request, not a server failure
                 self._reply_error(state, type(exc).__name__, str(exc),
-                                  request_id=rid, version=version)
+                                  request_id=rid, version=version,
+                                  request_type=request_type, trace=trace)
                 return True
             except Exception as exc:
                 # never let an unexpected bug kill the connection thread
@@ -437,21 +475,31 @@ class JumpPoseServer:
                 self._reply_error(
                     state, "internal-error", f"{type(exc).__name__}: {exc}",
                     request_id=rid, version=version,
+                    request_type=request_type, trace=trace,
                 )
                 return False
         if rid is not None:
             header["id"] = rid
+        if trace is not None:
+            header["trace"] = trace.to_header()
         header.setdefault("latency_s", timer.elapsed)
         with self._profile_lock:
             self.request_profile.add(request_type, timer.elapsed)
             self.requests_served += 1
+        _REQUESTS_TOTAL.inc(type=request_type, outcome="ok")
+        _REQUEST_LATENCY.observe(timer.elapsed, type=request_type)
+        self._emit_request_event(
+            request_type, "ok", timer.elapsed, trace,
+            stages=header.get("stages"),
+        )
         try:
             self._send(state, header, payload, version)
         except ProtocolError as exc:
             # the reply itself is unshippable (e.g. a result set beyond
             # the payload ceiling): say so instead of dying silently
             self._reply_error(state, exc.code, str(exc),
-                              request_id=rid, version=version)
+                              request_id=rid, version=version,
+                              request_type=request_type, trace=trace)
             return False
         if request_type == "shutdown":
             # only after the bye reply is on the wire: waking
@@ -459,6 +507,32 @@ class JumpPoseServer:
             # connection mid-reply
             self._initiate_shutdown()
         return keep_going
+
+    def _emit_request_event(
+        self,
+        request_type: str,
+        outcome: str,
+        latency_s: "float | None",
+        trace,
+        stages=None,
+        code: "str | None" = None,
+    ) -> None:
+        """One ``request`` line in the JSON event log (no-op when off)."""
+        fields: "dict[str, object]" = {
+            "type": request_type,
+            "outcome": outcome,
+        }
+        if self.replica_id is not None:
+            fields["replica_id"] = self.replica_id
+        if latency_s is not None:
+            fields["latency_s"] = latency_s
+        if trace is not None:
+            fields.update(trace.event_fields())
+        if stages:
+            fields["stages"] = stages
+        if code is not None:
+            fields["code"] = code
+        emit_event("request", **fields)
 
     def _serve_stream(self, state: _Connection, frame) -> bool:
         """Handle one ``stream_analyze`` request (v2 only).
@@ -474,11 +548,12 @@ class JumpPoseServer:
 
         rid = frame.request_id
         version = frame.version
+        trace = parse_trace_header(frame.header.get("trace"))
         if version < 2:
             self._reply_error(
                 state, "bad-request",
                 "stream_analyze requires protocol version 2",
-                version=version,
+                version=version, request_type="stream_analyze", trace=trace,
             )
             return True
         with Timer() as timer:
@@ -512,11 +587,13 @@ class JumpPoseServer:
                 header, payload, keep_going = self._results_reply([final])
             except ProtocolError as exc:
                 self._reply_error(state, exc.code, str(exc),
-                                  request_id=rid, version=version)
+                                  request_id=rid, version=version,
+                                  request_type="stream_analyze", trace=trace)
                 return exc.recoverable
             except ReproError as exc:
                 self._reply_error(state, type(exc).__name__, str(exc),
-                                  request_id=rid, version=version)
+                                  request_id=rid, version=version,
+                                  request_type="stream_analyze", trace=trace)
                 return True
             except OSError:
                 raise  # peer vanished mid-stream; handled by the caller
@@ -524,19 +601,26 @@ class JumpPoseServer:
                 self._reply_error(
                     state, "internal-error", f"{type(exc).__name__}: {exc}",
                     request_id=rid, version=version,
+                    request_type="stream_analyze", trace=trace,
                 )
                 return False
         if rid is not None:
             header["id"] = rid
+        if trace is not None:
+            header["trace"] = trace.to_header()
         header.setdefault("latency_s", timer.elapsed)
         with self._profile_lock:
             self.request_profile.add("stream_analyze", timer.elapsed)
             self.requests_served += 1
+        _REQUESTS_TOTAL.inc(type="stream_analyze", outcome="ok")
+        _REQUEST_LATENCY.observe(timer.elapsed, type="stream_analyze")
+        self._emit_request_event("stream_analyze", "ok", timer.elapsed, trace)
         try:
             self._send(state, header, payload, version)
         except ProtocolError as exc:
             self._reply_error(state, exc.code, str(exc),
-                              request_id=rid, version=version)
+                              request_id=rid, version=version,
+                              request_type="stream_analyze", trace=trace)
             return False
         return keep_going
 
@@ -569,6 +653,8 @@ class JumpPoseServer:
         message: str,
         request_id: "int | str | None" = None,
         version: int = 1,
+        request_type: str = "unframed",
+        trace=None,
     ) -> None:
         """Send a structured ``error`` frame, best-effort.
 
@@ -576,13 +662,22 @@ class JumpPoseServer:
         version-1 error frame, which every peer can read; frame-level
         failures pass the request's version and — for pipelined
         requests — its ``id`` so the client can match the error to the
-        request it answers.
+        request it answers.  ``request_type`` labels the error in
+        metrics and the event log (``unframed`` for read-level
+        failures, ``unknown`` for unrecognised types — always
+        server-chosen vocabulary, never raw wire bytes); ``trace`` is
+        echoed on the error header so a failed hop stays attributable
+        to its trace.
         """
         with self._profile_lock:
             self.errors_served += 1
+        _REQUESTS_TOTAL.inc(type=request_type, outcome="error")
+        self._emit_request_event(request_type, "error", None, trace, code=code)
         header: "dict[str, object]" = {
             "type": "error", "code": code, "message": message,
         }
+        if trace is not None:
+            header["trace"] = trace.to_header()
         if request_id is not None:
             header["id"] = request_id
             version = max(version, 2)  # ids only exist on v2 frames
@@ -608,7 +703,9 @@ class JumpPoseServer:
             header["echo"] = frame.header["echo"]
         return header, b"", True
 
-    def _results_reply(self, results) -> "tuple[dict[str, object], bytes, bool]":
+    def _results_reply(
+        self, results, profile: "ProfileReport | None" = None
+    ) -> "tuple[dict[str, object], bytes, bool]":
         # results ride the payload channel, not the JSON header: the
         # header is capped at 1 MiB while a directory of long clips can
         # legitimately exceed it
@@ -616,13 +713,24 @@ class JumpPoseServer:
             [clip_result_to_wire(result) for result in results],
             separators=(",", ":"),
         ).encode("utf-8")
-        return {"type": "result", "count": len(results)}, payload, True
+        header: "dict[str, object]" = {
+            "type": "result", "count": len(results),
+        }
+        if profile is not None and profile.stages:
+            # this request's own worker stage spans (frontend / decode /
+            # load), distinct from the lifetime `stats` accumulation —
+            # echoed to the client and attached to the request event
+            header["stages"] = profile.as_dict()
+        return header, payload, True
 
     def _handle_analyze_clips(self, frame):
         from repro.synth.io import clip_from_bytes
 
         clips = [clip_from_bytes(blob) for blob in unpack_blobs(frame.payload)]
-        return self._results_reply(self.service.analyze_clips(clips))
+        profile = ProfileReport()
+        return self._results_reply(
+            self.service.analyze_clips(clips, profile), profile
+        )
 
     def _handle_analyze_paths(self, frame):
         paths = frame.header.get("paths")
@@ -634,7 +742,10 @@ class JumpPoseServer:
                 code="bad-request",
                 recoverable=True,
             )
-        return self._results_reply(self.service.analyze_paths(paths))
+        profile = ProfileReport()
+        return self._results_reply(
+            self.service.analyze_paths(paths, profile), profile
+        )
 
     def _handle_analyze_directory(self, frame):
         directory = frame.header.get("directory")
@@ -644,7 +755,10 @@ class JumpPoseServer:
                 code="bad-request",
                 recoverable=True,
             )
-        return self._results_reply(self.service.analyze_directory(directory))
+        profile = ProfileReport()
+        return self._results_reply(
+            self.service.analyze_directory(directory, profile), profile
+        )
 
     def server_stats_snapshot(self) -> "dict[str, object]":
         """The front's request accounting, read under its lock.
@@ -690,6 +804,22 @@ class JumpPoseServer:
         """
         self._initiate_shutdown()
 
+    def _handle_metrics(self, frame):
+        # refresh the supervision gauge at scrape time: the restart count
+        # lives in this replica's environment, not in any hot path
+        supervision = self.service.supervision_snapshot()
+        restarts = supervision.get("restarts", 0)
+        if isinstance(restarts, int):
+            _SUPERVISED_RESTARTS.set(restarts)
+        text = render_prometheus()
+        header: "dict[str, object]" = {
+            "type": "metrics",
+            "content_type": "text/plain; version=0.0.4",
+        }
+        if self.replica_id is not None:
+            header["replica_id"] = self.replica_id
+        return header, text.encode("utf-8"), True
+
     def _handle_shutdown(self, frame):
         # the actual shutdown runs in _serve_frame, after the reply is
         # sent; here we only acknowledge
@@ -701,5 +831,6 @@ class JumpPoseServer:
         "analyze_paths": _handle_analyze_paths,
         "analyze_directory": _handle_analyze_directory,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
         "shutdown": _handle_shutdown,
     }

@@ -336,15 +336,28 @@ def frame_result_from_wire(entry: "dict[str, object]") -> FrameResult:
 
 
 def clip_result_to_wire(result: ClipResult) -> "dict[str, object]":
-    """A JSON-safe rendering of one clip result."""
+    """A JSON-safe rendering of one clip result.
+
+    The ``quality`` block is informational: it is *derived* from the
+    frames (see :meth:`~repro.core.results.ClipResult.quality`), so the
+    decoder ignores it and recomputes on demand — the identity contract
+    stays a statement about frames alone, and a peer that tampers with
+    the block cannot make two equal results disagree on quality.
+    """
     return {
         "clip_id": result.clip_id,
         "frames": [frame_result_to_wire(frame) for frame in result.frames],
+        "quality": result.quality().as_dict(),
     }
 
 
 def clip_result_from_wire(payload: "dict[str, object]") -> ClipResult:
-    """Invert :func:`clip_result_to_wire`."""
+    """Invert :func:`clip_result_to_wire`.
+
+    Unknown keys — including the informational ``quality`` block — are
+    ignored; quality is recomputed from the decoded frames when asked
+    for, which keeps old and new peers interoperable.
+    """
     try:
         entries = payload["frames"]
         clip_id = str(payload["clip_id"])

@@ -30,6 +30,8 @@ from repro.core.dbnclassifier import DECODE_MODES
 from repro.core.pipeline import JumpPoseAnalyzer
 from repro.core.results import ClipResult
 from repro.errors import ConfigurationError, ModelError
+from repro.obs.metrics import get_registry
+from repro.obs.quality import ClipQuality, alert_state
 from repro.perf.timing import ProfileReport, Timer
 from repro.serving.artifacts import load_analyzer, read_artifact_metadata
 
@@ -91,6 +93,34 @@ def _worker_path_batch(batch: "list[str]"):
 #: (or re-sort) an unbounded history on every ``stats`` request.
 LATENCY_WINDOW = 4096
 
+# Process-global serving metrics (see repro.obs.metrics); registered at
+# import so every front sharing this process exports one coherent set.
+_METRICS = get_registry()
+_CLIPS_TOTAL = _METRICS.counter(
+    "jpse_service_clips_total", "Clips decoded by this service."
+)
+_FLAGGED_TOTAL = _METRICS.counter(
+    "jpse_service_flagged_clips_total",
+    "Clips whose pose-quality diagnostics flagged them as suspect.",
+)
+_CLIP_LATENCY = _METRICS.histogram(
+    "jpse_clip_latency_seconds",
+    "Per-clip handling latency measured inside the workers.",
+)
+_STAGE_LATENCY = _METRICS.histogram(
+    "jpse_stage_latency_seconds",
+    "Worker stage wall-clock per clip (frontend, decode, load).",
+    ("stage",),
+)
+_INFLIGHT = _METRICS.gauge(
+    "jpse_service_inflight_clips",
+    "Clips currently being decoded by the dispatch in progress.",
+)
+_QUEUE_DEPTH = _METRICS.gauge(
+    "jpse_service_queue_depth_clips",
+    "Clips waiting on the dispatch lock behind the current dispatch.",
+)
+
 
 @dataclass
 class ServiceStats:
@@ -121,6 +151,28 @@ class ServiceStats:
     )
     profile: ProfileReport = field(default_factory=ProfileReport)
     replica_id: "str | None" = None
+    flagged_clips: int = 0
+    low_likelihood_frames: int = 0
+    pose_jumps: int = 0
+    stage_violations: int = 0
+
+    def record_quality(self, quality: ClipQuality) -> None:
+        """Fold one clip's pose-quality diagnostics into the counters."""
+        self.flagged_clips += int(quality.flagged)
+        self.low_likelihood_frames += quality.low_likelihood
+        self.pose_jumps += quality.pose_jumps
+        self.stage_violations += quality.stage_violations
+
+    def quality_dict(self) -> "dict[str, object]":
+        """The fleet-mergeable quality block (see ``merge_quality``)."""
+        return {
+            "clips": self.clips,
+            "flagged_clips": self.flagged_clips,
+            "low_likelihood_frames": self.low_likelihood_frames,
+            "pose_jumps": self.pose_jumps,
+            "stage_violations": self.stage_violations,
+            "alert": alert_state(self.clips, self.flagged_clips),
+        }
 
     @property
     def clip_throughput(self) -> float:
@@ -158,6 +210,7 @@ class ServiceStats:
             "latency_p50_s": self.latency_quantile(0.5),
             "latency_p95_s": self.latency_quantile(0.95),
             "stages": self.profile.as_dict(),
+            "quality": self.quality_dict(),
         }
         if self.replica_id is not None:
             payload["replica_id"] = self.replica_id
@@ -173,6 +226,11 @@ class ServiceStats:
             f"per-clip latency: mean {self.latency_mean_s:.4f}s, "
             f"p50 {self.latency_quantile(0.5):.4f}s, "
             f"p95 {self.latency_quantile(0.95):.4f}s",
+            f"quality: {self.flagged_clips} flagged clips "
+            f"({self.pose_jumps} teleports, "
+            f"{self.stage_violations} stage violations, "
+            f"{self.low_likelihood_frames} low-likelihood frames) "
+            f"-- alert state {alert_state(self.clips, self.flagged_clips)}",
         ]
         if self.profile.stages:
             lines.append("worker stages (CPU-seconds across workers):")
@@ -317,17 +375,34 @@ class JumpPoseService:
     # Requests
     # ------------------------------------------------------------------
     def analyze_clips(
-        self, clips: "list[JumpClip] | tuple[JumpClip, ...]"
+        self,
+        clips: "list[JumpClip] | tuple[JumpClip, ...]",
+        profile: "ProfileReport | None" = None,
     ) -> "list[ClipResult]":
-        """Decode already-materialised clips in request order."""
-        return self._dispatch(list(clips), _worker_clip_batch, _handle_clip)
+        """Decode already-materialised clips in request order.
+
+        ``profile`` (optional) collects this call's worker stage
+        timings — the per-request span report the network front attaches
+        to traced log events, separate from the lifetime ``stats``
+        accumulation.
+        """
+        return self._dispatch(
+            list(clips), _worker_clip_batch, _handle_clip, profile
+        )
 
     def analyze_paths(
-        self, paths: "list[str | Path] | tuple[str | Path, ...]"
+        self,
+        paths: "list[str | Path] | tuple[str | Path, ...]",
+        profile: "ProfileReport | None" = None,
     ) -> "list[ClipResult]":
-        """Decode clips addressed by ``.npz`` path, loaded worker-side."""
+        """Decode clips addressed by ``.npz`` path, loaded worker-side.
+
+        ``profile`` collects per-request stage spans as in
+        :meth:`analyze_clips`.
+        """
         return self._dispatch(
-            [str(path) for path in paths], _worker_path_batch, _handle_path
+            [str(path) for path in paths], _worker_path_batch, _handle_path,
+            profile,
         )
 
     def stats_snapshot(self) -> "dict[str, object]":
@@ -370,13 +445,17 @@ class JumpPoseService:
             "last_error": os.environ.get(SUPERVISION_LAST_ERROR_ENV) or None,
         }
 
-    def analyze_directory(self, directory: "str | Path") -> "list[ClipResult]":
+    def analyze_directory(
+        self,
+        directory: "str | Path",
+        profile: "ProfileReport | None" = None,
+    ) -> "list[ClipResult]":
         """Serve every ``*.npz`` clip under ``directory``, sorted by name."""
         directory = Path(directory)
         paths = sorted(directory.glob("*.npz"))
         if not paths:
             raise ConfigurationError(f"no .npz clips under {directory}")
-        return self.analyze_paths(paths)
+        return self.analyze_paths(paths, profile)
 
     def _streaming_analyzer(self) -> "JumpPoseAnalyzer":
         """The in-process analyzer streaming requests decode with.
@@ -450,30 +529,50 @@ class JumpPoseService:
                 )
             predictions = analyzer.classifier.classify(candidates_per_frame)
             result = analyzer._result_for(clip, predictions)
+        quality = result.quality()
         with self._dispatch_lock:
             self.stats.clips += 1
             self.stats.frames += len(clip)
             self.stats.latencies_s.append(wall.elapsed)
             self.stats.wall_s += wall.elapsed
+            self.stats.record_quality(quality)
+        _CLIPS_TOTAL.inc()
+        _CLIP_LATENCY.observe(wall.elapsed)
+        if quality.flagged:
+            _FLAGGED_TOTAL.inc()
         return result
 
-    def _dispatch(self, items: list, pool_fn, inline_fn) -> "list[ClipResult]":
+    def _dispatch(
+        self, items: list, pool_fn, inline_fn,
+        request_profile: "ProfileReport | None" = None,
+    ) -> "list[ClipResult]":
         if not items:
             return []
         if self.fault_injector is not None:
             # the dispatch seam: only rules typed `:dispatch` match, and
             # only crash/hang/slow make sense here (no socket to drop)
             self.fault_injector.on_request("dispatch", seam="dispatch")
+        _QUEUE_DEPTH.inc(len(items))
         with self._dispatch_lock:
-            # checked under the lock: a concurrent close() drains here and
-            # then nulls the pool, so a stale is_running answer can't let
-            # a request dereference torn-down workers
-            if not self.is_running:
-                raise ModelError("service is not running; call start() first")
-            return self._dispatch_locked(items, pool_fn, inline_fn)
+            _QUEUE_DEPTH.dec(len(items))
+            _INFLIGHT.inc(len(items))
+            try:
+                # checked under the lock: a concurrent close() drains here
+                # and then nulls the pool, so a stale is_running answer
+                # can't let a request dereference torn-down workers
+                if not self.is_running:
+                    raise ModelError(
+                        "service is not running; call start() first"
+                    )
+                return self._dispatch_locked(
+                    items, pool_fn, inline_fn, request_profile
+                )
+            finally:
+                _INFLIGHT.dec(len(items))
 
     def _dispatch_locked(
-        self, items: list, pool_fn, inline_fn
+        self, items: list, pool_fn, inline_fn,
+        request_profile: "ProfileReport | None" = None,
     ) -> "list[ClipResult]":
         with Timer() as wall:
             if self._pool is not None:
@@ -496,5 +595,15 @@ class JumpPoseService:
             self.stats.frames += frames
             self.stats.latencies_s.append(elapsed)
             self.stats.profile.merge(profile)
+            quality = result.quality()
+            self.stats.record_quality(quality)
+            if quality.flagged:
+                _FLAGGED_TOTAL.inc()
+            if request_profile is not None:
+                request_profile.merge(profile)
+            _CLIPS_TOTAL.inc()
+            _CLIP_LATENCY.observe(elapsed)
+            for stage, stage_stats in profile.stages.items():
+                _STAGE_LATENCY.observe(stage_stats.total, stage=stage)
         self.stats.wall_s += wall.elapsed
         return results

@@ -53,12 +53,28 @@ from pathlib import Path
 from random import Random
 
 from repro.errors import ConfigurationError, ReproError, TransportError
+from repro.obs.events import emit_event
+from repro.obs.metrics import get_registry
 from repro.serving.client import JumpPoseClient
 from repro.serving.cluster import rollup_health
 from repro.serving.faults import FAULT_SEED_ENV, FAULTS_ENV
 from repro.serving.service import (
     SUPERVISION_LAST_ERROR_ENV,
     SUPERVISION_RESTARTS_ENV,
+)
+
+# Supervisor-side instruments.  Labelled by replica id — bounded by the
+# fleet size, which the supervisor itself fixes at construction.
+_METRICS = get_registry()
+_RESTARTS_TOTAL = _METRICS.counter(
+    "jpse_supervisor_restarts_total",
+    "Replica restarts scheduled by the supervisor.",
+    ("replica",),
+)
+_CONDEMNED_TOTAL = _METRICS.counter(
+    "jpse_supervisor_condemned_total",
+    "Replicas marked failed after exhausting their restart budget.",
+    ("replica",),
 )
 
 #: The supervisor's replica state machine, in lifecycle order:
@@ -144,6 +160,13 @@ class ReplicaSupervisor:
         fault_seed: forwarded to armed replicas via ``JPSE_FAULT_SEED``.
         workdir: directory for per-replica log files (default: a fresh
             temporary directory).
+        log_json: optional structured-event-log path; each replica gets
+            a per-replica derivation of it (``fleet.jsonl`` →
+            ``fleet.r0.jsonl``) via ``--log-json``, so one supervised
+            fleet yields one JSON event log per process — greppable by
+            trace id across all of them (``docs/observability.md``).
+            The supervisor's own events go to whatever event log *this*
+            process configured (the CLI's ``--log-json``).
         python: interpreter for replica processes (default: this one).
 
     Use as a context manager, or :meth:`start` / :meth:`close`;
@@ -179,6 +202,7 @@ class ReplicaSupervisor:
         fault_specs: "dict[str, str] | None" = None,
         fault_seed: int = 0,
         workdir: "str | Path | None" = None,
+        log_json: "str | Path | None" = None,
         python: str = sys.executable,
     ) -> None:
         if replicas < 1:
@@ -233,6 +257,7 @@ class ReplicaSupervisor:
         self.python = python
         self._rng = Random(seed)
         self._workdir = Path(workdir) if workdir is not None else None
+        self.log_json = Path(log_json) if log_json is not None else None
         self._replicas = [
             _Replica(rid, 0, fault_specs.get(rid)) for rid in replica_ids
         ]
@@ -365,6 +390,20 @@ class ReplicaSupervisor:
     # ------------------------------------------------------------------
     # Spawning
     # ------------------------------------------------------------------
+    def _replica_log_json(self, replica: _Replica) -> "Path | None":
+        """The per-replica derivation of :attr:`log_json`.
+
+        ``fleet.jsonl`` becomes ``fleet.r0.jsonl`` and so on — replicas
+        are separate processes, so they must not share one append
+        handle; per-replica files keep every line attributable and are
+        still greppable as a set by trace id.
+        """
+        if self.log_json is None:
+            return None
+        return self.log_json.with_name(
+            f"{self.log_json.stem}.{replica.replica_id}{self.log_json.suffix}"
+        )
+
     def _spawn_command(self, replica: _Replica) -> "list[str]":
         """The ``serve`` invocation for one replica."""
         command = [
@@ -378,6 +417,9 @@ class ReplicaSupervisor:
         ]
         if self.decode is not None:
             command += ["--decode", self.decode]
+        log_json = self._replica_log_json(replica)
+        if log_json is not None:
+            command += ["--log-json", str(log_json)]
         return command
 
     def _spawn_env(self, replica: _Replica) -> "dict[str, str]":
@@ -418,6 +460,13 @@ class ReplicaSupervisor:
         replica.consecutive_ok = 0
         replica.consecutive_fail = 0
         replica.healthy_since = None
+        emit_event(
+            "replica_spawn",
+            replica_id=replica.replica_id,
+            address=f"{self.host}:{replica.port}",
+            pid=replica.process.pid,
+            restarts=replica.restarts,
+        )
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -459,11 +508,27 @@ class ReplicaSupervisor:
         replica.consecutive_ok = 0
         if replica.budget_used >= self.restart_budget:
             replica.state = "failed"
+            _CONDEMNED_TOTAL.inc(replica=replica.replica_id)
+            emit_event(
+                "replica_condemned",
+                replica_id=replica.replica_id,
+                reason=reason,
+                restarts=replica.restarts,
+            )
             return
         replica.budget_used += 1
         replica.restarts += 1
         replica.state = "restarting"
-        replica.restart_at = time.monotonic() + self._backoff_s(replica)
+        backoff_s = self._backoff_s(replica)
+        replica.restart_at = time.monotonic() + backoff_s
+        _RESTARTS_TOTAL.inc(replica=replica.replica_id)
+        emit_event(
+            "replica_restart",
+            replica_id=replica.replica_id,
+            reason=reason,
+            restarts=replica.restarts,
+            backoff_s=backoff_s,
+        )
 
     def _tick_replica(self, replica: _Replica) -> None:
         """One monitor pass over one replica (runs under the lock)."""

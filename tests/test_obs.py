@@ -1,0 +1,334 @@
+"""Unit tests for the observability vocabulary: trace, events, quality.
+
+Three contracts pinned here, each load-bearing for the serving stack:
+
+- **Trace parsing is lenient** — :func:`parse_trace_header` turns junk
+  into ``None`` (an untraced request), never an error, while valid
+  dict/string shapes round-trip exactly.
+- **The event log is best-effort JSON lines** — every ``emit`` is one
+  parseable line with the fixed envelope, and a closed/unconfigured
+  sink silently drops instead of raising into the serving path.
+- **Quality signals fire on the injected pathologies** — likelihood
+  collapses, pose teleports, and stage rewinds flag synthetic clips,
+  while a clean decode stays unflagged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.poses import Pose
+from repro.core.results import ClipResult, FrameResult
+from repro.obs.events import (
+    EventLog,
+    NullEventLog,
+    configure_event_log,
+    emit_event,
+    get_event_log,
+)
+from repro.obs.quality import (
+    DEFAULT_THRESHOLDS,
+    QualityThresholds,
+    alert_state,
+    clip_quality,
+    empty_quality_totals,
+    merge_quality,
+)
+from repro.obs.trace import (
+    SPAN_ID_HEX,
+    TRACE_ID_HEX,
+    TraceContext,
+    new_trace,
+    parse_trace_header,
+)
+
+HEX = set("0123456789abcdef")
+
+
+# ----------------------------------------------------------------------
+# Trace contexts
+# ----------------------------------------------------------------------
+def test_new_trace_mints_well_formed_root_contexts():
+    first, second = new_trace(), new_trace()
+    for trace in (first, second):
+        assert len(trace.trace_id) == TRACE_ID_HEX
+        assert len(trace.span_id) == SPAN_ID_HEX
+        assert set(trace.trace_id) <= HEX and set(trace.span_id) <= HEX
+        assert trace.parent_id is None
+    assert first.trace_id != second.trace_id
+    assert first.span_id != second.span_id
+
+
+def test_child_spans_share_the_trace_and_chain_parentage():
+    root = new_trace()
+    child = root.child()
+    grandchild = child.child()
+    assert child.trace_id == root.trace_id == grandchild.trace_id
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    assert len({root.span_id, child.span_id, grandchild.span_id}) == 3
+
+
+def test_dict_header_round_trips_including_parent():
+    child = new_trace().child()
+    parsed = parse_trace_header(child.to_header())
+    assert parsed == child
+    # the root omits parent_id from the header entirely
+    root = new_trace()
+    assert "parent_id" not in root.to_header()
+    assert parse_trace_header(root.to_header()) == root
+
+
+def test_http_header_round_trips_trace_and_span():
+    trace = new_trace().child()
+    parsed = parse_trace_header(trace.to_http_header())
+    assert parsed is not None
+    assert parsed.trace_id == trace.trace_id
+    assert parsed.span_id == trace.span_id
+    assert parsed.parent_id is None  # the string shape drops parentage
+
+
+def test_bare_hex_token_becomes_a_trace_with_a_fresh_span():
+    parsed = parse_trace_header("abcdef0123456789")
+    assert parsed is not None
+    assert parsed.trace_id == "abcdef0123456789"
+    assert len(parsed.span_id) == SPAN_ID_HEX
+
+
+def test_uppercase_ids_are_accepted_and_folded_to_lowercase():
+    parsed = parse_trace_header({"trace_id": "AB" * 16, "span_id": "CD" * 8})
+    assert parsed is not None
+    assert parsed.trace_id == "ab" * 16
+    assert parsed.span_id == "cd" * 8
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [
+        None,
+        7,
+        1.5,
+        True,
+        [1, 2],
+        ("ab", "cd"),
+        "",
+        "zz-not-hex",
+        "not hex at all",
+        "x" * 500,
+        "ab12-" + "c" * 200,  # span id over MAX_ID_CHARS
+        {},
+        {"trace_id": "ab12"},  # span missing
+        {"span_id": "cd34"},  # trace missing
+        {"trace_id": 7, "span_id": "cd34"},
+        {"trace_id": "xyz!", "span_id": "cd34"},
+        {"trace_id": "a" * 200, "span_id": "cd34"},
+    ],
+)
+def test_junk_trace_headers_parse_to_none(junk):
+    assert parse_trace_header(junk) is None
+
+
+def test_invalid_parent_id_is_dropped_not_fatal():
+    parsed = parse_trace_header(
+        {"trace_id": "ab" * 16, "span_id": "cd" * 8, "parent_id": ["no"]}
+    )
+    assert parsed is not None
+    assert parsed.parent_id is None
+
+
+def test_event_fields_carry_the_triple():
+    child = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, parent_id="ef" * 8)
+    assert child.event_fields() == {
+        "trace_id": "ab" * 16,
+        "span_id": "cd" * 8,
+        "parent_id": "ef" * 8,
+    }
+    root = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    assert "parent_id" not in root.event_fields()
+
+
+# ----------------------------------------------------------------------
+# Event log
+# ----------------------------------------------------------------------
+def test_event_log_writes_one_parseable_json_line_per_emit(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    try:
+        log.emit("request", outcome="ok", latency_s=0.25)
+        log.emit("route_failover", replica="127.0.0.1:9", clips=3)
+    finally:
+        log.close()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["event"] == "request"
+    assert first["outcome"] == "ok" and first["latency_s"] == 0.25
+    assert isinstance(first["ts"], float)
+    assert second["event"] == "route_failover" and second["clips"] == 3
+
+
+def test_event_log_survives_unserializable_fields(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    try:
+        circular: "list[object]" = []
+        circular.append(circular)  # json.dumps raises even with default=str
+        log.emit("request", payload=circular)
+    finally:
+        log.close()
+    (line,) = path.read_text(encoding="utf-8").splitlines()
+    record = json.loads(line)
+    assert record["event"] == "request"
+    assert record["error"] == "unserializable-event"
+
+
+def test_closed_event_log_drops_silently(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.emit("request")
+    log.close()
+    log.emit("request")  # must not raise, must not write
+    assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+
+def test_configure_event_log_swaps_the_global_sink(tmp_path):
+    path = tmp_path / "global.jsonl"
+    try:
+        sink = configure_event_log(path)
+        assert get_event_log() is sink
+        emit_event("fault_armed", spec="crash@1")
+        emit_event("replica_spawn", replica_id="r0")
+    finally:
+        configure_event_log(None)
+    assert isinstance(get_event_log(), NullEventLog)
+    events = [
+        json.loads(line)["event"]
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert events == ["fault_armed", "replica_spawn"]
+    emit_event("request")  # back on the null sink: a no-op
+
+
+def test_null_event_log_is_inert():
+    null = NullEventLog()
+    assert null.path is None
+    null.emit("request", anything="goes")
+    null.close()
+
+
+# ----------------------------------------------------------------------
+# Pose-quality diagnostics on synthetic clips
+# ----------------------------------------------------------------------
+def _frames(poses, posterior=0.9):
+    """FrameResult sequence decoding to ``poses`` (None = Unknown)."""
+    return tuple(
+        FrameResult(
+            index=i,
+            truth=Pose.STANDING_HANDS_OVERLAP,
+            predicted=pose,
+            posterior=0.0 if pose is None else posterior,
+        )
+        for i, pose in enumerate(poses)
+    )
+
+
+def test_clean_decode_is_not_flagged():
+    quality = clip_quality(
+        _frames([Pose(0), Pose(1), Pose(8), Pose(11), Pose(16), Pose(17)])
+    )
+    assert not quality.flagged
+    assert quality.frames == 6
+    assert quality.pose_jumps == 0  # 1 -> 8 is span 7: under the bar
+    assert quality.stage_violations == 0 and quality.low_likelihood == 0
+    smooth = clip_quality(_frames([Pose(5), Pose(7), Pose(8), Pose(10), Pose(11)]))
+    assert not smooth.flagged
+    assert smooth.pose_jumps == 0 and smooth.stage_violations == 0
+
+
+def test_likelihood_collapse_flags_the_clip():
+    poses = [Pose(0)] * 10
+    frames = list(_frames(poses))
+    for i in range(5):  # half the clip drops below low_posterior=0.2
+        frames[i] = FrameResult(
+            index=i, truth=Pose(0), predicted=Pose(0), posterior=0.05
+        )
+    quality = clip_quality(tuple(frames))
+    assert quality.low_likelihood == 5
+    assert quality.low_likelihood_fraction == 0.5
+    assert quality.flagged  # 0.5 >= low_fraction_flag
+    assert quality.pose_jumps == 0 and quality.stage_violations == 0
+
+
+def test_unknown_frames_count_low_and_skip_jump_detection():
+    quality = clip_quality(_frames([Pose(0), None, Pose(1), None]))
+    assert quality.low_likelihood == 2
+    assert quality.flagged  # 2/4 >= 0.5
+    assert quality.pose_jumps == 0 and quality.stage_violations == 0
+
+
+def test_pose_teleport_flags_the_clip():
+    # 0 -> 20 is a 20-position teleport AND a BEFORE->LANDING stage skip
+    quality = clip_quality(_frames([Pose(0), Pose(20)]))
+    assert quality.pose_jumps == 1
+    assert quality.stage_violations == 1
+    assert quality.flagged
+
+
+def test_stage_rewind_flags_without_a_teleport():
+    # JUMPING back to BEFORE_JUMPING: span 6 (< 8), stage goes backwards
+    quality = clip_quality(_frames([Pose(8), Pose(2)]))
+    assert quality.pose_jumps == 0
+    assert quality.stage_violations == 1
+    assert quality.flagged
+
+
+def test_thresholds_are_tunable():
+    strict = QualityThresholds(pose_jump_span=3)
+    assert clip_quality(_frames([Pose(0), Pose(4)]), strict).flagged
+    assert not clip_quality(_frames([Pose(0), Pose(4)])).flagged
+    assert DEFAULT_THRESHOLDS.pose_jump_span == 8
+
+
+def test_clip_result_quality_is_derived_not_stored():
+    frames = _frames([Pose(0), Pose(20)])
+    clip = ClipResult(clip_id="c0", frames=frames)
+    assert clip.quality() == clip_quality(frames)
+    # quality never enters equality: same frames, same result object
+    assert clip == ClipResult(clip_id="c0", frames=frames)
+
+
+def test_alert_state_thresholds():
+    assert alert_state(0, 0) == "ok"
+    assert alert_state(100, 4) == "ok"  # below warn (0.05)
+    assert alert_state(100, 5) == "warn"
+    assert alert_state(100, 24) == "warn"
+    assert alert_state(100, 25) == "alert"  # at alert (0.25)
+    assert alert_state(4, 4) == "alert"
+
+
+def test_merge_quality_sums_blocks_and_recomputes_alert():
+    r0 = {
+        "clips": 6, "flagged_clips": 0, "low_likelihood_frames": 1,
+        "pose_jumps": 0, "stage_violations": 0, "alert": "ok",
+    }
+    r1 = {
+        "clips": 2, "flagged_clips": 2, "low_likelihood_frames": 9,
+        "pose_jumps": 3, "stage_violations": 1, "alert": "alert",
+    }
+    merged = merge_quality([r0, None, "junk", r1])
+    assert merged["clips"] == 8 and merged["flagged_clips"] == 2
+    assert merged["low_likelihood_frames"] == 10
+    assert merged["pose_jumps"] == 3 and merged["stage_violations"] == 1
+    assert merged["alert"] == "alert"  # 2/8 = 0.25 crosses the alert bar
+    assert merge_quality([]) == empty_quality_totals()
+
+
+def test_merge_quality_ignores_malformed_fields():
+    bad = {"clips": "many", "flagged_clips": True, "pose_jumps": 2}
+    merged = merge_quality([bad])
+    assert merged["clips"] == 0  # string ignored
+    assert merged["flagged_clips"] == 0  # bool is not a count
+    assert merged["pose_jumps"] == 2
+    assert merged["alert"] == "ok"

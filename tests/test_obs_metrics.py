@@ -1,0 +1,201 @@
+"""Conformance tests for the metrics registry and Prometheus rendering.
+
+The exposition format is hand-rolled (no client library), so this
+suite parses the rendered text back with an independent grammar and
+checks the invariants a real Prometheus scraper relies on: HELP/TYPE
+headers per family, one sample per line, escaped label values,
+cumulative histogram buckets ending at ``+Inf == _count``, monotone
+counters, and label cardinality bounded by :data:`MAX_LABEL_SETS`.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    MAX_LABEL_SETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+
+# One exposition sample: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_exposition(text: str):
+    """Parse exposition text into (helps, types, samples) or fail."""
+    helps: "dict[str, str]" = {}
+    types: "dict[str, str]" = {}
+    samples: "list[tuple[str, dict, str]]" = []
+    assert text == "" or text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            types[name] = kind
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            labels = dict(
+                (key, value.replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+                for key, value in _LABEL_RE.findall(match.group("labels") or "")
+            )
+            samples.append((match.group("name"), labels, match.group("value")))
+    return helps, types, samples
+
+
+def test_counter_is_monotone():
+    counter = Counter("t_total", "help", ())
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value() == 3.5
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+    assert counter.value() == 3.5
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("t_gauge", "help", ())
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec(4)
+    assert gauge.value() == 3.0
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_count():
+    hist = Histogram("t_seconds", "help", (), buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.1, 0.5, 2.0, 100.0):
+        hist.observe(value)
+    assert hist.count() == 5
+    (lines,) = [hist.samples()]
+    by_le = {}
+    sum_line = count_line = None
+    for line in lines:
+        if "_bucket" in line:
+            le = re.search(r'le="([^"]+)"', line).group(1)
+            by_le[le] = int(line.rsplit(" ", 1)[1])
+        elif "_sum" in line:
+            sum_line = float(line.rsplit(" ", 1)[1])
+        elif "_count" in line:
+            count_line = int(line.rsplit(" ", 1)[1])
+    # le="0.1" is inclusive: 0.05 and 0.1 both land in it
+    assert by_le == {"0.1": 2, "1": 3, "10": 4, "+Inf": 5}
+    values = [by_le["0.1"], by_le["1"], by_le["10"], by_le["+Inf"]]
+    assert values == sorted(values)  # cumulative, never decreasing
+    assert count_line == 5 and by_le["+Inf"] == count_line
+    assert sum_line == pytest.approx(102.65)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ConfigurationError):
+        Histogram("t_seconds", "help", (), buckets=())
+    with pytest.raises(ConfigurationError):
+        Histogram("t_seconds", "help", (), buckets=(1.0, 1.0, 2.0))
+
+
+def test_bad_names_and_labels_are_rejected():
+    with pytest.raises(ConfigurationError):
+        Counter("1bad", "help", ())
+    with pytest.raises(ConfigurationError):
+        Counter("ok_total", "help", ("bad-label",))
+    counter = Counter("ok_total", "help", ("type",))
+    with pytest.raises(ConfigurationError):
+        counter.inc(wrong="label")
+    with pytest.raises(ConfigurationError):
+        counter.inc()  # label missing entirely
+
+
+def test_registry_is_idempotent_by_name_and_strict_on_kind():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help")
+    assert registry.counter("x_total", "other help") is first
+    with pytest.raises(ConfigurationError):
+        registry.gauge("x_total", "help")
+
+
+def test_label_cardinality_folds_into_other():
+    counter = Counter("t_total", "help", ("shard",))
+    for i in range(MAX_LABEL_SETS + 36):
+        counter.inc(shard=f"s{i}")
+    # junk labels cannot grow the series set without bound
+    assert len(counter.samples()) <= MAX_LABEL_SETS + 1
+    assert counter.value(shard="other") == 36
+    assert counter.value(shard="s0") == 1  # early series untouched
+
+
+def test_rendered_exposition_parses_back():
+    registry = MetricsRegistry()
+    requests = registry.counter("r_total", "Requests served.", ("type", "outcome"))
+    requests.inc(type="analyze", outcome="ok")
+    requests.inc(3, type="analyze", outcome="error")
+    inflight = registry.gauge("r_inflight", "In-flight requests.")
+    inflight.set(2)
+    latency = registry.histogram("r_seconds", "Latency.", buckets=(0.5, 5.0))
+    latency.observe(0.1)
+    awkward = registry.counter("r_awkward_total", "Escaping.", ("why",))
+    awkward.inc(why='quote " slash \\ newline \n done')
+
+    helps, types, samples = _parse_exposition(render_prometheus(registry))
+    for name, kind in (
+        ("r_total", "counter"),
+        ("r_inflight", "gauge"),
+        ("r_seconds", "histogram"),
+        ("r_awkward_total", "counter"),
+    ):
+        assert types[name] == kind
+        assert helps[name]
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+    assert (({"type": "analyze", "outcome": "ok"}, "1")
+            in by_name["r_total"])
+    assert (({"type": "analyze", "outcome": "error"}, "3")
+            in by_name["r_total"])
+    assert by_name["r_inflight"] == [({}, "2")]
+    assert ({"le": "+Inf"}, "1") in by_name["r_seconds_bucket"]
+    assert by_name["r_seconds_count"] == [({}, "1")]
+    (labels, value), = by_name["r_awkward_total"]
+    assert labels["why"] == 'quote " slash \\ newline \n done'
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_global_registry_serves_the_serving_stack():
+    registry = get_registry()
+    assert registry is get_registry()
+    # importing the serving layers registers the jpse_* families
+    import repro.serving.client  # noqa: F401
+    import repro.serving.service  # noqa: F401
+    import repro.serving.supervisor  # noqa: F401
+
+    names = {metric.name for metric in registry.metrics()}
+    for expected in (
+        "jpse_requests_total",
+        "jpse_request_latency_seconds",
+        "jpse_stage_latency_seconds",
+        "jpse_service_inflight_clips",
+        "jpse_route_failovers_total",
+        "jpse_replica_disagreements_total",
+        "jpse_supervisor_restarts_total",
+        "jpse_supervisor_condemned_total",
+    ):
+        assert expected in names
+    helps, types, _ = _parse_exposition(render_prometheus())
+    assert set(types) == names  # every family has HELP/TYPE on scrape

@@ -23,6 +23,7 @@ from repro.serving.client import (
     JumpPoseClient,
     RoutingClient,
 )
+from repro.obs.quality import empty_quality_totals
 from repro.serving.cluster import JumpPoseCluster, merge_service_stats
 from repro.synth.io import save_clip
 
@@ -240,9 +241,40 @@ def test_merge_service_stats_totals():
         "wall_s": 4.0,
         "clip_throughput": 2.5,
         "frame_throughput": 60.0,
+        "quality": empty_quality_totals(),
     }
     empty = merge_service_stats({})
     assert empty["clips"] == 0 and empty["clip_throughput"] == 0.0
+
+
+def test_merge_service_stats_quality_composes():
+    """Per-replica quality blocks sum and the fleet alert recomputes."""
+    merged = merge_service_stats({
+        "r0": {
+            "clips": 4, "frames": 100, "wall_s": 2.0,
+            "quality": {
+                "clips": 4, "flagged_clips": 0,
+                "low_likelihood_frames": 1, "pose_jumps": 0,
+                "stage_violations": 0, "alert": "ok",
+            },
+        },
+        "r1": {
+            "clips": 4, "frames": 100, "wall_s": 2.0,
+            "quality": {
+                "clips": 4, "flagged_clips": 4,
+                "low_likelihood_frames": 9, "pose_jumps": 4,
+                "stage_violations": 2, "alert": "alert",
+            },
+        },
+    })
+    quality = merged["quality"]
+    assert quality["clips"] == 8
+    assert quality["flagged_clips"] == 4
+    assert quality["low_likelihood_frames"] == 10
+    assert quality["pose_jumps"] == 4
+    assert quality["stage_violations"] == 2
+    # 4/8 flagged >= the alert fraction: one bad replica flips the fleet
+    assert quality["alert"] == "alert"
 
 
 # ----------------------------------------------------------------------

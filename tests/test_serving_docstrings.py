@@ -1,12 +1,14 @@
 """The serving surface is a written contract: no public symbol undocumented.
 
 ``repro.serving`` is the layer other processes build against (artifacts,
-streaming, the service, both network fronts, both clients), so its public
-surface must carry docstrings — this suite walks every module in the
-package and fails on any public module, class, function, method, or
-property without one.  A handful of cross-package entry points named by
-the serving docs (``JumpPoseAnalyzer.save/load/stream/analyze_clips``)
-are pinned explicitly too.
+streaming, the service, both network fronts, both clients), and
+``repro.obs`` is the telemetry vocabulary operators build dashboards
+against — so both public surfaces must carry docstrings.  This suite
+walks every module in the audited packages and fails on any public
+module, class, function, method, or property without one.  A handful of
+cross-package entry points named by the serving docs
+(``JumpPoseAnalyzer.save/load/stream/analyze_clips``) are pinned
+explicitly too.
 """
 
 from __future__ import annotations
@@ -15,15 +17,20 @@ import importlib
 import inspect
 import pkgutil
 
+import repro.obs
 import repro.serving
 from repro.core.pipeline import JumpPoseAnalyzer
 
 
 def _serving_modules():
-    """Every module in the repro.serving package, imported."""
-    modules = [repro.serving]
-    for info in pkgutil.iter_modules(repro.serving.__path__):
-        modules.append(importlib.import_module(f"repro.serving.{info.name}"))
+    """Every module in the audited packages (serving + obs), imported."""
+    modules = []
+    for package in (repro.serving, repro.obs):
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__):
+            modules.append(
+                importlib.import_module(f"{package.__name__}.{info.name}")
+            )
     return modules
 
 

@@ -345,6 +345,83 @@ def test_random_junk_streams_never_kill_the_server(server):
     _assert_alive(server)
 
 
+# ----------------------------------------------------------------------
+# Observability fuzzing: trace headers and metrics requests
+# ----------------------------------------------------------------------
+def test_junk_trace_headers_never_reject_requests(server, raw):
+    """A malformed trace context means 'untraced', never an error: the
+    request is answered normally and no trace echo comes back."""
+    junk_traces = [
+        7, 1.5, True, [1, 2], "zz-not-hex", "x" * 500,
+        {"trace_id": 7, "span_id": "abcd"},
+        {"trace_id": "nope!", "span_id": "abcd"},
+        {"span_id": "abcd"},                       # missing trace_id
+        {"trace_id": "a" * 200, "span_id": "ab"},  # oversized id
+        {},
+    ]
+    with raw.makefile("rb") as reader:
+        for junk in junk_traces:
+            raw.sendall(encode_frame({"type": "ping", "trace": junk}))
+            response = read_frame(reader)
+            assert response.header["type"] == "pong", f"rejected {junk!r}"
+            assert "trace" not in response.header
+    _assert_alive(server)
+
+
+def test_duplicate_trace_keys_last_one_wins_harmlessly(server, raw):
+    """Raw JSON with a duplicated ``trace`` key (a hostile encoder can
+    write one) must not kill the request — the decoded header keeps one
+    of them, and either a valid echo or an untraced pong is fine."""
+    dup = (
+        b'{"type": "ping",'
+        b' "trace": {"trace_id": "ab12", "span_id": "cd34"},'
+        b' "trace": "definitely junk!"}'
+    )
+    raw.sendall(_prefix(header_size=len(dup)) + dup)
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "pong"
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    _assert_alive(server)
+
+
+def test_valid_trace_is_echoed_on_the_reply(server, raw):
+    """The round-trip contract the clients rely on: a well-formed trace
+    context comes back verbatim on the reply header."""
+    context = {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+    raw.sendall(encode_frame({"type": "ping", "trace": context}))
+    with raw.makefile("rb") as reader:
+        response = read_frame(reader)
+        assert response.header["type"] == "pong"
+        assert response.header["trace"]["trace_id"] == context["trace_id"]
+        assert response.header["trace"]["span_id"] == context["span_id"]
+
+
+def test_malformed_metrics_requests_leave_server_serving(server, raw):
+    """``metrics`` with junk riders (payload bytes, ill-typed ids, junk
+    trace) either answers or errors recoverably — and the scrape output
+    stays valid afterwards."""
+    with raw.makefile("rb") as reader:
+        # junk payload bytes on a metrics request are ignored
+        raw.sendall(encode_frame({"type": "metrics"}, b"\x00junk\xff"))
+        assert read_frame(reader).header["type"] == "metrics"
+        # junk trace on a metrics request: answered, untraced
+        raw.sendall(encode_frame({"type": "metrics", "trace": [1]}))
+        assert read_frame(reader).header["type"] == "metrics"
+        # ill-typed id is the usual recoverable bad-request
+        junk = json.dumps({"type": "metrics", "id": {"n": 1}}).encode()
+        raw.sendall(_prefix(version=2, header_size=len(junk)) + junk)
+        assert read_frame(reader).header["code"] == "bad-request"
+        _send_ping(raw)
+        assert read_frame(reader).header["type"] == "pong"
+    host, port = server.address
+    with JumpPoseClient(host, port, timeout_s=10.0) as probe:
+        text = probe.metrics()
+    assert "# TYPE jpse_requests_total counter" in text
+    _assert_alive(server)
+
+
 def test_error_accounting_is_visible_in_stats(server):
     host, port = server.address
     # self-contained: provoke one counted error rather than relying on
