@@ -4,8 +4,10 @@ The full-scale measurement (``--perf``) times every batch decode mode and
 the streaming decoder (causal and fixed-lag) on a 400-frame synthetic
 candidate stream, asserts throughput floors (set ~10x below measured
 rates on the reference machine, so only real regressions trip them), adds
-artifact save/load round-trip timings, and writes ``BENCH_decode.json``
-at the repo root next to ``BENCH_frontend.json``.
+artifact save/load round-trip timings, times the batched cross-clip
+kernels against per-clip decoding (asserting batched-vs-serial speedup
+floors, viterbi as the headline), and writes ``BENCH_decode.json`` at the
+repo root next to ``BENCH_frontend.json``.
 
 The models are fitted directly from synthetic feature vectors — no vision
 pipeline, no clip rendering — so the numbers isolate the DBN decode path
@@ -47,6 +49,18 @@ FLOORS_FPS = {
     "decode_viterbi": 1200.0,
     "streaming_lag0": 1500.0,
     "streaming_lag8": 800.0,
+}
+
+#: batched-vs-serial speedup floors for the cross-clip tensor kernels
+#: (one padded ``(B, T, S)`` pass instead of B recursions).  Viterbi is
+#: the headline: it was the serial laggard the batching targets.  Floors
+#: sit well under reference-machine measurements so only a real
+#: regression (e.g. the batch path silently falling back to per-clip
+#: loops) trips them.
+BATCH_SPEEDUP_FLOORS = {
+    "decode_viterbi_batch": 1.5,
+    "decode_filter_batch": 1.2,
+    "decode_smooth_batch": 1.2,
 }
 
 
@@ -152,16 +166,62 @@ def _measure(
     return results
 
 
+def _measure_batched(
+    n_clips: int, clip_frames: int, repeats: int
+) -> "dict[str, dict[str, float]]":
+    """Time batched vs serial cross-clip decoding, checking bit-identity."""
+    observation, transitions = _fitted_models()
+    clips = [
+        _candidate_stream(clip_frames, seed=seed) for seed in range(n_clips)
+    ]
+    total_frames = n_clips * clip_frames
+    results: dict[str, dict[str, float]] = {}
+    for mode in ("filter", "smooth", "viterbi"):
+        classifier = DBNPoseClassifier(
+            observation, transitions, ClassifierConfig(decode=mode)
+        )
+        serial = [classifier.classify(clip) for clip in clips]
+        batched = classifier.classify_batch(clips)
+        # the speedup only counts if the batch kernels stay bit-identical
+        assert batched == serial, f"batched {mode} diverged from serial"
+        serial_s = best_of(
+            lambda: [classifier.classify(clip) for clip in clips], repeats
+        )
+        batch_s = best_of(lambda: classifier.classify_batch(clips), repeats)
+        results[f"decode_{mode}_batch"] = {
+            "clips": float(n_clips),
+            "frames": float(total_frames),
+            "serial_s": serial_s,
+            "batch_s": batch_s,
+            "speedup": serial_s / batch_s,
+            "frames_per_s": total_frames / batch_s,
+        }
+    return results
+
+
 def test_decode_bench_smoke(tmp_path):
     """Tier-1 variant: tiny stream, same code paths, no floors."""
     results = _measure(n_frames=24, repeats=1, tmp_path=tmp_path)
+    results.update(_measure_batched(n_clips=4, clip_frames=8, repeats=1))
     for name in FLOORS_FPS:
+        assert results[name]["frames_per_s"] > 0
+    for name in BATCH_SPEEDUP_FLOORS:
+        assert results[name]["speedup"] > 0
         assert results[name]["frames_per_s"] > 0
     path = write_bench_json(
         tmp_path / "BENCH_decode.json", results, context={"frames": 24}
     )
     payload = json.loads(path.read_text())
     assert payload["benchmarks"]["decode_filter"]["seconds"] > 0
+    assert payload["benchmarks"]["decode_viterbi_batch"]["batch_s"] > 0
+    # the perf trajectory accumulates: a rewrite appends to history
+    assert [entry["benchmarks"] for entry in payload["history"]] == [
+        payload["benchmarks"]
+    ]
+    write_bench_json(path, results, context={"frames": 24})
+    payload = json.loads(path.read_text())
+    assert len(payload["history"]) == 2
+    assert all("at" in entry for entry in payload["history"])
 
 
 @pytest.mark.perf
@@ -169,6 +229,9 @@ def test_decode_bench_full(tmp_path):
     """Full-scale run: 400-frame stream, floors asserted, artifact written."""
     n_frames, repeats = 400, 5
     results = _measure(n_frames=n_frames, repeats=repeats, tmp_path=tmp_path)
+    results.update(
+        _measure_batched(n_clips=16, clip_frames=25, repeats=repeats)
+    )
     write_bench_json(
         BENCH_PATH,
         results,
@@ -177,6 +240,7 @@ def test_decode_bench_full(tmp_path):
             "repeats": repeats,
             "joint_states": "4 stages x 22 poses",
             "floors_fps": FLOORS_FPS,
+            "batch_speedup_floors": BATCH_SPEEDUP_FLOORS,
         },
     )
     for name, floor in FLOORS_FPS.items():
@@ -184,4 +248,10 @@ def test_decode_bench_full(tmp_path):
         assert measured >= floor, (
             f"{name}: {measured:.0f} frames/s fell below the "
             f"{floor:.0f} frames/s floor"
+        )
+    for name, floor in BATCH_SPEEDUP_FLOORS.items():
+        measured = results[name]["speedup"]
+        assert measured >= floor, (
+            f"{name}: batched-vs-serial speedup {measured:.2f}x fell "
+            f"below the {floor:.2f}x floor"
         )

@@ -182,6 +182,23 @@ class TwoSliceDBN:
             )
         return vector
 
+    def _propagate(self, beliefs: np.ndarray) -> np.ndarray:
+        """Forward predictive for a ``(B, S)`` stack of beliefs.
+
+        Row ``b`` is ``transition.T @ beliefs[b]``.  Deliberately einsum,
+        not a BLAS matmul: the einsum sum-of-products loop is independent
+        of the batch size, so row ``b`` of a B-row call is bit-identical
+        to a 1-row call.  BLAS ``gemm`` is *not* row-count-stable, and
+        the batched kernels' bit-identity guarantee rests on this
+        property (pinned by ``tests/test_decode_batch.py``).
+        """
+        return np.einsum("bs,st->bt", beliefs, self._transition)
+
+    def _propagate_back(self, messages: np.ndarray) -> np.ndarray:
+        """Backward message for a ``(B, S)`` stack: row ``b`` is
+        ``transition @ messages[b]`` (same batch-size-stable einsum)."""
+        return np.einsum("bs,ts->bt", messages, self._transition)
+
     def filter_step(
         self,
         belief: "np.ndarray | None",
@@ -205,7 +222,9 @@ class TwoSliceDBN:
         """
         vector = self._check_likelihood(likelihood, t)
         predicted = (
-            self.prior_vector if belief is None else self._transition.T @ belief
+            self.prior_vector
+            if belief is None
+            else self._propagate(belief[None, :])[0]
         )
         new_belief = predicted * vector
         total = new_belief.sum()
@@ -216,7 +235,7 @@ class TwoSliceDBN:
             new_belief = (
                 self.prior_vector
                 if alpha is None
-                else self._transition.T @ alpha
+                else self._propagate(alpha[None, :])[0]
             )
             total = new_belief.sum()
         return new_belief, new_belief / total
@@ -231,7 +250,7 @@ class TwoSliceDBN:
         decoder's fixed-lag window.
         """
         vector = self._check_likelihood(likelihood, t)
-        message = self._transition @ (vector * beta)
+        message = self._propagate_back((vector * beta)[None, :])[0]
         total = message.sum()
         if total > 0:
             return message / total
@@ -272,18 +291,30 @@ class TwoSliceDBN:
         return smoothed / totals
 
     def viterbi(self, likelihoods: "list[np.ndarray]") -> "list[int]":
-        """MAP joint-state path (log-space Viterbi)."""
+        """MAP joint-state path (log-space Viterbi).
+
+        Mirrors :meth:`filter_step`'s §5 zero-likelihood recovery: a
+        frame whose observation drives every path score to ``-inf``
+        keeps the predictive max-product scores for that frame instead
+        of silently collapsing to ``argmax`` over an all-``-inf`` row
+        (which would pick joint state 0, an arbitrary MAP path).
+        """
         if not likelihoods:
             return []
         with np.errstate(divide="ignore"):
             log_t = np.log(self._transition)
             log_prior = np.log(self.prior_vector)
         back: list[np.ndarray] = []
-        score = log_prior + self._safe_log(likelihoods[0])
+        score = self._scored(
+            log_prior, self._safe_log(self._check_likelihood(likelihoods[0], 0))
+        )
         for t in range(1, len(likelihoods)):
             candidate = score[:, None] + log_t
             back.append(np.argmax(candidate, axis=0))
-            score = candidate.max(axis=0) + self._safe_log(likelihoods[t])
+            score = self._scored(
+                candidate.max(axis=0),
+                self._safe_log(self._check_likelihood(likelihoods[t], t)),
+            )
         path = [int(np.argmax(score))]
         for pointers in reversed(back):
             path.append(int(pointers[path[-1]]))
@@ -291,6 +322,189 @@ class TwoSliceDBN:
         return path
 
     @staticmethod
+    def _scored(predicted: np.ndarray, log_likelihood: np.ndarray) -> np.ndarray:
+        """Fold one frame's log-likelihood into the Viterbi scores.
+
+        Zero-likelihood recovery: when the observation kills every path
+        (all scores ``-inf``) but the predictive scores are viable, the
+        frame falls back to the predictive step — the log-space analogue
+        of :meth:`filter_step`'s §5 recovery.
+        """
+        scored = predicted + log_likelihood
+        if np.max(scored) == -np.inf and np.max(predicted) > -np.inf:
+            return predicted
+        return scored
+
+    @staticmethod
     def _safe_log(vector: np.ndarray) -> np.ndarray:
         with np.errstate(divide="ignore"):
             return np.log(np.asarray(vector, dtype=np.float64).reshape(-1))
+
+    # ------------------------------------------------------------------
+    # Batched inference (many clips through one tensor pass)
+    # ------------------------------------------------------------------
+    def _stack_likelihoods(
+        self, clips: "list[list[np.ndarray]] | list[np.ndarray]"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Pad ragged per-clip likelihood lists into ``(B, T_max, S)``.
+
+        Returns the padded tensor and the per-clip lengths.  Pad frames
+        are all-ones so a padded step can never trip the zero-likelihood
+        recovery; every output is masked to the clip's true length
+        anyway.
+        """
+        lengths = np.array([len(clip) for clip in clips], dtype=np.intp)
+        t_max = int(lengths.max()) if len(lengths) else 0
+        tensor = np.ones((len(lengths), t_max, self._joint_card))
+        for b, clip in enumerate(clips):
+            for t, likelihood in enumerate(clip):
+                tensor[b, t] = self._check_likelihood(likelihood, t)
+        return tensor, lengths
+
+    def _filter_padded(
+        self, tensor: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Forward filtering over a padded batch; returns ``(B, T, S)``.
+
+        Per clip and per time step this replays :meth:`filter_step`
+        exactly — same predictive product (the batch-size-stable
+        einsum), same elementwise update, same per-step zero-likelihood
+        recovery — so row ``[b, t]`` is bit-identical to serial
+        filtering of clip ``b`` alone.  Rows at ``t >= lengths[b]`` are
+        padding and carry no meaning.
+        """
+        b_count, t_max, _ = tensor.shape
+        out = np.zeros((b_count, t_max, self._joint_card))
+        if b_count == 0 or t_max == 0:
+            return out
+        prior = np.tile(self.prior_vector, (b_count, 1))
+        beliefs = np.zeros((b_count, self._joint_card))
+        alphas = np.zeros((b_count, self._joint_card))
+        for t in range(t_max):
+            predicted = prior if t == 0 else self._propagate(beliefs)
+            new_beliefs = predicted * tensor[:, t]
+            totals = new_beliefs.sum(axis=1)
+            bad = totals <= 0
+            if bad.any():
+                recovery = prior if t == 0 else self._propagate(alphas)
+                new_beliefs = np.where(bad[:, None], recovery, new_beliefs)
+                totals = np.where(bad, recovery.sum(axis=1), totals)
+            # padding rows of zero-length clips can stay all-zero; give
+            # them a harmless divisor (their output is masked anyway)
+            safe_totals = np.where(totals > 0, totals, 1.0)
+            new_alphas = new_beliefs / safe_totals[:, None]
+            # freeze clips that already ended so their recursion state
+            # stays exactly what their last real frame produced
+            active = t < lengths
+            beliefs = np.where(active[:, None], new_beliefs, beliefs)
+            alphas = np.where(active[:, None], new_alphas, alphas)
+            out[:, t] = new_alphas
+        return out
+
+    def filter_batch(
+        self, clips: "list[list[np.ndarray]] | list[np.ndarray]"
+    ) -> "list[np.ndarray]":
+        """Batched :meth:`filter` over many clips at once.
+
+        ``clips[b]`` is one clip's likelihood sequence.  Returns one
+        ``(T_b, S)`` posterior array per clip, bit-identical to
+        ``self.filter(clips[b])`` — including the per-step
+        zero-likelihood recovery — whatever the batch composition.
+        """
+        tensor, lengths = self._stack_likelihoods(clips)
+        padded = self._filter_padded(tensor, lengths)
+        return [padded[b, :n].copy() for b, n in enumerate(lengths)]
+
+    def smooth_batch(
+        self, clips: "list[list[np.ndarray]] | list[np.ndarray]"
+    ) -> "list[np.ndarray]":
+        """Batched :meth:`smooth`: one forward and one backward tensor
+        pass over many clips, bit-identical per clip to serial smoothing.
+
+        The backward recursion runs on the shared padded tensor with a
+        per-clip length mask: clip ``b``'s recursion starts at its own
+        last frame (``beta = 1``), so ragged batches reproduce each
+        clip's offline posterior exactly.
+        """
+        tensor, lengths = self._stack_likelihoods(clips)
+        b_count, t_max, s = tensor.shape
+        alphas = self._filter_padded(tensor, lengths)
+        if b_count == 0 or t_max == 0:
+            return [np.zeros((0, s)) for _ in range(b_count)]
+        betas = np.ones((b_count, t_max, s))
+        uniform = np.full(s, 1.0 / s)
+        for t in range(t_max - 2, -1, -1):
+            messages = self._propagate_back(tensor[:, t + 1] * betas[:, t + 1])
+            totals = messages.sum(axis=1)
+            positive = totals > 0
+            safe_totals = np.where(positive, totals, 1.0)
+            normalized = np.where(
+                positive[:, None], messages / safe_totals[:, None], uniform
+            )
+            covered = t <= lengths - 2
+            betas[:, t] = np.where(covered[:, None], normalized, betas[:, t])
+        smoothed = alphas * betas
+        totals = smoothed.sum(axis=2, keepdims=True)
+        totals[totals <= 0] = 1.0
+        smoothed = smoothed / totals
+        return [smoothed[b, :n].copy() for b, n in enumerate(lengths)]
+
+    def viterbi_batch(
+        self, clips: "list[list[np.ndarray]] | list[np.ndarray]"
+    ) -> "list[list[int]]":
+        """Batched :meth:`viterbi`: the log-space max-product recursion
+        over a padded batch, one ``(B, S, S)`` pass per time step.
+
+        Bit-identical per clip to serial Viterbi — same elementwise
+        adds, same first-index ``argmax`` tie-breaking, same per-frame
+        zero-likelihood recovery.  Each clip backtracks from the scores
+        its own last frame produced.
+        """
+        tensor, lengths = self._stack_likelihoods(clips)
+        b_count, t_max, s = tensor.shape
+        paths: "list[list[int]]" = [[] for _ in range(b_count)]
+        if b_count == 0 or t_max == 0:
+            return paths
+        with np.errstate(divide="ignore"):
+            log_t = np.log(self._transition)
+            log_prior = np.log(self.prior_vector)
+            log_liks = np.log(tensor)
+        back = np.zeros((b_count, t_max - 1, s), dtype=np.intp)
+        finals = np.zeros((b_count, s))
+        ends = lengths - 1
+        scores = self._scored_batch(
+            np.broadcast_to(log_prior, (b_count, s)), log_liks[:, 0]
+        )
+        finals[ends == 0] = scores[ends == 0]
+        # candidate laid out (B, to, from) so max/argmax reduce over the
+        # contiguous last axis — exact comparisons, so the values and
+        # first-occurrence tie-breaking match the serial (from, to) /
+        # axis-0 arrangement bit for bit, only faster
+        log_t_by_target = np.ascontiguousarray(log_t.T)
+        for t in range(1, t_max):
+            candidate = scores[:, None, :] + log_t_by_target[None, :, :]
+            back[:, t - 1] = np.argmax(candidate, axis=2)
+            scores = self._scored_batch(candidate.max(axis=2), log_liks[:, t])
+            finals[ends == t] = scores[ends == t]
+        for b, n in enumerate(lengths):
+            if n == 0:
+                continue
+            path = [int(np.argmax(finals[b]))]
+            for t in range(int(n) - 2, -1, -1):
+                path.append(int(back[b, t, path[-1]]))
+            path.reverse()
+            paths[b] = path
+        return paths
+
+    @staticmethod
+    def _scored_batch(
+        predicted: np.ndarray, log_likelihoods: np.ndarray
+    ) -> np.ndarray:
+        """Per-clip :meth:`_scored` over a ``(B, S)`` stack."""
+        scored = predicted + log_likelihoods
+        keep_predictive = (scored.max(axis=1) == -np.inf) & (
+            predicted.max(axis=1) > -np.inf
+        )
+        if keep_predictive.any():
+            return np.where(keep_predictive[:, None], predicted, scored)
+        return scored

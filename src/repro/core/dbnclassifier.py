@@ -22,6 +22,7 @@ Figure 7 / ablation benchmarks; the paper itself uses the greedy rule.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -135,7 +136,7 @@ class DBNPoseClassifier:
         self.observation = observation
         self.transitions = transitions
         self.config = config or ClassifierConfig()
-        self._score_cache: "dict[tuple, np.ndarray]" = {}
+        self._score_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -162,27 +163,37 @@ class DBNPoseClassifier:
         plausibility weight is applied at lookup, so memoised scoring is
         bit-exact and identical-area candidates share one entry.
         """
+        return self._cached_raw_scores(feature) * feature.weight
+
+    def _cached_raw_scores(self, feature: FeatureVector) -> np.ndarray:
+        """Weight-independent per-pose likelihood vector, LRU-memoised.
+
+        Eviction is bounded LRU (least-recently-used entry dropped one at
+        a time), never a wholesale clear: a full cache mid-clip must not
+        evict the hot candidates the very next frame re-scores.
+        """
         key = (feature.as_tuple(), self.config.use_occupancy)
         vector = self._score_cache.get(key)
         if vector is not None:
             self.cache_hits += 1
+            self._score_cache.move_to_end(key)
+            return vector
+        self.cache_misses += 1
+        if self.config.use_occupancy:
+            occupied = feature.occupied_areas()
+            vector = np.array(
+                [
+                    self.observation.occupancy_likelihood(occupied, pose)
+                    for pose in Pose
+                ]
+            )
         else:
-            self.cache_misses += 1
-            if self.config.use_occupancy:
-                occupied = feature.occupied_areas()
-                vector = np.array(
-                    [
-                        self.observation.occupancy_likelihood(occupied, pose)
-                        for pose in Pose
-                    ]
-                )
-            else:
-                vector = self.observation.part_likelihood_vector(feature)
-            vector.setflags(write=False)
-            if len(self._score_cache) >= self._CACHE_LIMIT:
-                self._score_cache.clear()
-            self._score_cache[key] = vector
-        return vector * feature.weight
+            vector = self.observation.part_likelihood_vector(feature)
+        vector.setflags(write=False)
+        while len(self._score_cache) >= self._CACHE_LIMIT:
+            self._score_cache.popitem(last=False)
+        self._score_cache[key] = vector
+        return vector
 
     def observation_vector(
         self, candidates: "list[FeatureVector]"
@@ -200,6 +211,39 @@ class DBNPoseClassifier:
         for feature in candidates:
             scores = np.maximum(scores, self._candidate_scores(feature))
         return scores
+
+    def observation_matrix(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> np.ndarray:
+        """Vectorised :meth:`observation_vector` over many frames at once.
+
+        Gathers every frame's memoised candidate vectors into one score
+        stack, applies all weights in one multiply, and reduces each
+        frame's segment with ``np.maximum.reduceat`` — a segmented max,
+        so row ``t`` is bit-identical to
+        ``observation_vector(frames[t])``.  Frames with no candidates
+        keep the flat all-ones row.
+        """
+        matrix = np.ones((len(frames), NUM_POSES))
+        raws: "list[np.ndarray]" = []
+        weights: "list[float]" = []
+        starts: "list[int]" = []
+        rows: "list[int]" = []
+        for t, candidates in enumerate(frames):
+            if not candidates:
+                continue
+            starts.append(len(raws))
+            rows.append(t)
+            for feature in candidates:
+                raws.append(self._cached_raw_scores(feature))
+                weights.append(feature.weight)
+        if not raws:
+            return matrix
+        scores = np.stack(raws) * np.asarray(weights)[:, None]
+        per_frame = np.maximum.reduceat(scores, np.asarray(starts), axis=0)
+        # observation_vector folds from a zeros accumulator; mirror that
+        matrix[rows] = np.maximum(per_frame, 0.0)
+        return matrix
 
     # ------------------------------------------------------------------
     # Decoding
@@ -289,6 +333,24 @@ class DBNPoseClassifier:
         joint = np.where(_STAGE_POSE_COMPATIBLE, observation[None, :], 0.0)
         return joint.reshape(-1)
 
+    def joint_likelihoods_of(
+        self, frames: "list[list[FeatureVector]]"
+    ) -> np.ndarray:
+        """Vectorised :meth:`joint_likelihood`: ``(T, S)`` in one pass.
+
+        Row ``t`` is bit-identical to ``joint_likelihood(frames[t])`` —
+        the batched observation matrix is exact (see
+        :meth:`observation_matrix`) and the stage mask is the same
+        broadcast ``np.where``.
+        """
+        if not frames:
+            return np.zeros((0, _STAGE_POSE_COMPATIBLE.size))
+        observations = self.observation_matrix(frames)
+        joint = np.where(
+            _STAGE_POSE_COMPATIBLE[None, :, :], observations[:, None, :], 0.0
+        )
+        return joint.reshape(len(frames), -1)
+
     def prediction_from_joint(self, row: np.ndarray) -> FramePrediction:
         """Turn one joint-state posterior row into a :class:`FramePrediction`.
 
@@ -308,7 +370,7 @@ class DBNPoseClassifier:
     ) -> "list[FramePrediction]":
         """Exact filtering / Viterbi over the joint (stage, pose) DBN."""
         dbn = self.transitions.to_two_slice_dbn()
-        likelihoods = [self.joint_likelihood(candidates) for candidates in frames]
+        likelihoods = list(self.joint_likelihoods_of(frames))
         predictions: list[FramePrediction] = []
         if self.config.decode in ("filter", "smooth"):
             if self.config.decode == "filter":
@@ -318,10 +380,43 @@ class DBNPoseClassifier:
             predictions.extend(self.prediction_from_joint(row) for row in filtered)
         else:  # viterbi
             path = dbn.viterbi(likelihoods)
-            for joint_index in path:
-                assignment = dbn.assignment_of(joint_index)
-                pose = Pose(assignment["pose"])
-                predictions.append(
-                    FramePrediction(pose, 1.0, Stage(assignment["stage"]))
-                )
+            predictions.extend(self._predictions_from_path(dbn, path))
         return predictions
+
+    @staticmethod
+    def _predictions_from_path(dbn, path: "list[int]") -> "list[FramePrediction]":
+        return [
+            FramePrediction(
+                Pose(assignment["pose"]), 1.0, Stage(assignment["stage"])
+            )
+            for assignment in (dbn.assignment_of(index) for index in path)
+        ]
+
+    def classify_batch(
+        self, clips: "list[list[list[FeatureVector]]]"
+    ) -> "list[list[FramePrediction]]":
+        """Decode many clips through one batched tensor pass.
+
+        Bit-identical to ``[self.classify(clip) for clip in clips]`` in
+        every decode mode: observation scoring goes through the exact
+        segmented-max batch path, and the DBN modes ride the
+        ``*_batch`` kernels of :class:`~repro.bayes.dbn.TwoSliceDBN`,
+        which replay the per-clip recursions (zero-likelihood recovery
+        included) to the last bit.  ``greedy`` is inherently sequential
+        per clip and simply loops.
+        """
+        if self.config.decode == "greedy":
+            return [self._classify_greedy(clip) for clip in clips]
+        dbn = self.transitions.to_two_slice_dbn()
+        likelihoods = [self.joint_likelihoods_of(frames) for frames in clips]
+        if self.config.decode in ("filter", "smooth"):
+            if self.config.decode == "filter":
+                decoded = dbn.filter_batch(likelihoods)
+            else:
+                decoded = dbn.smooth_batch(likelihoods)
+            return [
+                [self.prediction_from_joint(row) for row in rows]
+                for rows in decoded
+            ]
+        paths = dbn.viterbi_batch(likelihoods)
+        return [self._predictions_from_path(dbn, path) for path in paths]

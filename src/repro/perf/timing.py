@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.errors import ConfigurationError
@@ -152,12 +153,33 @@ def write_bench_json(
     speedup ratios, sizes — any scalar payload).  ``context`` carries
     run metadata (input shape, repeat count, ...).  The format is flat
     and append-friendly so successive PRs can be diffed or plotted.
+
+    The top-level keys always describe the *latest* run; in addition,
+    each write appends a ``{"at": <UTC ISO timestamp>, "benchmarks"}``
+    entry to a ``history`` list carried over from the existing file (a
+    missing or unreadable file starts a fresh history), so successive
+    runs accumulate a perf trajectory in the artifact itself.
     """
+    target = Path(path)
+    history: "list[object]" = []
+    try:
+        previous = json.loads(target.read_text())
+        carried = previous.get("history", [])
+        if isinstance(carried, list):
+            history = carried
+    except (OSError, ValueError):
+        pass
+    history.append(
+        {
+            "at": datetime.now(timezone.utc).isoformat(),
+            "benchmarks": benchmarks,
+        }
+    )
     payload = {
         "schema": "repro.perf/bench.v1",
         "context": context or {},
         "benchmarks": benchmarks,
+        "history": history,
     }
-    target = Path(path)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return target

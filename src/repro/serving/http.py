@@ -198,7 +198,7 @@ class JumpPoseHttpServer:
         host: bind address; loopback by default.
         port: bind port; 0 (the default) picks an ephemeral port — read
             :attr:`address` after :meth:`start` for the real one.
-        jobs / batch_size / decode: forwarded to the owned
+        jobs / batch_size / decode / adaptive_batch: forwarded to the owned
             :class:`JumpPoseService` (rejected with ``service=``).
         replica_id: optional replica name, forwarded to an owned service
             and surfaced by ``/v1/healthz`` and ``/v1/stats`` so a
@@ -244,6 +244,7 @@ class JumpPoseHttpServer:
         shutdown_token: "str | None" = None,
         idle_timeout_s: float = DEFAULT_HTTP_IDLE_TIMEOUT_S,
         fault_injector=None,
+        adaptive_batch: bool = True,
     ) -> None:
         if (artifact_path is None) == (service is None):
             raise ConfigurationError(
@@ -254,10 +255,15 @@ class JumpPoseHttpServer:
                 f"max_body_bytes must be >= 1, got {max_body_bytes}"
             )
         if service is not None:
-            if jobs != 1 or batch_size != 4 or decode is not None:
+            if (
+                jobs != 1
+                or batch_size != 4
+                or decode is not None
+                or adaptive_batch is not True
+            ):
                 raise ConfigurationError(
-                    "jobs/batch_size/decode configure an owned service; "
-                    "set them on the shared service instead"
+                    "jobs/batch_size/decode/adaptive_batch configure an "
+                    "owned service; set them on the shared service instead"
                 )
             if replica_id is not None:
                 raise ConfigurationError(
@@ -271,6 +277,7 @@ class JumpPoseHttpServer:
                 artifact_path, jobs=jobs, batch_size=batch_size,
                 decode=decode, replica_id=replica_id,
                 fault_injector=fault_injector,
+                adaptive_batch=adaptive_batch,
             )
             self._owns_service = True
         self.fault_injector = fault_injector

@@ -127,7 +127,8 @@ class JumpPoseServer:
         host: bind address; loopback by default.
         port: bind port; 0 (the default) picks an ephemeral port — read
             :attr:`address` after :meth:`start` for the real one.
-        jobs / batch_size / decode: forwarded to :class:`JumpPoseService`.
+        jobs / batch_size / decode / adaptive_batch: forwarded to
+            :class:`JumpPoseService`.
         replica_id: optional replica name surfaced by ``ping`` and the
             ``stats`` roll-up (set by
             :class:`~repro.serving.cluster.JumpPoseCluster`).
@@ -158,6 +159,7 @@ class JumpPoseServer:
         idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
         drain_timeout_s: float = 30.0,
         fault_injector=None,
+        adaptive_batch: bool = True,
     ) -> None:
         if max_payload_bytes < 1:
             raise ConfigurationError(
@@ -166,6 +168,7 @@ class JumpPoseServer:
         self.service = JumpPoseService(
             artifact_path, jobs=jobs, batch_size=batch_size, decode=decode,
             replica_id=replica_id, fault_injector=fault_injector,
+            adaptive_batch=adaptive_batch,
         )
         self.replica_id = replica_id
         self.host = host

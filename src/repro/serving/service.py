@@ -78,15 +78,83 @@ def _handle_path(
     return result, len(clip), timer.elapsed, profile
 
 
+def _analyze_clip_batch(
+    analyzer: JumpPoseAnalyzer, clips: "list[JumpClip]"
+) -> "list[tuple[ClipResult, int, float, ProfileReport]]":
+    """Handle one micro-batch through the batched decode kernels.
+
+    The vision front-end runs (and is timed) per clip; the DBN decode is
+    one ``classify_batch`` tensor pass whose wall-clock is apportioned
+    to clips by frame share.  Every clip still gets exactly one
+    ``frontend`` and one ``decode`` profile entry, so stage ``calls``
+    keep counting clips, and per-clip latency stays the clip's own
+    frontend time plus its share of the batched decode.
+    """
+    if not clips:
+        return []
+    if len(clips) == 1:
+        return [_handle_clip(analyzer, clips[0])]
+    front_elapsed: "list[float]" = []
+    candidate_clips = []
+    for clip in clips:
+        with Timer() as timer:
+            candidate_clips.append(
+                analyzer.front_end.candidates_for_clip(
+                    clip.frames, clip.background
+                )
+            )
+        front_elapsed.append(timer.elapsed)
+    with Timer() as decode_timer:
+        batches = analyzer.classifier.classify_batch(candidate_clips)
+    total_frames = sum(len(clip) for clip in clips)
+    entries = []
+    for clip, predictions, front_s in zip(clips, batches, front_elapsed):
+        if total_frames > 0:
+            decode_s = decode_timer.elapsed * (len(clip) / total_frames)
+        else:
+            decode_s = decode_timer.elapsed / len(clips)
+        profile = ProfileReport()
+        profile.add("frontend", front_s)
+        profile.add("decode", decode_s)
+        result = analyzer._result_for(clip, predictions)
+        entries.append((result, len(clip), front_s + decode_s, profile))
+    return entries
+
+
+def _analyze_path_batch(
+    analyzer: JumpPoseAnalyzer, paths: "list[str]"
+) -> "list[tuple[ClipResult, int, float, ProfileReport]]":
+    """Path-addressed variant: load worker-side, then batch-decode."""
+    from repro.synth.io import load_clip
+
+    clips = []
+    load_elapsed: "list[float]" = []
+    for path in paths:
+        with Timer() as timer:
+            clips.append(load_clip(path))
+        load_elapsed.append(timer.elapsed)
+    entries = []
+    for (result, frames, elapsed, profile), load_s in zip(
+        _analyze_clip_batch(analyzer, clips), load_elapsed
+    ):
+        profile.add("load", load_s)
+        entries.append((result, frames, elapsed + load_s, profile))
+    return entries
+
+
 def _worker_clip_batch(batch: "list[JumpClip]"):
     assert _WORKER_ANALYZER is not None
-    return [_handle_clip(_WORKER_ANALYZER, clip) for clip in batch]
+    return _analyze_clip_batch(_WORKER_ANALYZER, batch)
 
 
 def _worker_path_batch(batch: "list[str]"):
     assert _WORKER_ANALYZER is not None
-    return [_handle_path(_WORKER_ANALYZER, path) for path in batch]
+    return _analyze_path_batch(_WORKER_ANALYZER, batch)
 
+
+#: Upper bound for the adaptive micro-batch controller: past this, a
+#: batch pins a worker long enough to starve request-order fairness.
+MAX_BATCH_SIZE = 64
 
 #: Per-clip latencies kept for quantile estimates; counters stay exact
 #: forever, but a server that lives for millions of clips must not hold
@@ -248,8 +316,16 @@ class JumpPoseService:
         jobs: worker processes.  1 serves in-process; higher values spawn
             a ``multiprocessing`` pool whose initializer loads the
             artifact once per worker.
-        batch_size: requests handed to a worker per task (micro-batching
-            amortises task dispatch without hurting request ordering).
+        batch_size: initial requests handed to a worker per task
+            (micro-batching amortises task dispatch and feeds the
+            batched decode kernels without hurting request ordering).
+        adaptive_batch: adapt ``batch_size`` to live latency (bounded
+            AIMD): after each dispatch, grow by one while the trailing
+            p95 per-clip latency is at or under ``batch_latency_target_s``
+            and halve on a breach, within ``[1, MAX_BATCH_SIZE]``.  Set
+            False to pin ``batch_size`` for deterministic benchmarking.
+        batch_latency_target_s: the p95 per-clip latency budget the
+            adaptive controller steers to.
         decode: optional decode-mode override applied on top of the
             artifact's stored classifier configuration.
         replica_id: optional name identifying this service instance in
@@ -274,11 +350,18 @@ class JumpPoseService:
         decode: "str | None" = None,
         replica_id: "str | None" = None,
         fault_injector=None,
+        adaptive_batch: bool = True,
+        batch_latency_target_s: float = 0.25,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_latency_target_s <= 0:
+            raise ConfigurationError(
+                "batch_latency_target_s must be > 0, got "
+                f"{batch_latency_target_s}"
+            )
         if decode is not None and decode not in DECODE_MODES:
             # checked here so a bad override fails at construction instead
             # of inside a pool worker's initializer
@@ -289,6 +372,8 @@ class JumpPoseService:
         self.metadata = read_artifact_metadata(self.artifact_path)
         self.jobs = jobs
         self.batch_size = batch_size
+        self.adaptive_batch = adaptive_batch
+        self.batch_latency_target_s = batch_latency_target_s
         self.decode = decode
         self.replica_id = replica_id
         self.fault_injector = fault_injector
@@ -387,7 +472,7 @@ class JumpPoseService:
         accumulation.
         """
         return self._dispatch(
-            list(clips), _worker_clip_batch, _handle_clip, profile
+            list(clips), _worker_clip_batch, _analyze_clip_batch, profile
         )
 
     def analyze_paths(
@@ -401,8 +486,8 @@ class JumpPoseService:
         :meth:`analyze_clips`.
         """
         return self._dispatch(
-            [str(path) for path in paths], _worker_path_batch, _handle_path,
-            profile,
+            [str(path) for path in paths], _worker_path_batch,
+            _analyze_path_batch, profile,
         )
 
     def stats_snapshot(self) -> "dict[str, object]":
@@ -543,7 +628,7 @@ class JumpPoseService:
         return result
 
     def _dispatch(
-        self, items: list, pool_fn, inline_fn,
+        self, items: list, pool_fn, batch_fn,
         request_profile: "ProfileReport | None" = None,
     ) -> "list[ClipResult]":
         if not items:
@@ -565,29 +650,35 @@ class JumpPoseService:
                         "service is not running; call start() first"
                     )
                 return self._dispatch_locked(
-                    items, pool_fn, inline_fn, request_profile
+                    items, pool_fn, batch_fn, request_profile
                 )
             finally:
                 _INFLIGHT.dec(len(items))
 
     def _dispatch_locked(
-        self, items: list, pool_fn, inline_fn,
+        self, items: list, pool_fn, batch_fn,
         request_profile: "ProfileReport | None" = None,
     ) -> "list[ClipResult]":
         with Timer() as wall:
+            batches = [
+                items[i : i + self.batch_size]
+                for i in range(0, len(items), self.batch_size)
+            ]
             if self._pool is not None:
-                batches = [
-                    items[i : i + self.batch_size]
-                    for i in range(0, len(items), self.batch_size)
-                ]
                 handled = [
                     entry
                     for batch in self._pool.map(pool_fn, batches)
                     for entry in batch
                 ]
             else:
+                # in-process serving rides the same batched tensor
+                # kernels the pool workers use, one micro-batch at a time
                 assert self._analyzer is not None
-                handled = [inline_fn(self._analyzer, item) for item in items]
+                handled = [
+                    entry
+                    for batch in batches
+                    for entry in batch_fn(self._analyzer, batch)
+                ]
         results: list[ClipResult] = []
         for result, frames, elapsed, profile in handled:
             results.append(result)
@@ -606,4 +697,22 @@ class JumpPoseService:
             for stage, stage_stats in profile.stages.items():
                 _STAGE_LATENCY.observe(stage_stats.total, stage=stage)
         self.stats.wall_s += wall.elapsed
+        if self.adaptive_batch:
+            self._adapt_batch_size()
         return results
+
+    def _adapt_batch_size(self) -> None:
+        """Bounded AIMD on the micro-batch size (dispatch lock held).
+
+        Signal: the trailing-window p95 per-clip latency the service
+        already tracks.  Additive increase (+1) while p95 is within the
+        target keeps probing for decode-kernel batching wins; a breach
+        halves the batch so one slow burst cannot lock large batches in.
+        """
+        p95 = self.stats.latency_quantile(0.95)
+        if p95 <= 0:
+            return
+        if p95 <= self.batch_latency_target_s:
+            self.batch_size = min(self.batch_size + 1, MAX_BATCH_SIZE)
+        else:
+            self.batch_size = max(self.batch_size // 2, 1)

@@ -159,6 +159,39 @@ def test_viterbi_empty_sequence():
     assert _sticky_dbn().viterbi([]) == []
 
 
+def test_viterbi_zero_likelihood_recovery():
+    """An all-zero frame spliced into a clip must decode to the
+    prediction-consistent state, not silently collapse to state 0."""
+    dbn = _sticky_dbn(stay=0.9)
+    liks = [
+        np.array([0.0, 1.0]),
+        np.array([0.0, 0.0]),  # skeleton failure: impossible observation
+        np.array([0.0, 1.0]),
+    ]
+    path = dbn.viterbi(liks)
+    # With sticky transitions the MAP path stays in state 1 through the
+    # blind frame; without recovery the -inf scores argmax to state 0.
+    assert path == [1, 1, 1]
+
+
+def test_viterbi_zero_likelihood_recovery_matches_prediction():
+    """The recovered frame's score is the predictive max-product step."""
+    dbn = _sticky_dbn(stay=0.7)
+    base = [np.array([1.0, 0.0]), np.array([0.6, 0.4])]
+    with_blind = [base[0], np.array([0.0, 0.0]), base[1]]
+    path = dbn.viterbi(with_blind)
+    assert len(path) == 3
+    # the blind frame follows the sticky prediction from frame 0
+    assert path[1] == path[0]
+
+
+def test_viterbi_all_frames_zero_still_finite():
+    dbn = _sticky_dbn()
+    path = dbn.viterbi([np.zeros(2), np.zeros(2)])
+    assert len(path) == 2
+    assert all(0 <= state < 2 for state in path)
+
+
 def test_dbn_validates_construction():
     prior = Factor((S,), np.array([0.5, 0.5]))
     bad_parent = Variable("t_prev", ("no", "yes"))

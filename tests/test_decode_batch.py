@@ -1,0 +1,285 @@
+"""Batched decode kernels: bit-identity, degenerate clips, cache LRU.
+
+The batched `(B, T, S)` kernels promise *bit*-identity with per-clip
+decoding — same floats, same paths, same zero-likelihood recovery per
+time step per clip — whatever the batch composition.  This suite pins
+that contract over ragged batches, degenerate clips (empty, single
+frame, all-zero observations), and the classifier's batched observation
+scoring, plus the einsum row-count invariance the guarantee rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbnclassifier import (
+    DECODE_MODES,
+    ClassifierConfig,
+    DBNPoseClassifier,
+)
+from repro.core.posebank import PoseObservationModel
+from repro.core.poses import Pose
+from repro.core.transitions import TransitionModel
+from repro.features.encoding import FeatureVector
+from repro.features.keypoints import PART_ORDER
+from repro.synth.motion import default_jump_script, run_script
+
+from test_bayes_dbn import _random_dbn, _sticky_dbn
+
+
+# ----------------------------------------------------------------------
+# Raw DBN kernels: ragged-batch bit-identity
+# ----------------------------------------------------------------------
+def _ragged_clips(dbn, seed, n_clips, max_len, zero_frac=0.2):
+    """Random likelihood clips of uneven length, some frames all-zero."""
+    rng = np.random.default_rng(seed)
+    s = dbn.joint_cardinality
+    clips = []
+    for _ in range(n_clips):
+        length = int(rng.integers(0, max_len + 1))
+        clip = []
+        for _ in range(length):
+            if rng.random() < zero_frac:
+                clip.append(np.zeros(s))
+            else:
+                clip.append(rng.random(s))
+        clips.append(clip)
+    return clips
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dbn_seed=st.integers(0, 20),
+    clip_seed=st.integers(0, 1000),
+    n_clips=st.integers(1, 8),
+    max_len=st.integers(1, 10),
+)
+def test_batch_kernels_bit_identical_to_serial(
+    dbn_seed, clip_seed, n_clips, max_len
+):
+    dbn, _ = _random_dbn(dbn_seed)
+    clips = _ragged_clips(dbn, clip_seed, n_clips, max_len)
+    filtered = dbn.filter_batch(clips)
+    smoothed = dbn.smooth_batch(clips)
+    paths = dbn.viterbi_batch(clips)
+    for b, clip in enumerate(clips):
+        assert np.array_equal(np.asarray(dbn.filter(clip)), filtered[b])
+        assert np.array_equal(np.asarray(dbn.smooth(clip)), smoothed[b])
+        assert dbn.viterbi(clip) == paths[b]
+
+
+def test_batch_kernels_empty_batch():
+    dbn = _sticky_dbn()
+    assert dbn.filter_batch([]) == []
+    assert dbn.smooth_batch([]) == []
+    assert dbn.viterbi_batch([]) == []
+
+
+def test_batch_kernels_zero_length_clips():
+    dbn = _sticky_dbn()
+    clips = [[], [np.array([0.3, 0.7])], []]
+    filtered = dbn.filter_batch(clips)
+    smoothed = dbn.smooth_batch(clips)
+    paths = dbn.viterbi_batch(clips)
+    for b, clip in enumerate(clips):
+        assert filtered[b].shape == (len(clip), 2)
+        assert smoothed[b].shape == (len(clip), 2)
+        assert len(paths[b]) == len(clip)
+    assert np.array_equal(np.asarray(dbn.filter(clips[1])), filtered[1])
+
+
+def test_batch_kernels_single_clip_matches_serial():
+    """B=1 is the degenerate batch — still bit-identical to serial."""
+    dbn, _ = _random_dbn(3)
+    rng = np.random.default_rng(7)
+    clip = [rng.random(dbn.joint_cardinality) for _ in range(9)]
+    assert np.array_equal(np.asarray(dbn.filter(clip)), dbn.filter_batch([clip])[0])
+    assert np.array_equal(np.asarray(dbn.smooth(clip)), dbn.smooth_batch([clip])[0])
+    assert dbn.viterbi(clip) == dbn.viterbi_batch([clip])[0]
+
+
+def test_batch_viterbi_zero_likelihood_recovery_per_clip():
+    """Recovery fires per clip: a blind frame in one clip must not
+    perturb its batchmates, and must decode prediction-consistently."""
+    dbn = _sticky_dbn(stay=0.9)
+    clean = [np.array([0.0, 1.0])] * 3
+    blind = [np.array([0.0, 1.0]), np.zeros(2), np.array([0.0, 1.0])]
+    paths = dbn.viterbi_batch([clean, blind])
+    assert paths[0] == dbn.viterbi(clean)
+    assert paths[1] == [1, 1, 1]
+
+
+def test_batch_filter_zero_likelihood_recovery_per_clip():
+    dbn = _sticky_dbn()
+    clean = [np.array([1.0, 0.0]), np.array([0.5, 0.5])]
+    blind = [np.array([1.0, 0.0]), np.zeros(2)]
+    filtered = dbn.filter_batch([clean, blind])
+    assert np.array_equal(np.asarray(dbn.filter(clean)), filtered[0])
+    assert np.array_equal(np.asarray(dbn.filter(blind)), filtered[1])
+    assert np.all(np.isfinite(filtered[1]))
+
+
+def test_propagate_einsum_is_row_count_invariant():
+    """The property the bit-identity guarantee rests on: the shared
+    einsum kernels produce the same bits for a row whether it is
+    propagated alone or inside a larger stack.  BLAS matmul does not
+    have this property, which is why the kernels must stay einsum."""
+    dbn, _ = _random_dbn(11, cards=(4, 5))
+    rng = np.random.default_rng(0)
+    stack = rng.random((16, dbn.joint_cardinality))
+    fwd_all = dbn._propagate(stack)
+    back_all = dbn._propagate_back(stack)
+    for i in range(len(stack)):
+        assert np.array_equal(dbn._propagate(stack[i : i + 1])[0], fwd_all[i])
+        assert np.array_equal(
+            dbn._propagate_back(stack[i : i + 1])[0], back_all[i]
+        )
+
+
+# ----------------------------------------------------------------------
+# Classifier: batched observation scoring + classify_batch
+# ----------------------------------------------------------------------
+def _feature(code, weight=1.0):
+    return FeatureVector(
+        areas=dict(zip(PART_ORDER, code)), n_areas=8, weight=weight
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    sequences = []
+    samples = []
+    code_of = {}
+    for variant in range(3):
+        frames = run_script(default_jump_script(variant))
+        sequences.append([f.pose for f in frames])
+    for index, pose in enumerate(Pose):
+        code_of[pose] = (
+            index % 8,
+            (index // 2) % 8,
+            (index // 3) % 8,
+            (index // 4) % 8,
+            6,
+        )
+    for sequence in sequences:
+        for pose in sequence:
+            samples.append((pose, _feature(code_of[pose])))
+    observation = PoseObservationModel(alpha=0.05).fit(samples)
+    transitions = TransitionModel().fit(sequences)
+    return observation, transitions, code_of
+
+
+def _candidate_clip(code_of, seed, n_frames):
+    """Frames of 0-3 candidates; some empty, some zero-weight (all-zero
+    observation scores — a genuine degenerate frame)."""
+    rng = np.random.default_rng(seed)
+    codes = list(code_of.values())
+    clip = []
+    for _ in range(n_frames):
+        n = int(rng.integers(0, 4))
+        frame = []
+        for _ in range(n):
+            code = codes[int(rng.integers(0, len(codes)))]
+            weight = 0.0 if rng.random() < 0.15 else float(rng.uniform(0.5, 1.0))
+            frame.append(_feature(code, weight=weight))
+        clip.append(frame)
+    return clip
+
+
+@pytest.mark.parametrize("mode", DECODE_MODES)
+def test_classify_batch_matches_serial(fitted_models, mode):
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(
+        observation, transitions, ClassifierConfig(decode=mode)
+    )
+    clips = [
+        _candidate_clip(code_of, seed, n)
+        for seed, n in enumerate([0, 1, 4, 11, 7, 2])
+    ]
+    assert classifier.classify_batch(clips) == [
+        classifier.classify(clip) for clip in clips
+    ]
+
+
+@pytest.mark.parametrize("mode", DECODE_MODES)
+def test_degenerate_clips_all_modes(fitted_models, mode):
+    """Empty clip, single frame, and all-zero-observation frames decode
+    without error and identically in serial and batched paths."""
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(
+        observation, transitions, ClassifierConfig(decode=mode)
+    )
+    code = next(iter(code_of.values()))
+    empty_clip = []
+    single = [[_feature(code)]]
+    all_zero = [[_feature(code, weight=0.0)], [_feature(code, weight=0.0)]]
+    mixed = [[_feature(code)], [_feature(code, weight=0.0)], [_feature(code)]]
+    clips = [empty_clip, single, all_zero, mixed]
+    serial = [classifier.classify(clip) for clip in clips]
+    assert serial[0] == []
+    assert len(serial[1]) == 1
+    assert len(serial[2]) == 2
+    assert classifier.classify_batch(clips) == serial
+
+
+def test_observation_matrix_matches_vector(fitted_models):
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(observation, transitions)
+    clip = _candidate_clip(code_of, 5, 20)
+    matrix = classifier.observation_matrix(clip)
+    for t, frame in enumerate(clip):
+        assert np.array_equal(matrix[t], classifier.observation_vector(frame))
+    assert classifier.observation_matrix([]).shape == (0, matrix.shape[1])
+
+
+def test_joint_likelihoods_match_rows(fitted_models):
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(observation, transitions)
+    clip = _candidate_clip(code_of, 6, 15)
+    rows = classifier.joint_likelihoods_of(clip)
+    for t, frame in enumerate(clip):
+        assert np.array_equal(rows[t], classifier.joint_likelihood(frame))
+
+
+# ----------------------------------------------------------------------
+# Score-cache eviction: bounded LRU, not wholesale clear
+# ----------------------------------------------------------------------
+def test_score_cache_evicts_lru_not_everything(fitted_models, monkeypatch):
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(observation, transitions)
+    monkeypatch.setattr(DBNPoseClassifier, "_CACHE_LIMIT", 4)
+    codes = list(code_of.values())
+    hot = _feature(codes[0])
+    classifier.observation_vector([hot])
+    # touch three more distinct keys, filling the cache to the limit
+    for code in codes[1:4]:
+        classifier.observation_vector([_feature(code)])
+    assert len(classifier._score_cache) == 4
+    # re-touch the hot key so it is most-recently-used ...
+    hits_before = classifier.cache_hits
+    classifier.observation_vector([hot])
+    assert classifier.cache_hits == hits_before + 1
+    # ... then overflow: only the LRU entry (codes[1]) is evicted
+    classifier.observation_vector([_feature(codes[4])])
+    assert len(classifier._score_cache) == 4
+    hits_before = classifier.cache_hits
+    classifier.observation_vector([hot])
+    assert classifier.cache_hits == hits_before + 1, "hot key was evicted"
+
+
+def test_score_cache_counters_stay_coherent(fitted_models, monkeypatch):
+    observation, transitions, code_of = fitted_models
+    classifier = DBNPoseClassifier(observation, transitions)
+    monkeypatch.setattr(DBNPoseClassifier, "_CACHE_LIMIT", 3)
+    codes = list(code_of.values())
+    for code in codes[:9]:
+        classifier.observation_vector([_feature(code)])
+    assert classifier.cache_misses == 9
+    assert classifier.cache_hits == 0
+    assert len(classifier._score_cache) == 3
+    classifier.observation_vector([_feature(codes[8])])
+    assert classifier.cache_hits == 1
+    classifier.clear_cache()
+    assert classifier._score_cache == {}
+    assert classifier.cache_hits == 0
+    assert classifier.cache_misses == 0

@@ -66,6 +66,26 @@ def test_write_bench_json_round_trip(tmp_path):
     assert payload["context"]["shape"] == [2, 2]
 
 
+def test_write_bench_json_accumulates_history(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    write_bench_json(path, {"kernel": {"fast_s": 0.2}})
+    write_bench_json(path, {"kernel": {"fast_s": 0.1}})
+    payload = json.loads(path.read_text())
+    # top-level keys describe the latest run; history keeps both
+    assert payload["benchmarks"]["kernel"]["fast_s"] == 0.1
+    assert [entry["benchmarks"]["kernel"]["fast_s"] for entry in payload["history"]] == [0.2, 0.1]
+    for entry in payload["history"]:
+        assert entry["at"]  # ISO-8601 UTC timestamp
+
+
+def test_write_bench_json_tolerates_corrupt_previous(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text("{not json")
+    write_bench_json(path, {"kernel": {"fast_s": 0.3}})
+    payload = json.loads(path.read_text())
+    assert len(payload["history"]) == 1
+
+
 # ----------------------------------------------------------------------
 # Batch clip analysis
 # ----------------------------------------------------------------------
